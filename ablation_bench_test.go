@@ -1,0 +1,186 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: each
+// pair isolates one mechanism by running the same workload with the
+// mechanism on and off.
+package streamrel
+
+import (
+	"fmt"
+	"testing"
+)
+
+// --- Ablation 1: B-tree index vs sequential scan for selective lookups.
+
+func ablationLookupEngine(b *testing.B, withIndex bool) *Engine {
+	e := mustOpen(b, Config{})
+	mustScript(b, e, `CREATE TABLE t (k bigint, v varchar)`)
+	var rows []Row
+	for i := int64(0); i < 50_000; i++ {
+		rows = append(rows, Row{Int(i), String("payload")})
+	}
+	if err := e.BulkInsert("t", rows); err != nil {
+		b.Fatal(err)
+	}
+	if withIndex {
+		mustScript(b, e, `CREATE INDEX t_k ON t (k)`)
+	}
+	return e
+}
+
+func BenchmarkAblationPointLookupIndexed(b *testing.B) {
+	e := ablationLookupEngine(b, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Query(`SELECT v FROM t WHERE k = 25000`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPointLookupSeqScan(b *testing.B) {
+	e := ablationLookupEngine(b, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Query(`SELECT v FROM t WHERE k = 25000`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation 2: WAL durability levels on the insert path.
+
+func benchInsertWAL(b *testing.B, dir string, sync bool) {
+	cfg := Config{Dir: dir, SyncWAL: sync}
+	e, err := Open(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.ExecScript(`CREATE TABLE t (a bigint, s varchar)`); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Exec(`INSERT INTO t VALUES (1, 'x')`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationInsertNoWAL(b *testing.B)   { benchInsertWAL(b, "", false) }
+func BenchmarkAblationInsertWAL(b *testing.B)     { benchInsertWAL(b, b.TempDir(), false) }
+func BenchmarkAblationInsertWALSync(b *testing.B) { benchInsertWAL(b, b.TempDir(), true) }
+
+// --- Ablation 3: hash join vs nested-loop join on the same equi-join.
+// The nested-loop variant expresses equality as `<= AND >=`, which the
+// planner cannot turn into hash keys.
+
+func ablationJoinEngine(b *testing.B, rows int) *Engine {
+	e := mustOpen(b, Config{})
+	mustScript(b, e, `CREATE TABLE l (k bigint); CREATE TABLE r (k bigint, v bigint)`)
+	var lr, rr []Row
+	for i := int64(0); i < int64(rows); i++ {
+		lr = append(lr, Row{Int(i)})
+		rr = append(rr, Row{Int(i), Int(i * 10)})
+	}
+	if err := e.BulkInsert("l", lr); err != nil {
+		b.Fatal(err)
+	}
+	if err := e.BulkInsert("r", rr); err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+func BenchmarkAblationJoinHash(b *testing.B) {
+	e := ablationJoinEngine(b, 800)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Query(`SELECT count(*) FROM l, r WHERE l.k = r.k`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationJoinNestedLoop(b *testing.B) {
+	e := ablationJoinEngine(b, 800)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Query(`SELECT count(*) FROM l, r WHERE l.k <= r.k AND l.k >= r.k`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation 4: SQL text path vs prepared bulk path for ingestion.
+
+func BenchmarkAblationIngestSQLText(b *testing.B) {
+	e := mustOpen(b, Config{})
+	mustScript(b, e, `CREATE TABLE t (a bigint, s varchar)`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Exec(fmt.Sprintf(`INSERT INTO t VALUES (%d, 'x')`, i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationIngestBulk(b *testing.B) {
+	e := mustOpen(b, Config{})
+	mustScript(b, e, `CREATE TABLE t (a bigint, s varchar)`)
+	rows := make([]Row, b.N)
+	for i := range rows {
+		rows[i] = Row{Int(int64(i)), String("x")}
+	}
+	b.ResetTimer()
+	if err := e.BulkInsert("t", rows); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// --- Ablation 5: window-close cost for raw-buffer recompute vs shared
+// slices, isolating the slice mechanism from fan-out (k=1).
+
+func benchWindowClose(b *testing.B, share bool) {
+	e := mustOpen(b, Config{DisableSharing: !share})
+	mustScript(b, e, `CREATE STREAM s (k bigint, at timestamp CQTIME USER)`)
+	cq, err := e.Subscribe(`SELECT k, count(*) FROM s <VISIBLE '10 minutes' ADVANCE '1 minute'> GROUP BY k`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cq.Close()
+	base := MustTimestamp("2009-01-04 00:00:00").UnixMicro()
+	// Prime ten minutes of data so the sliding extent is full, then per
+	// iteration stream one more minute (5,000 rows) and close one window:
+	// the unshared path re-reads the whole 10-minute extent per close, the
+	// shared path merges ten slice partials.
+	const perMinute = 5000
+	const gap = 60_000_000 / perMinute
+	mint := func(minute int64) []Row {
+		rows := make([]Row, perMinute)
+		for i := int64(0); i < perMinute; i++ {
+			rows[i] = Row{Int(i % 500), Timestamp(usToTime(base + minute*60_000_000 + i*gap))}
+		}
+		return rows
+	}
+	for m := int64(0); m < 10; m++ {
+		if err := e.Append("s", mint(m)...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := int64(10 + i)
+		if err := e.Append("s", mint(m)...); err != nil {
+			b.Fatal(err)
+		}
+		if err := e.AdvanceTime("s", usToTime(base+(m+1)*60_000_000)); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		cq.Drain()
+		b.StartTimer()
+	}
+}
+
+func BenchmarkAblationWindowCloseShared(b *testing.B)   { benchWindowClose(b, true) }
+func BenchmarkAblationWindowCloseUnshared(b *testing.B) { benchWindowClose(b, false) }

@@ -1,0 +1,264 @@
+// Package client is the Go client for a streamrel server: Exec/Query for
+// SQL, Append/Advance for stream ingestion, and Subscribe for continuous
+// queries whose window batches arrive on a channel.
+package client
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"streamrel/internal/server"
+	"streamrel/internal/types"
+)
+
+// Value, Row, Column mirror the engine's public value types.
+type (
+	// Value is a single SQL value.
+	Value = types.Datum
+	// Row is a tuple of values.
+	Row = types.Row
+	// Column names and types one result column.
+	Column = types.Column
+)
+
+// Rows is a materialized query result.
+type Rows struct {
+	Columns []Column
+	Data    []Row
+}
+
+// Batch is one continuous-query window result.
+type Batch struct {
+	Close time.Time
+	Rows  []Row
+}
+
+// Subscription is a running continuous query on the server. Batches
+// arrive on C; Close terminates it.
+type Subscription struct {
+	Columns []Column
+	C       <-chan Batch
+
+	c      *Client
+	handle int64
+	ch     chan Batch
+}
+
+// Close stops the continuous query.
+func (s *Subscription) Close() error {
+	_, err := s.c.roundTrip(&server.Request{Op: "unsubscribe", CQ: s.handle})
+	s.c.mu.Lock()
+	if _, ok := s.c.subs[s.handle]; ok {
+		delete(s.c.subs, s.handle)
+		close(s.ch)
+	}
+	s.c.mu.Unlock()
+	return err
+}
+
+// Client is a connection to a streamrel server. Safe for concurrent use.
+type Client struct {
+	conn net.Conn
+	enc  *json.Encoder
+
+	mu      sync.Mutex
+	nextID  int64
+	pending map[int64]chan *server.Response
+	subs    map[int64]*Subscription
+	closed  bool
+	readErr error
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:    conn,
+		enc:     json.NewEncoder(conn),
+		pending: make(map[int64]chan *server.Response),
+		subs:    make(map[int64]*Subscription),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close terminates the connection; outstanding calls fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}
+
+func (c *Client) readLoop() {
+	dec := json.NewDecoder(bufio.NewReaderSize(c.conn, 1<<20))
+	for {
+		var resp server.Response
+		if err := dec.Decode(&resp); err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			for id, ch := range c.pending {
+				close(ch)
+				delete(c.pending, id)
+			}
+			for h, sub := range c.subs {
+				close(sub.ch)
+				delete(c.subs, h)
+			}
+			c.mu.Unlock()
+			return
+		}
+		if resp.Batch {
+			c.mu.Lock()
+			sub := c.subs[resp.CQ]
+			c.mu.Unlock()
+			if sub != nil {
+				rows := make([]Row, len(resp.Rows))
+				ok := true
+				for i, wr := range resp.Rows {
+					r, err := server.DecodeRow(wr)
+					if err != nil {
+						ok = false
+						break
+					}
+					rows[i] = r
+				}
+				if ok {
+					sub.ch <- Batch{Close: time.UnixMicro(resp.Close).UTC(), Rows: rows}
+				}
+			}
+			continue
+		}
+		c.mu.Lock()
+		ch := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			r := resp
+			ch <- &r
+		}
+	}
+}
+
+func (c *Client) roundTrip(req *server.Request) (*server.Response, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("client: closed")
+	}
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return nil, fmt.Errorf("client: connection lost: %w", err)
+	}
+	c.nextID++
+	req.ID = c.nextID
+	ch := make(chan *server.Response, 1)
+	c.pending[req.ID] = ch
+	if err := c.enc.Encode(req); err != nil {
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.mu.Unlock()
+	resp, ok := <-ch
+	if !ok {
+		return nil, fmt.Errorf("client: connection closed")
+	}
+	if resp.Error != "" {
+		return nil, fmt.Errorf("%s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Exec runs a DDL/DML statement with optional $n parameters and returns
+// the affected row count.
+func (c *Client) Exec(sql string, args ...Value) (int, error) {
+	resp, err := c.roundTrip(&server.Request{Op: "exec", SQL: sql, Args: encodeArgs(args)})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Affected, nil
+}
+
+// Query runs a snapshot SELECT with optional $n parameters.
+func (c *Client) Query(sql string, args ...Value) (*Rows, error) {
+	resp, err := c.roundTrip(&server.Request{Op: "query", SQL: sql, Args: encodeArgs(args)})
+	if err != nil {
+		return nil, err
+	}
+	return decodeRows(resp)
+}
+
+func encodeArgs(args []Value) []server.WireValue {
+	if len(args) == 0 {
+		return nil
+	}
+	return server.EncodeRow(args)
+}
+
+func decodeRows(resp *server.Response) (*Rows, error) {
+	out := &Rows{}
+	for _, wc := range resp.Columns {
+		out.Columns = append(out.Columns, Column{Name: wc.Name})
+	}
+	for _, wr := range resp.Rows {
+		r, err := server.DecodeRow(wr)
+		if err != nil {
+			return nil, err
+		}
+		out.Data = append(out.Data, r)
+	}
+	return out, nil
+}
+
+// Append pushes rows into a stream.
+func (c *Client) Append(stream string, rows ...Row) error {
+	wire := make([][]server.WireValue, len(rows))
+	for i, r := range rows {
+		wire[i] = server.EncodeRow(r)
+	}
+	_, err := c.roundTrip(&server.Request{Op: "append", Stream: stream, Rows: wire})
+	return err
+}
+
+// Advance delivers a heartbeat moving the stream's clock to ts.
+func (c *Client) Advance(stream string, ts time.Time) error {
+	_, err := c.roundTrip(&server.Request{Op: "advance", Stream: stream, TS: ts.UnixMicro()})
+	return err
+}
+
+// Subscribe starts a continuous query (with optional $n parameters);
+// batches arrive on the returned subscription's channel.
+func (c *Client) Subscribe(sql string, args ...Value) (*Subscription, error) {
+	resp, err := c.roundTrip(&server.Request{Op: "subscribe", SQL: sql, Args: encodeArgs(args)})
+	if err != nil {
+		return nil, err
+	}
+	ch := make(chan Batch, 1024)
+	sub := &Subscription{c: c, handle: resp.CQ, ch: ch, C: ch}
+	for _, wc := range resp.Columns {
+		sub.Columns = append(sub.Columns, Column{Name: wc.Name})
+	}
+	c.mu.Lock()
+	c.subs[resp.CQ] = sub
+	c.mu.Unlock()
+	return sub, nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(&server.Request{Op: "ping"})
+	return err
+}

@@ -1,0 +1,231 @@
+package client_test
+
+import (
+	"testing"
+	"time"
+
+	"streamrel"
+	"streamrel/client"
+	"streamrel/internal/server"
+	"streamrel/internal/types"
+)
+
+// startServer boots an in-memory engine behind a TCP server on a random
+// port and returns a connected client.
+func startServer(t *testing.T) *client.Client {
+	t.Helper()
+	eng, err := streamrel.Open(streamrel.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(eng)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	t.Cleanup(func() {
+		srv.Close()
+		eng.Close()
+	})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestClientExecQuery(t *testing.T) {
+	c := startServer(t)
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec(`CREATE TABLE t (a bigint, b varchar)`); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.Exec(`INSERT INTO t VALUES (1, 'x'), (2, 'y')`)
+	if err != nil || n != 2 {
+		t.Fatalf("insert: n=%d err=%v", n, err)
+	}
+	rows, err := c.Query(`SELECT a, b FROM t ORDER BY a DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 2 || rows.Data[0].String() != "2|y" || rows.Data[1].String() != "1|x" {
+		t.Fatalf("rows: %v", rows.Data)
+	}
+	if rows.Columns[0].Name != "a" {
+		t.Fatalf("columns: %v", rows.Columns)
+	}
+	// Errors come back as errors, connection stays usable.
+	if _, err := c.Query(`SELECT * FROM missing`); err == nil {
+		t.Fatal("expected error")
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatal("connection should survive a failed request")
+	}
+}
+
+func TestClientSubscription(t *testing.T) {
+	c := startServer(t)
+	if _, err := c.Exec(`CREATE STREAM s (v bigint, at timestamp CQTIME USER)`); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := c.Subscribe(`SELECT count(*), sum(v) FROM s <ADVANCE '1 minute'>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := streamrel.MustTimestamp("2009-01-04 00:00:00")
+	err = c.Append("s",
+		client.Row{types.NewInt(5), types.NewTimestamp(base.Add(time.Second))},
+		client.Row{types.NewInt(7), types.NewTimestamp(base.Add(2 * time.Second))},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Advance("s", base.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case b := <-sub.C:
+		if len(b.Rows) != 1 || b.Rows[0][0].Int() != 2 || b.Rows[0][1].Int() != 12 {
+			t.Fatalf("batch: %+v", b)
+		}
+		if !b.Close.Equal(base.Add(time.Minute)) {
+			t.Fatalf("close: %v", b.Close)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no batch arrived")
+	}
+	if err := sub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// After close, further heartbeats produce nothing.
+	c.Advance("s", base.Add(3*time.Minute))
+	select {
+	case b, ok := <-sub.C:
+		if ok {
+			t.Fatalf("batch after close: %+v", b)
+		}
+	case <-time.After(200 * time.Millisecond):
+	}
+}
+
+func TestClientValueRoundTrip(t *testing.T) {
+	c := startServer(t)
+	if _, err := c.Exec(`CREATE TABLE vals (b boolean, i bigint, f double, s varchar, t timestamp, iv interval)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec(`INSERT INTO vals VALUES
+		(true, -42, 2.5, 'héllo', timestamp '2009-01-04 09:30:00', interval '90 minutes'),
+		(NULL, NULL, NULL, NULL, NULL, NULL)`); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := c.Query(`SELECT * FROM vals ORDER BY i NULLS LAST`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 2 {
+		t.Fatalf("rows: %v", rows.Data)
+	}
+	want := "true|-42|2.5|héllo|2009-01-04 09:30:00.000000|1 hour 30 minutes"
+	var got string
+	for _, r := range rows.Data {
+		if !r[0].IsNull() {
+			got = r.String()
+		} else {
+			for _, d := range r {
+				if !d.IsNull() {
+					t.Fatalf("NULL row came back with values: %v", r)
+				}
+			}
+		}
+	}
+	if got != want {
+		t.Fatalf("round trip: %q want %q", got, want)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	c := startServer(t)
+	if _, err := c.Exec(`CREATE TABLE t (a bigint)`); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i := 0; i < 25; i++ {
+				if _, err := c.Exec(`INSERT INTO t VALUES (1)`); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, err := c.Query(`SELECT count(*) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Data[0][0].Int() != 200 {
+		t.Fatalf("count = %v", rows.Data[0])
+	}
+}
+
+func TestServerCloseUnblocksClients(t *testing.T) {
+	eng, _ := streamrel.Open(streamrel.Config{})
+	defer eng.Close()
+	srv := server.New(eng)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	// Calls now fail rather than hang.
+	errCh := make(chan error, 1)
+	go func() { errCh <- c.Ping() }()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("ping succeeded after server close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ping hung after server close")
+	}
+}
+
+func TestClientQueryArgs(t *testing.T) {
+	c := startServer(t)
+	if _, err := c.Exec(`CREATE TABLE t (a bigint, s varchar)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec(`INSERT INTO t VALUES ($1, $2), ($3, $4)`,
+		types.NewInt(1), types.NewString("x"), types.NewInt(2), types.NewString("y")); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := c.Query(`SELECT s FROM t WHERE a = $1`, types.NewInt(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 || rows.Data[0][0].Str() != "y" {
+		t.Fatalf("rows: %v", rows.Data)
+	}
+	if _, err := c.Query(`SELECT s FROM t WHERE a = $5`, types.NewInt(2)); err == nil {
+		t.Fatal("bad placeholder should error over the wire")
+	}
+}

@@ -1,0 +1,81 @@
+// Command srbench regenerates the paper's evaluation: every figure and
+// quantified claim mapped to an experiment in DESIGN.md §4 (F1, E1–E8).
+//
+// Usage:
+//
+//	srbench                 # run everything at full (laptop) scale
+//	srbench -scale 0.1      # quicker pass
+//	srbench -only E1,E3     # a subset
+//	srbench -list           # show the experiment index
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"streamrel/internal/experiments"
+)
+
+var index = []struct{ id, what string }{
+	{"F1", "Figure 1: windows produce a sequence of tables — window kinds, correctness, throughput"},
+	{"E1", "§4 case study: network-security report, store-first vs continuous (the 'orders of magnitude' claim)"},
+	{"E2", "§1.1 growth sweep: report latency vs event volume"},
+	{"E3", "§2.2 shared 'Jellybean' processing: k CQs shared vs unshared"},
+	{"E4", "§5 materialized views: periodic refresh vs Active Tables (cost + staleness)"},
+	{"E5", "§3.3/§6 stream-table joins: enrichment and Example 5 historical comparison"},
+	{"E6", "§4 recovery: rebuild from Active Tables vs recompute from raw archive"},
+	{"E7", "§5 map/reduce comparison: successive refreshes over a growing log"},
+	{"E8", "§1.2 result-availability delay: batch period vs 1-minute windows"},
+}
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "experiment size multiplier (1.0 = full laptop scale)")
+	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range index {
+			fmt.Printf("%-4s %s\n", e.id, e.what)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	runners := map[string]func(experiments.Scale) (*experiments.Table, error){
+		"F1": experiments.F1, "E1": experiments.E1, "E2": experiments.E2,
+		"E3": experiments.E3, "E4": experiments.E4, "E5": experiments.E5,
+		"E6": experiments.E6, "E7": experiments.E7, "E8": experiments.E8,
+	}
+
+	fmt.Printf("streamrel experiment suite (scale %.2g)\n", *scale)
+	fmt.Printf("reproducing: Franklin et al., \"Continuous Analytics\", CIDR 2009\n\n")
+	start := time.Now()
+	for _, e := range index {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		run, ok := runners[e.id]
+		if !ok {
+			continue
+		}
+		t0 := time.Now()
+		table, err := run(experiments.Scale(*scale))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Println(table.String())
+		fmt.Printf("(%s took %s)\n\n", e.id, time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Printf("total: %s\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,111 @@
+// Command srload generates a synthetic workload and drives it into a
+// streamrel engine — either into a stream (continuous mode, the paper's
+// architecture) or into a table (store-first mode, the baseline). It
+// creates the schema if needed.
+//
+// Usage:
+//
+//	srload -workload clicks   -n 1000000 -mode stream -dir data/
+//	srload -workload security -n 500000  -mode table  -dir data/
+//	srload -workload ads      -n 200000  -mode stream
+//
+// Workloads: clicks (url_stream), security (sec_stream/sec_events),
+// ads (imp_stream/impressions).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"streamrel"
+	"streamrel/internal/types"
+	"streamrel/internal/workload"
+)
+
+func main() {
+	kind := flag.String("workload", "clicks", "clicks | security | ads")
+	n := flag.Int("n", 100_000, "events to generate")
+	mode := flag.String("mode", "stream", "stream (continuous) | table (store-first)")
+	dir := flag.String("dir", "", "data directory (empty = in-memory; mostly useful with table mode)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	rate := flag.Float64("rate", 2000, "events per second of stream time")
+	flag.Parse()
+
+	eng, err := streamrel.Open(streamrel.Config{Dir: *dir})
+	if err != nil {
+		fail(err)
+	}
+	defer eng.Close()
+
+	var gen interface {
+		Take(int) []types.Row
+		Now() int64
+	}
+	var streamName, tableName, streamDDL, tableDDL string
+	start := time.Date(2009, 1, 4, 0, 0, 0, 0, time.UTC)
+	switch *kind {
+	case "clicks":
+		gen = workload.NewClickstream(workload.ClickConfig{Seed: *seed, EventsPerSec: *rate, Start: start})
+		streamName, tableName = "url_stream", "url_events"
+		streamDDL = `CREATE STREAM IF NOT EXISTS url_stream (url varchar, atime timestamp CQTIME USER, client_ip varchar)`
+		tableDDL = `CREATE TABLE IF NOT EXISTS url_events (url varchar, atime timestamp, client_ip varchar)`
+	case "security":
+		gen = workload.NewSecurityEvents(workload.SecurityConfig{Seed: *seed, EventsPerSec: *rate, Start: start})
+		streamName, tableName = "sec_stream", "sec_events"
+		streamDDL = `CREATE STREAM IF NOT EXISTS sec_stream (etime timestamp CQTIME USER, src_ip varchar, dst_port bigint, action varchar, bytes bigint)`
+		tableDDL = `CREATE TABLE IF NOT EXISTS sec_events (etime timestamp, src_ip varchar, dst_port bigint, action varchar, bytes bigint)`
+	case "ads":
+		gen = workload.NewImpressions(workload.ImpressionConfig{Seed: *seed, EventsPerSec: *rate, Start: start})
+		streamName, tableName = "imp_stream", "impressions"
+		streamDDL = `CREATE STREAM IF NOT EXISTS imp_stream (itime timestamp CQTIME USER, campaign bigint, publisher bigint, cost bigint)`
+		tableDDL = `CREATE TABLE IF NOT EXISTS impressions (itime timestamp, campaign bigint, publisher bigint, cost bigint)`
+	default:
+		fail(fmt.Errorf("unknown workload %q", *kind))
+	}
+
+	t0 := time.Now()
+	const chunk = 10_000
+	switch *mode {
+	case "stream":
+		if _, err := eng.Exec(streamDDL); err != nil {
+			fail(err)
+		}
+		for done := 0; done < *n; done += chunk {
+			c := chunk
+			if *n-done < c {
+				c = *n - done
+			}
+			if err := eng.Append(streamName, gen.Take(c)...); err != nil {
+				fail(err)
+			}
+		}
+		if err := eng.AdvanceTime(streamName, time.UnixMicro(gen.Now()+60_000_000).UTC()); err != nil {
+			fail(err)
+		}
+	case "table":
+		if _, err := eng.Exec(tableDDL); err != nil {
+			fail(err)
+		}
+		for done := 0; done < *n; done += chunk {
+			c := chunk
+			if *n-done < c {
+				c = *n - done
+			}
+			if err := eng.BulkInsert(tableName, gen.Take(c)); err != nil {
+				fail(err)
+			}
+		}
+	default:
+		fail(fmt.Errorf("unknown mode %q", *mode))
+	}
+	elapsed := time.Since(t0)
+	fmt.Printf("loaded %d %s events into %s mode in %s (%.0f events/s)\n",
+		*n, *kind, *mode, elapsed.Round(time.Millisecond), float64(*n)/elapsed.Seconds())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "srload:", err)
+	os.Exit(1)
+}

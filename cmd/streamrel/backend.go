@@ -1,0 +1,154 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"streamrel"
+	"streamrel/client"
+)
+
+// result is what the shell prints: a header line and formatted rows.
+type result struct {
+	header   string
+	rows     []string
+	affected int
+}
+
+// watcher is a running continuous query, backend-agnostic.
+type watcher struct {
+	header string
+	next   func() (time.Time, []string, bool)
+	stop   func()
+}
+
+// backend abstracts a local engine vs a remote server connection.
+type backend interface {
+	exec(sql string) (*result, error)
+	query(sql string) (*result, error)
+	watch(sql string) (*watcher, error)
+	stats() string
+	close()
+}
+
+// ------------------------------------------------------------- local
+
+type localBackend struct{ eng *streamrel.Engine }
+
+func (b *localBackend) exec(sqlText string) (*result, error) {
+	res, err := b.eng.Exec(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	out := &result{affected: res.RowsAffected}
+	if res.Rows != nil {
+		out.header = header(res.Rows.Columns.Names())
+		for _, r := range res.Rows.Data {
+			out.rows = append(out.rows, r.String())
+		}
+	}
+	return out, nil
+}
+
+func (b *localBackend) query(sqlText string) (*result, error) {
+	rows, err := b.eng.Query(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	out := &result{header: header(rows.Columns.Names())}
+	for _, r := range rows.Data {
+		out.rows = append(out.rows, r.String())
+	}
+	return out, nil
+}
+
+func (b *localBackend) watch(sqlText string) (*watcher, error) {
+	cq, err := b.eng.Subscribe(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	return &watcher{
+		header: header(cq.Columns.Names()),
+		next: func() (time.Time, []string, bool) {
+			batch, ok := cq.Next()
+			if !ok {
+				return time.Time{}, nil, false
+			}
+			lines := make([]string, len(batch.Rows))
+			for i, r := range batch.Rows {
+				lines[i] = r.String()
+			}
+			return batch.Close, lines, true
+		},
+		stop: cq.Close,
+	}, nil
+}
+
+func (b *localBackend) stats() string {
+	s := b.eng.Stats()
+	return fmt.Sprintf("sources=%d pipelines=%d sharedAggs=%d windowsFired=%d rowsProcessed=%d lateDropped=%d",
+		s.Sources, s.Pipelines, s.SharedAggs, s.WindowsFired, s.RowsProcessed, s.LateDropped)
+}
+
+func (b *localBackend) close() { b.eng.Close() }
+
+// ------------------------------------------------------------- remote
+
+type remoteBackend struct{ c *client.Client }
+
+func (b *remoteBackend) exec(sqlText string) (*result, error) {
+	n, err := b.c.Exec(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	return &result{affected: n}, nil
+}
+
+func (b *remoteBackend) query(sqlText string) (*result, error) {
+	rows, err := b.c.Query(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(rows.Columns))
+	for i, c := range rows.Columns {
+		names[i] = c.Name
+	}
+	out := &result{header: header(names)}
+	for _, r := range rows.Data {
+		out.rows = append(out.rows, r.String())
+	}
+	return out, nil
+}
+
+func (b *remoteBackend) watch(sqlText string) (*watcher, error) {
+	sub, err := b.c.Subscribe(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(sub.Columns))
+	for i, c := range sub.Columns {
+		names[i] = c.Name
+	}
+	return &watcher{
+		header: header(names),
+		next: func() (time.Time, []string, bool) {
+			batch, ok := <-sub.C
+			if !ok {
+				return time.Time{}, nil, false
+			}
+			lines := make([]string, len(batch.Rows))
+			for i, r := range batch.Rows {
+				lines[i] = r.String()
+			}
+			return batch.Close, lines, true
+		},
+		stop: func() { sub.Close() },
+	}, nil
+}
+
+func (b *remoteBackend) stats() string { return "(stats are local-only; connect to the server host)" }
+
+func (b *remoteBackend) close() { b.c.Close() }
+
+func header(names []string) string { return strings.Join(names, "|") }

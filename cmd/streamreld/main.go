@@ -1,0 +1,63 @@
+// Command streamreld runs a streamrel server: a durable (or in-memory)
+// stream-relational engine reachable over TCP with the JSON line protocol
+// (see internal/server and the client package).
+//
+// Usage:
+//
+//	streamreld -addr 127.0.0.1:7475 -dir data/ [-init schema.sql]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"streamrel"
+	"streamrel/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7475", "listen address")
+	dir := flag.String("dir", "", "data directory (empty = in-memory)")
+	initScript := flag.String("init", "", "SQL script to execute at startup")
+	syncWAL := flag.Bool("sync", false, "fsync every commit")
+	flag.Parse()
+
+	eng, err := streamrel.Open(streamrel.Config{Dir: *dir, SyncWAL: *syncWAL})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	if *initScript != "" {
+		data, err := os.ReadFile(*initScript)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := eng.ExecScript(string(data)); err != nil {
+			log.Fatalf("init script: %v", err)
+		}
+	}
+
+	srv := server.New(eng)
+	srv.Log = log.Default()
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streamreld listening on %s (dir=%q)\n", bound, *dir)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Println("\nshutting down")
+		srv.Close()
+	}()
+	if err := srv.Serve(); err != nil {
+		log.Fatal(err)
+	}
+}

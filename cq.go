@@ -1,0 +1,147 @@
+package streamrel
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"streamrel/internal/sql"
+	"streamrel/internal/stream"
+	"streamrel/internal/types"
+)
+
+// Batch is the output of one window close of a continuous query: the
+// window's result relation plus the boundary timestamp (what cq_close(*)
+// returned inside the window).
+type Batch struct {
+	Close time.Time
+	Rows  []Row
+}
+
+// CQ is a handle on a running continuous query. Results queue internally;
+// read them with Next (blocking) or TryNext (non-blocking). Because the
+// engine processes stream input synchronously, every batch produced by an
+// Append or AdvanceTime call is already queued when that call returns.
+type CQ struct {
+	// Columns names and types the result rows.
+	Columns Schema
+	// SharedAggregation reports whether this CQ computes via shared window
+	// slices (the paper's shared processing).
+	SharedAggregation bool
+
+	eng  *Engine
+	pipe *stream.Pipeline
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Batch
+	closed bool
+}
+
+// Subscribe compiles a continuous query — a SELECT over a windowed stream
+// — and starts it. The CQ runs until Close (paper §3.1: "CQs produce
+// answers incrementally and run until they are explicitly terminated").
+func (e *Engine) Subscribe(sqlText string) (*CQ, error) {
+	return e.SubscribeArgs(sqlText)
+}
+
+// SubscribeArgs starts a continuous query with $1, $2, … placeholders
+// bound to args; the bindings are fixed for the CQ's lifetime.
+func (e *Engine) SubscribeArgs(sqlText string, args ...Value) (*CQ, error) {
+	stmt, err := e.parseWithArgs(sqlText, args)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sql.Select)
+	if !ok {
+		return nil, fmt.Errorf("streamrel: Subscribe takes a SELECT")
+	}
+	p, err := e.planner.BuildSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	if p.Stream == nil {
+		return nil, fmt.Errorf("streamrel: query reads no stream; use Query for snapshot queries")
+	}
+	cq := &CQ{Columns: p.Columns, eng: e}
+	cq.cond = sync.NewCond(&cq.mu)
+	pipe, err := e.rt.Subscribe(p, func(closeTS int64, rows []types.Row) error {
+		cq.mu.Lock()
+		if !cq.closed {
+			cq.queue = append(cq.queue, Batch{Close: time.UnixMicro(closeTS).UTC(), Rows: rows})
+			cq.cond.Broadcast()
+		}
+		cq.mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	cq.pipe = pipe
+	cq.SharedAggregation = pipe.Shared()
+	return cq, nil
+}
+
+// TryNext returns the next queued batch without blocking.
+func (cq *CQ) TryNext() (Batch, bool) {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	if len(cq.queue) == 0 {
+		return Batch{}, false
+	}
+	b := cq.queue[0]
+	cq.queue = cq.queue[1:]
+	return b, true
+}
+
+// Next blocks until a batch is available or the CQ is closed. The second
+// result is false once the CQ is closed and drained.
+func (cq *CQ) Next() (Batch, bool) {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	for len(cq.queue) == 0 && !cq.closed {
+		cq.cond.Wait()
+	}
+	if len(cq.queue) == 0 {
+		return Batch{}, false
+	}
+	b := cq.queue[0]
+	cq.queue = cq.queue[1:]
+	return b, true
+}
+
+// Drain returns every queued batch.
+func (cq *CQ) Drain() []Batch {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	out := cq.queue
+	cq.queue = nil
+	return out
+}
+
+// Pending reports the number of queued batches.
+func (cq *CQ) Pending() int {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	return len(cq.queue)
+}
+
+// Close terminates the continuous query and wakes blocked readers.
+func (cq *CQ) Close() {
+	cq.mu.Lock()
+	if cq.closed {
+		cq.mu.Unlock()
+		return
+	}
+	cq.closed = true
+	cq.cond.Broadcast()
+	cq.mu.Unlock()
+	cq.eng.rt.Unsubscribe(cq.pipe)
+}
+
+// RuntimeStats exposes continuous-processing counters.
+type RuntimeStats = stream.Stats
+
+// Stats returns stream-runtime counters (pipelines, shared aggregations,
+// windows fired).
+func (e *Engine) Stats() RuntimeStats { return e.rt.Stats() }

@@ -1,0 +1,401 @@
+package streamrel
+
+import (
+	"errors"
+	"fmt"
+
+	"streamrel/internal/catalog"
+	"streamrel/internal/exec"
+	"streamrel/internal/plan"
+	"streamrel/internal/sql"
+	"streamrel/internal/storage"
+	"streamrel/internal/txn"
+	"streamrel/internal/types"
+	"streamrel/internal/wal"
+)
+
+// execDDL applies a DDL statement to the catalog and runtime, and (outside
+// recovery) logs its SQL text so WAL replay re-executes it (paper §4:
+// durable state replays; CQ runtime state is then rebuilt from Active
+// Tables).
+func (e *Engine) execDDL(stmt sql.Statement, sqlText string) (*Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	skipped, err := e.applyDDL(stmt)
+	if err != nil {
+		return nil, err
+	}
+	if !skipped && !e.recovering {
+		e.ddlLog = append(e.ddlLog, sqlText)
+		if e.log != nil {
+			if err := e.log.Append([]wal.Record{{Kind: wal.RecDDL, SQL: sqlText}}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &Result{}, nil
+}
+
+// applyDDL mutates catalog/runtime state. It returns skipped=true when an
+// IF [NOT] EXISTS clause made the statement a no-op.
+func (e *Engine) applyDDL(stmt sql.Statement) (skipped bool, err error) {
+	switch s := stmt.(type) {
+	case *sql.CreateTable:
+		schema, _, err := columnsToSchema(s.Columns)
+		if err != nil {
+			return false, err
+		}
+		if _, err := e.cat.CreateTable(s.Name, schema); err != nil {
+			if s.IfNotExists && errors.As(err, &catalog.ErrExists{}) {
+				return true, nil
+			}
+			return false, err
+		}
+		return false, nil
+
+	case *sql.CreateStream:
+		schema, cqCol, err := columnsToSchema(s.Columns)
+		if err != nil {
+			return false, err
+		}
+		if cqCol < 0 {
+			return false, fmt.Errorf("streamrel: stream %q needs a CQTIME column (e.g. atime timestamp CQTIME USER)", s.Name)
+		}
+		system := s.Columns[cqCol].CQTimeSystem
+		if _, err := e.cat.CreateStream(s.Name, schema, cqCol, system); err != nil {
+			if s.IfNotExists && errors.As(err, &catalog.ErrExists{}) {
+				return true, nil
+			}
+			return false, err
+		}
+		if err := e.rt.RegisterSource(s.Name, schema, cqCol); err != nil {
+			return false, err
+		}
+		return false, nil
+
+	case *sql.CreateDerivedStream:
+		return e.createDerivedStream(s)
+
+	case *sql.CreateView:
+		// Validate the view query plans (against a scratch planner so the
+		// stream-leaf bookkeeping does not leak).
+		if _, err := (&plan.Planner{Cat: e.cat}).BuildSelect(s.Query); err != nil {
+			return false, fmt.Errorf("streamrel: invalid view query: %w", err)
+		}
+		err := e.cat.CreateView(&catalog.View{Name: s.Name, Query: s.Query})
+		if err != nil {
+			if s.IfNotExists && errors.As(err, &catalog.ErrExists{}) {
+				return true, nil
+			}
+			return false, err
+		}
+		return false, nil
+
+	case *sql.CreateChannel:
+		return e.createChannel(s)
+
+	case *sql.CreateIndex:
+		ix, err := e.cat.CreateIndex(s.Name, s.Table, s.Columns)
+		if err != nil {
+			if s.IfNotExists && errors.As(err, &catalog.ErrExists{}) {
+				return true, nil
+			}
+			return false, err
+		}
+		// Backfill from the current table contents.
+		t, _ := e.cat.Table(s.Table)
+		t.Heap.Scan(e.mgr.SnapshotNow(), func(rid storage.RowID, row types.Row) bool {
+			ix.Tree.Insert(ix.KeyOf(row), rid)
+			return true
+		})
+		return false, nil
+
+	case *sql.Drop:
+		return e.execDrop(s)
+	}
+	return false, fmt.Errorf("streamrel: unsupported DDL %T", stmt)
+}
+
+// columnsToSchema converts parsed column definitions, returning the CQTIME
+// column index (or -1).
+func columnsToSchema(cols []sql.ColumnDef) (types.Schema, int, error) {
+	schema := make(types.Schema, len(cols))
+	cqCol := -1
+	seen := map[string]bool{}
+	for i, c := range cols {
+		if seen[c.Name] {
+			return nil, 0, fmt.Errorf("streamrel: duplicate column %q", c.Name)
+		}
+		seen[c.Name] = true
+		schema[i] = types.Column{Name: c.Name, Type: c.Type}
+		if c.CQTime {
+			if cqCol >= 0 {
+				return nil, 0, fmt.Errorf("streamrel: multiple CQTIME columns")
+			}
+			if c.Type != types.TypeTimestamp {
+				return nil, 0, fmt.Errorf("streamrel: CQTIME column %q must be TIMESTAMP", c.Name)
+			}
+			cqCol = i
+		}
+	}
+	return schema, cqCol, nil
+}
+
+// createDerivedStream plans the defining query, registers the derived
+// source, and starts the always-on pipeline (paper §3.2: a derived stream
+// "runs in an always on mode until it is explicitly dropped").
+func (e *Engine) createDerivedStream(s *sql.CreateDerivedStream) (bool, error) {
+	if _, ok := e.cat.Derived(s.Name); ok && s.IfNotExists {
+		return true, nil
+	}
+	p, err := e.planner.BuildSelect(s.Query)
+	if err != nil {
+		return false, fmt.Errorf("streamrel: derived stream %q: %w", s.Name, err)
+	}
+	if p.Stream == nil {
+		return false, fmt.Errorf("streamrel: derived stream %q: defining query must read a windowed stream", s.Name)
+	}
+	d := &catalog.DerivedStream{
+		Name:     s.Name,
+		Schema:   p.Columns,
+		Query:    s.Query,
+		CloseCol: p.CloseCol,
+	}
+	if err := e.cat.CreateDerivedStream(d); err != nil {
+		if s.IfNotExists && errors.As(err, &catalog.ErrExists{}) {
+			return true, nil
+		}
+		return false, err
+	}
+	if err := e.rt.RegisterSource(s.Name, p.Columns, -1); err != nil {
+		e.cat.Drop(sql.ObjStream, s.Name)
+		return false, err
+	}
+	pipe, err := e.rt.Subscribe(p, e.rt.DerivedSink(s.Name))
+	if err != nil {
+		e.rt.DropSource(s.Name)
+		e.cat.Drop(sql.ObjStream, s.Name)
+		return false, err
+	}
+	e.derivedPipes[s.Name] = pipe
+	return false, nil
+}
+
+// createChannel validates schema compatibility and attaches the tap that
+// copies derived-stream emissions into the target table, making it an
+// Active Table (paper §3.3).
+func (e *Engine) createChannel(s *sql.CreateChannel) (bool, error) {
+	if _, ok := e.cat.Channel(s.Name); ok && s.IfNotExists {
+		return true, nil
+	}
+	// The source is a derived stream (the paper's Example 4), or a base
+	// stream — which archives the raw feed row by row (APPEND only).
+	var srcSchema types.Schema
+	if d, ok := e.cat.Derived(s.From); ok {
+		srcSchema = d.Schema
+	} else if bs, ok := e.cat.Stream(s.From); ok {
+		if s.Mode == sql.ChannelReplace {
+			return false, fmt.Errorf("streamrel: channel %q: REPLACE requires a derived stream (base streams have no emissions)", s.Name)
+		}
+		srcSchema = bs.Schema
+	} else {
+		return false, fmt.Errorf("streamrel: channel %q: stream %q does not exist", s.Name, s.From)
+	}
+	t, ok := e.cat.Table(s.Into)
+	if !ok {
+		return false, fmt.Errorf("streamrel: channel %q: table %q does not exist", s.Name, s.Into)
+	}
+	if len(srcSchema) != len(t.Schema) {
+		return false, fmt.Errorf("streamrel: channel %q: stream has %d columns, table has %d",
+			s.Name, len(srcSchema), len(t.Schema))
+	}
+	for i := range srcSchema {
+		if srcSchema[i].Type != t.Schema[i].Type &&
+			srcSchema[i].Type != types.TypeUnknown && t.Schema[i].Type != types.TypeUnknown {
+			return false, fmt.Errorf("streamrel: channel %q: column %d is %s in the stream but %s in the table",
+				s.Name, i+1, srcSchema[i].Type, t.Schema[i].Type)
+		}
+	}
+	ch := &catalog.Channel{Name: s.Name, From: s.From, Into: s.Into, Mode: s.Mode}
+	if err := e.cat.CreateChannel(ch); err != nil {
+		if s.IfNotExists && errors.As(err, &catalog.ErrExists{}) {
+			return true, nil
+		}
+		return false, err
+	}
+	detach, err := e.rt.Tap(s.From, func(closeTS int64, rows []types.Row) error {
+		return e.channelWrite(ch, rows)
+	})
+	if err != nil {
+		e.cat.Drop(sql.ObjChannel, s.Name)
+		return false, err
+	}
+	e.channelTaps[s.Name] = detach
+	return false, nil
+}
+
+// channelWrite applies one derived-stream emission to the channel's table
+// in a transaction: REPLACE clears the visible contents first, APPEND just
+// adds. Runs inside the runtime lock (synchronous with the window close),
+// so the Active Table is updated atomically at the window boundary.
+func (e *Engine) channelWrite(ch *catalog.Channel, rows []types.Row) error {
+	t, ok := e.cat.Table(ch.Into)
+	if !ok {
+		return fmt.Errorf("streamrel: channel %q: table %q vanished", ch.Name, ch.Into)
+	}
+	w := e.beginWrite()
+	if ch.Mode == sql.ChannelReplace {
+		var rids []storage.RowID
+		t.Heap.Scan(w.tx.Snap, func(rid storage.RowID, _ types.Row) bool {
+			rids = append(rids, rid)
+			return true
+		})
+		for _, rid := range rids {
+			if err := w.deleteRow(t, rid); err != nil {
+				return w.fail(err)
+			}
+		}
+	}
+	for _, row := range rows {
+		coerced, err := coerceRow(row, t.Schema)
+		if err != nil {
+			return w.fail(err)
+		}
+		if err := w.insertRow(t, coerced); err != nil {
+			return w.fail(err)
+		}
+	}
+	return w.commit()
+}
+
+func (e *Engine) execDrop(s *sql.Drop) (bool, error) {
+	// Runtime teardown before catalog removal.
+	switch s.Kind {
+	case sql.ObjStream:
+		if pipe, ok := e.derivedPipes[s.Name]; ok {
+			if err := e.cat.Drop(s.Kind, s.Name); err != nil {
+				return e.dropMissOK(s, err)
+			}
+			e.rt.Unsubscribe(pipe)
+			e.rt.DropSource(s.Name)
+			delete(e.derivedPipes, s.Name)
+			return false, nil
+		}
+		if err := e.cat.Drop(s.Kind, s.Name); err != nil {
+			return e.dropMissOK(s, err)
+		}
+		e.rt.DropSource(s.Name)
+		return false, nil
+	case sql.ObjChannel:
+		if err := e.cat.Drop(s.Kind, s.Name); err != nil {
+			return e.dropMissOK(s, err)
+		}
+		if detach, ok := e.channelTaps[s.Name]; ok {
+			detach()
+			delete(e.channelTaps, s.Name)
+		}
+		return false, nil
+	default:
+		if err := e.cat.Drop(s.Kind, s.Name); err != nil {
+			return e.dropMissOK(s, err)
+		}
+		return false, nil
+	}
+}
+
+func (e *Engine) dropMissOK(s *sql.Drop, err error) (bool, error) {
+	if s.IfExists && errors.As(err, &catalog.ErrNotFound{}) {
+		return true, nil
+	}
+	return false, err
+}
+
+// ------------------------------------------------------- write txns
+
+// writeTxn couples an MVCC transaction with its WAL batch and index
+// maintenance. All effects are logged only at commit, as one atomic batch.
+type writeTxn struct {
+	e    *Engine
+	tx   *txn.Txn
+	recs []wal.Record
+	// undo reverts delete stamps if the transaction aborts; inserted
+	// versions need no undo (they stay invisible forever).
+	undo []func()
+	n    int
+}
+
+func (e *Engine) beginWrite() *writeTxn {
+	return &writeTxn{e: e, tx: e.mgr.Begin()}
+}
+
+func (w *writeTxn) insertRow(t *catalog.Table, row types.Row) error {
+	rid, err := t.Heap.Insert(w.tx.ID, row)
+	if err != nil {
+		return err
+	}
+	for _, ix := range t.Indexes {
+		ix.Tree.Insert(ix.KeyOf(row), rid)
+	}
+	w.recs = append(w.recs, wal.Record{Kind: wal.RecInsert, Table: t.Name, Row: row})
+	w.n++
+	return nil
+}
+
+func (w *writeTxn) deleteRow(t *catalog.Table, rid storage.RowID) error {
+	if err := t.Heap.Delete(w.tx.ID, rid); err != nil {
+		return err
+	}
+	heap, id := t.Heap, rid
+	w.undo = append(w.undo, func() { heap.UndoDelete(w.tx.ID, id) })
+	// Index entries stay: MVCC visibility filters them; vacuum rebuilds.
+	w.recs = append(w.recs, wal.Record{Kind: wal.RecDelete, Table: t.Name, RowID: uint64(rid)})
+	w.n++
+	return nil
+}
+
+func (w *writeTxn) commit() error {
+	if w.e.log != nil && len(w.recs) > 0 {
+		if err := w.e.log.Append(w.recs); err != nil {
+			return w.fail(err)
+		}
+	}
+	return w.tx.Commit()
+}
+
+func (w *writeTxn) fail(err error) error {
+	for _, u := range w.undo {
+		u()
+	}
+	w.tx.Abort()
+	return err
+}
+
+// coerceRow casts a row's values to the target schema's types.
+func coerceRow(row types.Row, schema types.Schema) (types.Row, error) {
+	if len(row) != len(schema) {
+		return nil, fmt.Errorf("streamrel: row has %d values, schema needs %d", len(row), len(schema))
+	}
+	out := make(types.Row, len(row))
+	for i, v := range row {
+		if v.IsNull() || v.Type() == schema[i].Type || schema[i].Type == types.TypeUnknown {
+			out[i] = v
+			continue
+		}
+		c, err := types.Cast(v, schema[i].Type)
+		if err != nil {
+			return nil, fmt.Errorf("streamrel: column %q: %w", schema[i].Name, err)
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// execCtx builds an execution context over a fresh snapshot.
+func (e *Engine) execCtx() *exec.Ctx {
+	return &exec.Ctx{Snap: e.mgr.SnapshotNow(), Now: e.cfg.Now}
+}
+
+// execDrain runs a plan to completion.
+func execDrain(ctx *exec.Ctx, p *plan.Plan, in plan.Input) ([]types.Row, error) {
+	return exec.Drain(ctx, p.Build(in))
+}

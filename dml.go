@@ -1,0 +1,305 @@
+package streamrel
+
+import (
+	"fmt"
+
+	"streamrel/internal/catalog"
+	"streamrel/internal/expr"
+	"streamrel/internal/sql"
+	"streamrel/internal/storage"
+	"streamrel/internal/types"
+)
+
+// execInsert handles INSERT INTO table|stream VALUES…|SELECT….
+// Inserting into a stream is ingestion: rows flow through the continuous
+// queries *before* any storage — the paper's core reversal of
+// store-first-query-later.
+func (e *Engine) execInsert(s *sql.Insert) (*Result, error) {
+	// Target resolution: stream or table.
+	if st, ok := e.cat.Stream(s.Table); ok {
+		rows, err := e.insertSourceRows(s, st.Schema)
+		if err != nil {
+			return nil, err
+		}
+		e.stampSystemTime(st, rows)
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+		if err := e.rt.PushBatch(s.Table, rows); err != nil {
+			return nil, err
+		}
+		return &Result{RowsAffected: len(rows)}, nil
+	}
+	if _, ok := e.cat.Derived(s.Table); ok {
+		return nil, fmt.Errorf("streamrel: cannot INSERT into derived stream %q", s.Table)
+	}
+	t, ok := e.cat.Table(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("streamrel: relation %q does not exist", s.Table)
+	}
+	rows, err := e.insertSourceRows(s, t.Schema)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	w := e.beginWrite()
+	for _, row := range rows {
+		if err := w.insertRow(t, row); err != nil {
+			return nil, w.fail(err)
+		}
+	}
+	if err := w.commit(); err != nil {
+		return nil, err
+	}
+	return &Result{RowsAffected: len(rows)}, nil
+}
+
+// insertSourceRows materializes the rows an INSERT provides, mapped onto
+// the target schema (missing columns become NULL) and coerced to column
+// types.
+func (e *Engine) insertSourceRows(s *sql.Insert, schema types.Schema) ([]types.Row, error) {
+	// Column mapping.
+	targets := make([]int, 0, len(schema))
+	if len(s.Columns) == 0 {
+		for i := range schema {
+			targets = append(targets, i)
+		}
+	} else {
+		for _, name := range s.Columns {
+			i := schema.IndexOf(name)
+			if i < 0 {
+				return nil, fmt.Errorf("streamrel: column %q does not exist", name)
+			}
+			targets = append(targets, i)
+		}
+	}
+
+	var srcRows []types.Row
+	switch {
+	case s.Query != nil:
+		res, err := e.querySelect(s.Query)
+		if err != nil {
+			return nil, err
+		}
+		srcRows = res.Data
+	default:
+		for _, exprRow := range s.Rows {
+			row := make(types.Row, len(exprRow))
+			for i, ex := range exprRow {
+				sc, err := expr.Compile(ex, expr.ConstBinder{})
+				if err != nil {
+					return nil, err
+				}
+				v, err := sc.Eval(&expr.Ctx{Now: e.cfg.Now})
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+			srcRows = append(srcRows, row)
+		}
+	}
+
+	out := make([]types.Row, len(srcRows))
+	for ri, src := range srcRows {
+		if len(src) != len(targets) {
+			return nil, fmt.Errorf("streamrel: INSERT row %d has %d values, expected %d",
+				ri+1, len(src), len(targets))
+		}
+		full := make(types.Row, len(schema))
+		for i := range full {
+			full[i] = types.Null
+		}
+		for i, pos := range targets {
+			full[pos] = src[i]
+		}
+		coerced, err := coerceRow(full, schema)
+		if err != nil {
+			return nil, err
+		}
+		out[ri] = coerced
+	}
+	return out, nil
+}
+
+// execUpdate handles UPDATE table SET … [WHERE …] as MVCC delete+insert.
+func (e *Engine) execUpdate(s *sql.Update) (*Result, error) {
+	t, ok := e.cat.Table(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("streamrel: table %q does not exist", s.Table)
+	}
+	sc := tableScope(t)
+	var where *expr.Scalar
+	var err error
+	if s.Where != nil {
+		if where, err = expr.Compile(s.Where, sc); err != nil {
+			return nil, err
+		}
+	}
+	type assign struct {
+		col int
+		val *expr.Scalar
+	}
+	assigns := make([]assign, len(s.Set))
+	for i, a := range s.Set {
+		col := t.Schema.IndexOf(a.Column)
+		if col < 0 {
+			return nil, fmt.Errorf("streamrel: column %q does not exist", a.Column)
+		}
+		val, err := expr.Compile(a.Value, sc)
+		if err != nil {
+			return nil, err
+		}
+		assigns[i] = assign{col, val}
+	}
+
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	w := e.beginWrite()
+	// Collect matches under the transaction's own snapshot, then apply.
+	type match struct {
+		rid storage.RowID
+		row types.Row
+	}
+	var matches []match
+	var scanErr error
+	t.Heap.Scan(w.tx.Snap, func(rid storage.RowID, row types.Row) bool {
+		if where != nil {
+			v, err := where.Eval(&expr.Ctx{Row: row, Now: e.cfg.Now})
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if v.IsNull() || !v.Bool() {
+				return true
+			}
+		}
+		matches = append(matches, match{rid, row})
+		return true
+	})
+	if scanErr != nil {
+		return nil, w.fail(scanErr)
+	}
+	for _, m := range matches {
+		newRow := m.row.Clone()
+		for _, a := range assigns {
+			v, err := a.val.Eval(&expr.Ctx{Row: m.row, Now: e.cfg.Now})
+			if err != nil {
+				return nil, w.fail(err)
+			}
+			if !v.IsNull() && v.Type() != t.Schema[a.col].Type {
+				if v, err = types.Cast(v, t.Schema[a.col].Type); err != nil {
+					return nil, w.fail(err)
+				}
+			}
+			newRow[a.col] = v
+		}
+		if err := w.deleteRow(t, m.rid); err != nil {
+			return nil, w.fail(err)
+		}
+		if err := w.insertRow(t, newRow); err != nil {
+			return nil, w.fail(err)
+		}
+	}
+	if err := w.commit(); err != nil {
+		return nil, err
+	}
+	return &Result{RowsAffected: len(matches)}, nil
+}
+
+// execDelete handles DELETE FROM table [WHERE …].
+func (e *Engine) execDelete(s *sql.Delete) (*Result, error) {
+	t, ok := e.cat.Table(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("streamrel: table %q does not exist", s.Table)
+	}
+	var where *expr.Scalar
+	var err error
+	if s.Where != nil {
+		if where, err = expr.Compile(s.Where, tableScope(t)); err != nil {
+			return nil, err
+		}
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	w := e.beginWrite()
+	var rids []storage.RowID
+	var scanErr error
+	t.Heap.Scan(w.tx.Snap, func(rid storage.RowID, row types.Row) bool {
+		if where != nil {
+			v, err := where.Eval(&expr.Ctx{Row: row, Now: e.cfg.Now})
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if v.IsNull() || !v.Bool() {
+				return true
+			}
+		}
+		rids = append(rids, rid)
+		return true
+	})
+	if scanErr != nil {
+		return nil, w.fail(scanErr)
+	}
+	for _, rid := range rids {
+		if err := w.deleteRow(t, rid); err != nil {
+			return nil, w.fail(err)
+		}
+	}
+	if err := w.commit(); err != nil {
+		return nil, err
+	}
+	return &Result{RowsAffected: len(rids)}, nil
+}
+
+// execTruncate removes every visible row.
+func (e *Engine) execTruncate(s *sql.Truncate) (*Result, error) {
+	return e.execDelete(&sql.Delete{Table: s.Table})
+}
+
+// schemaBinder resolves column references against one table's schema.
+type schemaBinder struct {
+	qual   string
+	schema types.Schema
+}
+
+// ResolveColumn implements expr.Binder.
+func (b schemaBinder) ResolveColumn(table, name string) (expr.ColumnBinding, error) {
+	if table != "" && table != b.qual {
+		return expr.ColumnBinding{}, fmt.Errorf("streamrel: unknown relation %q", table)
+	}
+	i := b.schema.IndexOf(name)
+	if i < 0 {
+		return expr.ColumnBinding{}, fmt.Errorf("streamrel: column %q does not exist", name)
+	}
+	return expr.ColumnBinding{Index: i, Type: b.schema[i].Type}, nil
+}
+
+// tableScope builds an expression binder over a table's schema.
+func tableScope(t *catalog.Table) expr.Binder {
+	return schemaBinder{qual: t.Name, schema: t.Schema}
+}
+
+// BulkInsert loads rows into a table through the write path (WAL, indexes,
+// MVCC) without per-row SQL parsing. It is the loader used by the
+// store-first baseline and by srload.
+func (e *Engine) BulkInsert(table string, rows []Row) error {
+	t, ok := e.cat.Table(table)
+	if !ok {
+		return fmt.Errorf("streamrel: table %q does not exist", table)
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	w := e.beginWrite()
+	for _, row := range rows {
+		coerced, err := coerceRow(row, t.Schema)
+		if err != nil {
+			return w.fail(err)
+		}
+		if err := w.insertRow(t, coerced); err != nil {
+			return w.fail(err)
+		}
+	}
+	return w.commit()
+}

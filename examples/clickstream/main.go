@@ -1,0 +1,98 @@
+// Clickstream: the paper's Examples 3–5 end to end — a derived stream
+// (CREATE STREAM … AS), a channel archiving it into an Active Table, ad
+// hoc SQL over the Active Table, and the Example 5 stream-table join that
+// compares current metrics with historical ones.
+//
+//	go run ./examples/clickstream
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"streamrel"
+	"streamrel/internal/workload"
+)
+
+func main() {
+	eng, err := streamrel.Open(streamrel.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	// Examples 1, 3, 4: stream → always-on derived stream → channel into
+	// an ordinary SQL table, which the channel keeps continuously updated
+	// (an Active Table).
+	err = eng.ExecScript(`
+		CREATE STREAM url_stream (
+			url varchar(1024), atime timestamp CQTIME USER, client_ip varchar(50));
+
+		CREATE STREAM urls_now AS
+			SELECT url, count(*) AS scnt, cq_close(*)
+			FROM url_stream <VISIBLE '5 minutes' ADVANCE '1 minute'>
+			GROUP BY url;
+
+		CREATE TABLE urls_archive (url varchar(1024), scnt bigint, stime timestamp);
+		CREATE CHANNEL urls_channel FROM urls_now INTO urls_archive APPEND;
+		CREATE INDEX urls_archive_stime ON urls_archive (stime);
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Example 5: a continuous query joining the stream's current window
+	// against the Active Table's past — "this 5-minute total vs the total
+	// ten minutes ago".
+	histo, err := eng.Subscribe(`
+		SELECT c.scnt AS current_total, h.scnt AS past, c.stime
+		FROM (SELECT sum(scnt) AS scnt, cq_close(*) AS stime
+		      FROM urls_now <SLICES 1 WINDOWS>) c,
+		     urls_archive h
+		WHERE c.stime - '10 minutes'::interval = h.stime
+		  AND h.url = '/page/0000'`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer histo.Close()
+
+	// Stream 30 minutes of traffic.
+	gen := workload.NewClickstream(workload.ClickConfig{
+		Seed: 7, EventsPerSec: 150,
+		Start: streamrel.MustTimestamp("2009-01-04 09:00:00"),
+	})
+	if err := eng.Append("url_stream", gen.Take(270_000)...); err != nil {
+		log.Fatal(err)
+	}
+	eng.AdvanceTime("url_stream", time.UnixMicro(gen.Now()).UTC().Add(time.Minute))
+
+	// The Active Table is a full SQL table: report over it with plain SQL.
+	fmt.Println("== ad hoc SQL over the Active Table ==")
+	rows, err := eng.Query(`
+		SELECT url, max(scnt) AS peak_5min
+		FROM urls_archive
+		GROUP BY url
+		ORDER BY peak_5min DESC
+		LIMIT 5`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("url | peak 5-minute hits")
+	for _, r := range rows.Data {
+		fmt.Printf("%s | %s\n", r[0], r[1])
+	}
+
+	fmt.Println("\n== Example 5: current vs 10-minutes-ago (hottest page) ==")
+	n := 0
+	for _, b := range histo.Drain() {
+		for _, r := range b.Rows {
+			fmt.Printf("at %s: 5-min site total now %s; page /page/0000 had %s ten minutes ago\n",
+				r[2].Time().Format("15:04"), r[0], r[1])
+			n++
+			if n >= 8 {
+				return
+			}
+		}
+	}
+}

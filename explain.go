@@ -1,0 +1,49 @@
+package streamrel
+
+import (
+	"fmt"
+
+	"streamrel/internal/sql"
+	"streamrel/internal/types"
+)
+
+// execExplain reports what the planner decided for a statement: snapshot
+// vs continuous, the windowed stream, whether the shared slice path
+// applies, and the output schema. (Operator-level plan trees are an
+// implementation detail; this surfaces the decisions that matter in this
+// architecture.)
+func (e *Engine) execExplain(s *sql.Explain) (*Result, error) {
+	sel, ok := s.Stmt.(*sql.Select)
+	if !ok {
+		return nil, fmt.Errorf("streamrel: EXPLAIN supports SELECT")
+	}
+	p, err := e.planner.BuildSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	var lines []string
+	if p.Stream == nil {
+		lines = append(lines, "Snapshot Query (SQ): runs once over an MVCC snapshot")
+	} else {
+		lines = append(lines, "Continuous Query (CQ): runs per window close")
+		lines = append(lines, fmt.Sprintf("  stream: %s %s", p.Stream.Name, p.Stream.Window.String()))
+		if p.StreamAgg != nil {
+			lines = append(lines, "  shared slice aggregation: eligible")
+			lines = append(lines, "  fingerprint: "+p.StreamAgg.Fingerprint)
+		} else {
+			lines = append(lines, "  shared slice aggregation: not applicable (per-window plan)")
+		}
+		if p.CloseCol >= 0 {
+			lines = append(lines, fmt.Sprintf("  cq_close(*) output column: %d", p.CloseCol+1))
+		}
+	}
+	lines = append(lines, "  output: "+p.Columns.String())
+	rows := make([]Row, len(lines))
+	for i, l := range lines {
+		rows[i] = Row{types.NewString(l)}
+	}
+	return &Result{Rows: &Rows{
+		Columns: Schema{{Name: "plan", Type: types.TypeString}},
+		Data:    rows,
+	}}, nil
+}

@@ -1,0 +1,3 @@
+module streamrel
+
+go 1.22

@@ -1,0 +1,152 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"streamrel/internal/types"
+)
+
+func TestMapReduceWordCountStyle(t *testing.T) {
+	mr := &MapReduce{Dir: t.TempDir(), Partitions: 3}
+	var rows []types.Row
+	urls := []string{"/a", "/b", "/a", "/c", "/a", "/b"}
+	for _, u := range urls {
+		rows = append(rows, types.Row{types.NewString(u), types.NewInt(1)})
+	}
+	if err := mr.WriteInput("events", rows); err != nil {
+		t.Fatal(err)
+	}
+	out, err := mr.Run("events",
+		func(row types.Row, emit func(string, types.Row)) {
+			emit(row[0].Str(), types.Row{types.NewInt(1)})
+		},
+		func(key string, values []types.Row, emit func(types.Row)) {
+			var n int64
+			for _, v := range values {
+				n += v[0].Int()
+			}
+			emit(types.Row{types.NewString(key), types.NewInt(n)})
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int64{}
+	for _, r := range out {
+		got[r[0].Str()] = r[1].Int()
+	}
+	want := map[string]int64{"/a": 3, "/b": 2, "/c": 1}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("count[%s] = %d, want %d (all: %v)", k, got[k], v, got)
+		}
+	}
+	if mr.InputSize("events") == 0 {
+		t.Fatal("input size")
+	}
+}
+
+func TestMapReduceAppendAndRescan(t *testing.T) {
+	mr := &MapReduce{Dir: t.TempDir()}
+	mk := func(n int) []types.Row {
+		rows := make([]types.Row, n)
+		for i := range rows {
+			rows[i] = types.Row{types.NewString(fmt.Sprintf("k%d", i%4)), types.NewInt(1)}
+		}
+		return rows
+	}
+	if err := mr.WriteInput("in", mk(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := mr.AppendInput("in", mk(10)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := mr.Run("in",
+		func(row types.Row, emit func(string, types.Row)) { emit("all", row) },
+		func(key string, values []types.Row, emit func(types.Row)) {
+			emit(types.Row{types.NewInt(int64(len(values)))})
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0][0].Int() != 20 {
+		t.Fatalf("rescan saw %v", out)
+	}
+}
+
+func TestMapReduceDeterministicOrder(t *testing.T) {
+	mr := &MapReduce{Dir: t.TempDir(), Partitions: 1}
+	var rows []types.Row
+	for i := 0; i < 20; i++ {
+		rows = append(rows, types.Row{types.NewString(fmt.Sprintf("k%02d", 19-i))})
+	}
+	mr.WriteInput("in", rows)
+	out, err := mr.Run("in",
+		func(row types.Row, emit func(string, types.Row)) { emit(row[0].Str(), row) },
+		func(key string, values []types.Row, emit func(types.Row)) {
+			emit(types.Row{types.NewString(key)})
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, len(out))
+	for i, r := range out {
+		keys[i] = r[0].Str()
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Fatalf("reduce output not key-sorted within partition: %v", keys)
+	}
+}
+
+func TestMapReduceMissingInput(t *testing.T) {
+	mr := &MapReduce{Dir: t.TempDir()}
+	_, err := mr.Run("absent",
+		func(types.Row, func(string, types.Row)) {},
+		func(string, []types.Row, func(types.Row)) {})
+	if err == nil {
+		t.Fatal("missing input should error")
+	}
+}
+
+func TestPeriodicMV(t *testing.T) {
+	refreshed := 0
+	mv := &PeriodicMV{
+		Refresh: func() error { refreshed++; return nil },
+		Period:  60_000_000, // 1 minute
+	}
+	// First observation starts the clock, no refresh.
+	if ok, _ := mv.Observe(0); ok {
+		t.Fatal("refresh on first observe")
+	}
+	if ok, _ := mv.Observe(30_000_000); ok {
+		t.Fatal("refresh before period")
+	}
+	if mv.Staleness(30_000_000) != 30_000_000 {
+		t.Fatalf("staleness = %d", mv.Staleness(30_000_000))
+	}
+	if ok, _ := mv.Observe(61_000_000); !ok {
+		t.Fatal("refresh due")
+	}
+	if mv.Staleness(61_000_000) != 1_000_000 {
+		t.Fatalf("staleness after refresh = %d", mv.Staleness(61_000_000))
+	}
+	// A long gap refreshes once and realigns.
+	if ok, _ := mv.Observe(500_000_000); !ok {
+		t.Fatal("refresh after gap")
+	}
+	if mv.Refreshes() != 2 || refreshed != 2 {
+		t.Fatalf("refreshes = %d/%d", mv.Refreshes(), refreshed)
+	}
+}
+
+func TestPeriodicMVRefreshError(t *testing.T) {
+	mv := &PeriodicMV{
+		Refresh: func() error { return fmt.Errorf("boom") },
+		Period:  10,
+	}
+	mv.Observe(0)
+	if _, err := mv.Observe(20); err == nil {
+		t.Fatal("refresh error swallowed")
+	}
+}

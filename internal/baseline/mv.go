@@ -1,0 +1,54 @@
+package baseline
+
+// PeriodicMV models the traditional materialized-view maintenance policy
+// the paper contrasts with Active Tables (§5): the view is recomputed in
+// batch on a timer, so between refreshes it serves stale answers, and each
+// refresh pays the full recomputation cost regardless of how little
+// changed.
+//
+// The type is driven by *stream time* (microseconds), not wall-clock, so
+// experiments are deterministic: call Observe as event time advances.
+type PeriodicMV struct {
+	// Refresh recomputes the view (typically TRUNCATE + INSERT…SELECT over
+	// the raw table).
+	Refresh func() error
+	// Period is the refresh interval in microseconds of stream time.
+	Period int64
+
+	lastRefresh int64
+	started     bool
+	refreshes   int
+}
+
+// Observe advances stream time; when a full period has elapsed the view
+// refreshes. It returns whether a refresh ran.
+func (mv *PeriodicMV) Observe(now int64) (bool, error) {
+	if !mv.started {
+		mv.started = true
+		mv.lastRefresh = now
+		return false, nil
+	}
+	if now-mv.lastRefresh < mv.Period {
+		return false, nil
+	}
+	if err := mv.Refresh(); err != nil {
+		return false, err
+	}
+	// Align to period boundaries so refresh cadence is stable even when
+	// observations are sparse.
+	mv.lastRefresh += (now - mv.lastRefresh) / mv.Period * mv.Period
+	mv.refreshes++
+	return true, nil
+}
+
+// Staleness returns how far behind the view's contents are at stream time
+// now: the time since the data captured by the last refresh.
+func (mv *PeriodicMV) Staleness(now int64) int64 {
+	if !mv.started {
+		return 0
+	}
+	return now - mv.lastRefresh
+}
+
+// Refreshes returns how many refreshes have run.
+func (mv *PeriodicMV) Refreshes() int { return mv.refreshes }

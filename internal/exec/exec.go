@@ -1,0 +1,68 @@
+// Package exec implements the iterator-style (Volcano) relational
+// operators. Per the paper (§4), continuous-query plans "reuse the
+// existing implementations of standard, well understood, iterator-style
+// relational query operators (e.g., filters, joins, aggregates, sort)":
+// the same operators here execute both snapshot queries over tables and
+// each per-window evaluation of a continuous query.
+package exec
+
+import (
+	"time"
+
+	"streamrel/internal/expr"
+	"streamrel/internal/txn"
+	"streamrel/internal/types"
+)
+
+// Ctx carries per-execution state: the MVCC snapshot for table reads
+// (window consistency hands CQs a fresh one per window close) and the
+// window-close timestamp for cq_close(*).
+type Ctx struct {
+	Snap        txn.Snapshot
+	WindowClose types.Datum
+	Now         func() time.Time
+}
+
+// exprCtx builds the expression-evaluation context for a row.
+func (c *Ctx) exprCtx(row types.Row) *expr.Ctx {
+	return &expr.Ctx{Row: row, WindowClose: c.WindowClose, Now: c.Now}
+}
+
+// Operator is a pull-based iterator over rows. The contract: Open before
+// Next; Next returns (nil, nil) at end of stream; Close releases state and
+// is idempotent. Operators are single-use: build a fresh tree per
+// execution.
+type Operator interface {
+	Open(ctx *Ctx) error
+	Next() (types.Row, error)
+	Close() error
+}
+
+// Drain runs an operator to completion and collects its output.
+func Drain(ctx *Ctx, op Operator) ([]types.Row, error) {
+	if err := op.Open(ctx); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var out []types.Row
+	for {
+		row, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			return out, nil
+		}
+		out = append(out, row)
+	}
+}
+
+// evalPred evaluates a predicate under SQL semantics: NULL means the row
+// does not qualify.
+func evalPred(ctx *Ctx, pred *expr.Scalar, row types.Row) (bool, error) {
+	v, err := pred.Eval(ctx.exprCtx(row))
+	if err != nil {
+		return false, err
+	}
+	return !v.IsNull() && v.Bool(), nil
+}

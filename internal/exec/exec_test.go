@@ -1,0 +1,339 @@
+package exec
+
+import (
+	"testing"
+
+	"streamrel/internal/expr"
+	"streamrel/internal/storage"
+	"streamrel/internal/txn"
+	"streamrel/internal/types"
+)
+
+func irow(vs ...int64) types.Row {
+	r := make(types.Row, len(vs))
+	for i, v := range vs {
+		r[i] = types.NewInt(v)
+	}
+	return r
+}
+
+// col returns a scalar projecting column i.
+func col(i int) *expr.Scalar {
+	return &expr.Scalar{
+		Type: types.TypeInt,
+		Eval: func(ctx *expr.Ctx) (types.Datum, error) { return ctx.Row[i], nil },
+	}
+}
+
+// constScalar returns a scalar producing d.
+func constScalar(d types.Datum) *expr.Scalar {
+	return &expr.Scalar{Type: d.Type(), Eval: func(*expr.Ctx) (types.Datum, error) { return d, nil }}
+}
+
+// predCol returns a predicate fn(row) built from a Go closure.
+func predFn(f func(types.Row) bool) *expr.Scalar {
+	return &expr.Scalar{Type: types.TypeBool, Eval: func(ctx *expr.Ctx) (types.Datum, error) {
+		return types.NewBool(f(ctx.Row)), nil
+	}}
+}
+
+func run(t *testing.T, op Operator) []types.Row {
+	t.Helper()
+	rows, err := Drain(&Ctx{}, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestValuesAndRelation(t *testing.T) {
+	rows := run(t, &Values{Rows: []types.Row{irow(1), irow(2)}})
+	if len(rows) != 2 {
+		t.Fatal("values")
+	}
+	rows = run(t, &Relation{Rows: []types.Row{irow(3)}})
+	if len(rows) != 1 || rows[0][0].Int() != 3 {
+		t.Fatal("relation")
+	}
+}
+
+func TestSeqScanVisibility(t *testing.T) {
+	mgr := txn.NewManager()
+	h := storage.NewHeap("t", types.Schema{{Name: "a", Type: types.TypeInt}})
+	tx := mgr.Begin()
+	h.Insert(tx.ID, irow(1))
+	tx.Commit()
+	tx2 := mgr.Begin()
+	h.Insert(tx2.ID, irow(2)) // uncommitted
+
+	rows, err := Drain(&Ctx{Snap: mgr.SnapshotNow()}, &SeqScan{Heap: h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0].Int() != 1 {
+		t.Fatalf("scan saw %v", rows)
+	}
+	tx2.Abort()
+}
+
+func TestFilterProject(t *testing.T) {
+	src := &Values{Rows: []types.Row{irow(1), irow(2), irow(3), irow(4)}}
+	f := &Filter{Child: src, Pred: predFn(func(r types.Row) bool { return r[0].Int()%2 == 0 })}
+	p := &Project{Child: f, Exprs: []*expr.Scalar{
+		{Eval: func(ctx *expr.Ctx) (types.Datum, error) {
+			return types.NewInt(ctx.Row[0].Int() * 10), nil
+		}},
+	}}
+	rows := run(t, p)
+	if len(rows) != 2 || rows[0][0].Int() != 20 || rows[1][0].Int() != 40 {
+		t.Fatalf("got %v", rows)
+	}
+}
+
+func TestLimitOffset(t *testing.T) {
+	mk := func() Operator {
+		return &Values{Rows: []types.Row{irow(1), irow(2), irow(3), irow(4), irow(5)}}
+	}
+	rows := run(t, &Limit{Child: mk(), Count: 2, Offset: 1})
+	if len(rows) != 2 || rows[0][0].Int() != 2 {
+		t.Fatalf("limit 2 offset 1: %v", rows)
+	}
+	rows = run(t, &Limit{Child: mk(), Count: -1, Offset: 3})
+	if len(rows) != 2 {
+		t.Fatalf("offset only: %v", rows)
+	}
+	rows = run(t, &Limit{Child: mk(), Count: 0, Offset: 0})
+	if len(rows) != 0 {
+		t.Fatalf("limit 0: %v", rows)
+	}
+}
+
+func TestSort(t *testing.T) {
+	src := &Values{Rows: []types.Row{irow(3, 1), irow(1, 2), irow(2, 3), irow(1, 1)}}
+	s := &Sort{Child: src, Keys: []SortKey{{Expr: col(0)}, {Expr: col(1), Desc: true}}}
+	rows := run(t, s)
+	want := [][2]int64{{1, 2}, {1, 1}, {2, 3}, {3, 1}}
+	for i, w := range want {
+		if rows[i][0].Int() != w[0] || rows[i][1].Int() != w[1] {
+			t.Fatalf("row %d: %v, want %v", i, rows[i], w)
+		}
+	}
+}
+
+func TestSortNullsFirst(t *testing.T) {
+	src := &Values{Rows: []types.Row{{types.NewInt(1)}, {types.Null}, {types.NewInt(0)}}}
+	rows := run(t, &Sort{Child: src, Keys: []SortKey{{Expr: col(0)}}})
+	if !rows[0][0].IsNull() {
+		t.Fatal("NULL should sort first ascending")
+	}
+	src2 := &Values{Rows: []types.Row{{types.NewInt(1)}, {types.Null}, {types.NewInt(0)}}}
+	rows = run(t, &Sort{Child: src2, Keys: []SortKey{{Expr: col(0), Desc: true}}})
+	if !rows[2][0].IsNull() {
+		t.Fatal("NULL should sort last descending")
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	src := &Values{Rows: []types.Row{irow(1), irow(2), irow(1), {types.Null}, {types.Null}}}
+	rows := run(t, &Distinct{Child: src})
+	if len(rows) != 3 {
+		t.Fatalf("distinct: %v", rows)
+	}
+}
+
+func TestHashJoinInner(t *testing.T) {
+	left := &Values{Rows: []types.Row{irow(1, 10), irow(2, 20), irow(3, 30)}}
+	right := &Values{Rows: []types.Row{irow(2, 200), irow(3, 300), irow(3, 301), irow(4, 400)}}
+	j := &HashJoin{
+		Left: left, Right: right,
+		LeftKeys: []*expr.Scalar{col(0)}, RightKeys: []*expr.Scalar{col(0)},
+		Type: JoinInner, LeftWidth: 2, RightWidth: 2,
+	}
+	rows := run(t, j)
+	if len(rows) != 3 {
+		t.Fatalf("inner join rows: %v", rows)
+	}
+	for _, r := range rows {
+		if r[0].Int() != r[2].Int() {
+			t.Fatalf("join key mismatch: %v", r)
+		}
+	}
+}
+
+func TestHashJoinLeftOuter(t *testing.T) {
+	left := &Values{Rows: []types.Row{irow(1), irow(2)}}
+	right := &Values{Rows: []types.Row{irow(2, 20)}}
+	j := &HashJoin{
+		Left: left, Right: right,
+		LeftKeys: []*expr.Scalar{col(0)}, RightKeys: []*expr.Scalar{col(0)},
+		Type: JoinLeft, LeftWidth: 1, RightWidth: 2,
+	}
+	rows := run(t, j)
+	if len(rows) != 2 {
+		t.Fatalf("left join rows: %v", rows)
+	}
+	var sawPadded bool
+	for _, r := range rows {
+		if r[0].Int() == 1 {
+			if !r[1].IsNull() || !r[2].IsNull() {
+				t.Fatalf("unmatched row not padded: %v", r)
+			}
+			sawPadded = true
+		}
+	}
+	if !sawPadded {
+		t.Fatal("missing padded row")
+	}
+}
+
+func TestHashJoinFullOuter(t *testing.T) {
+	left := &Values{Rows: []types.Row{irow(1), irow(2)}}
+	right := &Values{Rows: []types.Row{irow(2), irow(3)}}
+	j := &HashJoin{
+		Left: left, Right: right,
+		LeftKeys: []*expr.Scalar{col(0)}, RightKeys: []*expr.Scalar{col(0)},
+		Type: JoinFull, LeftWidth: 1, RightWidth: 1,
+	}
+	rows := run(t, j)
+	if len(rows) != 3 {
+		t.Fatalf("full join rows: %d %v", len(rows), rows)
+	}
+}
+
+func TestHashJoinNullKeysNeverMatch(t *testing.T) {
+	left := &Values{Rows: []types.Row{{types.Null}}}
+	right := &Values{Rows: []types.Row{{types.Null}}}
+	j := &HashJoin{
+		Left: left, Right: right,
+		LeftKeys: []*expr.Scalar{col(0)}, RightKeys: []*expr.Scalar{col(0)},
+		Type: JoinInner, LeftWidth: 1, RightWidth: 1,
+	}
+	if rows := run(t, j); len(rows) != 0 {
+		t.Fatalf("NULL keys joined: %v", rows)
+	}
+}
+
+func TestNestedLoopJoin(t *testing.T) {
+	left := &Values{Rows: []types.Row{irow(1), irow(5)}}
+	right := &Values{Rows: []types.Row{irow(2), irow(6)}}
+	// Non-equi: l.a < r.a
+	j := &NestedLoopJoin{
+		Left: left, Right: right, Type: JoinInner, RightWidth: 1,
+		Pred: predFn(func(r types.Row) bool { return r[0].Int() < r[1].Int() }),
+	}
+	rows := run(t, j)
+	if len(rows) != 3 {
+		t.Fatalf("nl join: %v", rows)
+	}
+	// Cross join.
+	j2 := &NestedLoopJoin{
+		Left:  &Values{Rows: []types.Row{irow(1), irow(2)}},
+		Right: &Values{Rows: []types.Row{irow(3), irow(4)}},
+		Type:  JoinCross, RightWidth: 1,
+	}
+	if rows := run(t, j2); len(rows) != 4 {
+		t.Fatalf("cross join: %v", rows)
+	}
+}
+
+func TestHashAggGrouped(t *testing.T) {
+	src := &Values{Rows: []types.Row{irow(1, 10), irow(1, 20), irow(2, 5)}}
+	agg := &HashAgg{
+		Child:   src,
+		GroupBy: []*expr.Scalar{col(0)},
+		Aggs: []expr.AggSpec{
+			{Name: "count", Star: true},
+			{Name: "sum", Arg: col(1)},
+		},
+		SortedOutput: true,
+	}
+	rows := run(t, agg)
+	if len(rows) != 2 {
+		t.Fatalf("groups: %v", rows)
+	}
+	byKey := map[int64][2]int64{}
+	for _, r := range rows {
+		byKey[r[0].Int()] = [2]int64{r[1].Int(), r[2].Int()}
+	}
+	if byKey[1] != [2]int64{2, 30} || byKey[2] != [2]int64{1, 5} {
+		t.Fatalf("agg results: %v", byKey)
+	}
+}
+
+func TestHashAggScalarOnEmptyInput(t *testing.T) {
+	agg := &HashAgg{
+		Child: &Values{},
+		Aggs: []expr.AggSpec{
+			{Name: "count", Star: true},
+			{Name: "sum", Arg: col(0)},
+		},
+	}
+	rows := run(t, agg)
+	if len(rows) != 1 {
+		t.Fatalf("scalar agg on empty input must return one row: %v", rows)
+	}
+	if rows[0][0].Int() != 0 || !rows[0][1].IsNull() {
+		t.Fatalf("defaults: %v", rows[0])
+	}
+	// But with GROUP BY, empty input yields no rows.
+	agg2 := &HashAgg{Child: &Values{}, GroupBy: []*expr.Scalar{col(0)},
+		Aggs: []expr.AggSpec{{Name: "count", Star: true}}}
+	if rows := run(t, agg2); len(rows) != 0 {
+		t.Fatalf("grouped agg on empty input: %v", rows)
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	mk := func(vals ...int64) Operator {
+		rows := make([]types.Row, len(vals))
+		for i, v := range vals {
+			rows[i] = irow(v)
+		}
+		return &Values{Rows: rows}
+	}
+	rows := run(t, &SetOp{Kind: SetUnion, Left: mk(1, 2, 2), Right: mk(2, 3)})
+	if len(rows) != 3 {
+		t.Fatalf("union: %v", rows)
+	}
+	rows = run(t, &SetOp{Kind: SetUnion, All: true, Left: mk(1, 2, 2), Right: mk(2, 3)})
+	if len(rows) != 5 {
+		t.Fatalf("union all: %v", rows)
+	}
+	rows = run(t, &SetOp{Kind: SetExcept, Left: mk(1, 2, 2, 3), Right: mk(2)})
+	if len(rows) != 2 {
+		t.Fatalf("except: %v", rows)
+	}
+	rows = run(t, &SetOp{Kind: SetExcept, All: true, Left: mk(1, 2, 2, 3), Right: mk(2)})
+	if len(rows) != 3 {
+		t.Fatalf("except all: %v", rows)
+	}
+	rows = run(t, &SetOp{Kind: SetIntersect, Left: mk(1, 2, 2, 3), Right: mk(2, 3, 4)})
+	if len(rows) != 2 {
+		t.Fatalf("intersect: %v", rows)
+	}
+}
+
+func TestIndexScan(t *testing.T) {
+	mgr := txn.NewManager()
+	h := storage.NewHeap("t", types.Schema{{Name: "a", Type: types.TypeInt}, {Name: "b", Type: types.TypeInt}})
+	tree := storage.NewBTree()
+	tx := mgr.Begin()
+	for i := int64(0); i < 100; i++ {
+		rid, _ := h.Insert(tx.ID, irow(i, i*10))
+		tree.Insert(types.Row{types.NewInt(i)}, rid)
+	}
+	tx.Commit()
+	ix := &IndexScan{
+		Heap: h,
+		Tree: tree,
+		Lo:   constScalar(types.NewInt(10)),
+		Hi:   constScalar(types.NewInt(15)),
+	}
+	rows, err := Drain(&Ctx{Snap: mgr.SnapshotNow()}, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 || rows[0][0].Int() != 10 || rows[5][0].Int() != 15 {
+		t.Fatalf("index range: %v", rows)
+	}
+}

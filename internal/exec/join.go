@@ -1,0 +1,265 @@
+package exec
+
+import (
+	"streamrel/internal/expr"
+	"streamrel/internal/types"
+)
+
+// JoinType mirrors the SQL join variants for the executor.
+type JoinType int
+
+// Join types.
+const (
+	JoinInner JoinType = iota
+	JoinLeft
+	JoinRight
+	JoinFull
+	JoinCross
+)
+
+// HashJoin joins on equality of LeftKeys and RightKeys, building a hash
+// table over the right input and probing with the left. Residual is an
+// optional extra predicate evaluated over the concatenated row. LEFT and
+// FULL outer are supported natively; the planner swaps inputs to express
+// RIGHT outer as LEFT.
+type HashJoin struct {
+	Left, Right           Operator
+	LeftKeys, RightKeys   []*expr.Scalar
+	Type                  JoinType
+	Residual              *expr.Scalar
+	LeftWidth, RightWidth int // column counts, for NULL padding
+
+	ctx       *Ctx
+	table     map[string][]buildRow
+	leftRow   types.Row
+	matches   []buildRow
+	matchPos  int
+	leftDone  bool
+	leftMatch bool
+	// FULL outer: unmatched build rows are emitted after the probe.
+	unmatched    []types.Row
+	unmatchedPos int
+}
+
+type buildRow struct {
+	row     types.Row
+	matched *bool
+}
+
+// Open implements Operator.
+func (j *HashJoin) Open(ctx *Ctx) error {
+	j.ctx = ctx
+	j.table = make(map[string][]buildRow)
+	j.leftRow = nil
+	j.matches = nil
+	j.leftDone = false
+	j.unmatched = nil
+	j.unmatchedPos = 0
+	rows, err := Drain(ctx, j.Right)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		key, null, err := j.keyOf(r, j.RightKeys)
+		if err != nil {
+			return err
+		}
+		br := buildRow{row: r}
+		if j.Type == JoinFull || j.Type == JoinRight {
+			br.matched = new(bool)
+		}
+		if null {
+			// NULL keys never join, but FULL/RIGHT outer must still emit
+			// the build row padded with NULLs.
+			if j.Type == JoinFull || j.Type == JoinRight {
+				j.unmatched = append(j.unmatched, r)
+			}
+			continue
+		}
+		j.table[key] = append(j.table[key], br)
+	}
+	return j.Left.Open(ctx)
+}
+
+func (j *HashJoin) keyOf(row types.Row, keys []*expr.Scalar) (string, bool, error) {
+	vals := make(types.Row, len(keys))
+	ec := j.ctx.exprCtx(row)
+	for i, k := range keys {
+		v, err := k.Eval(ec)
+		if err != nil {
+			return "", false, err
+		}
+		if v.IsNull() {
+			return "", true, nil
+		}
+		vals[i] = v
+	}
+	return vals.Key(), false, nil
+}
+
+// Next implements Operator.
+func (j *HashJoin) Next() (types.Row, error) {
+	for {
+		// Emit pending matches for the current probe row.
+		for j.matchPos < len(j.matches) {
+			m := j.matches[j.matchPos]
+			j.matchPos++
+			out := concatRows(j.leftRow, m.row)
+			if j.Residual != nil {
+				ok, err := evalPred(j.ctx, j.Residual, out)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			j.leftMatch = true
+			if m.matched != nil {
+				*m.matched = true
+			}
+			return out, nil
+		}
+		// Current probe row exhausted: left-outer padding if unmatched.
+		if j.leftRow != nil && !j.leftMatch && (j.Type == JoinLeft || j.Type == JoinFull) {
+			out := concatRows(j.leftRow, nullRow(j.RightWidth))
+			j.leftRow = nil
+			return out, nil
+		}
+		j.leftRow = nil
+		if !j.leftDone {
+			row, err := j.Left.Next()
+			if err != nil {
+				return nil, err
+			}
+			if row == nil {
+				j.leftDone = true
+				if j.Type == JoinFull || j.Type == JoinRight {
+					j.collectUnmatched()
+				}
+				continue
+			}
+			j.leftRow = row
+			j.leftMatch = false
+			j.matchPos = 0
+			key, null, err := j.keyOf(row, j.LeftKeys)
+			if err != nil {
+				return nil, err
+			}
+			if null {
+				j.matches = nil
+			} else {
+				j.matches = j.table[key]
+			}
+			continue
+		}
+		// FULL outer tail: unmatched build rows padded with NULL left.
+		if j.unmatchedPos < len(j.unmatched) {
+			r := j.unmatched[j.unmatchedPos]
+			j.unmatchedPos++
+			return concatRows(nullRow(j.LeftWidth), r), nil
+		}
+		return nil, nil
+	}
+}
+
+func (j *HashJoin) collectUnmatched() {
+	for _, bucket := range j.table {
+		for _, br := range bucket {
+			if br.matched != nil && !*br.matched {
+				j.unmatched = append(j.unmatched, br.row)
+			}
+		}
+	}
+}
+
+// Close implements Operator.
+func (j *HashJoin) Close() error {
+	j.table = nil
+	j.unmatched = nil
+	return j.Left.Close()
+}
+
+// NestedLoopJoin joins on an arbitrary predicate by buffering the right
+// input and scanning it per probe row. It handles CROSS joins (nil
+// predicate) and non-equi conditions; LEFT outer is supported.
+type NestedLoopJoin struct {
+	Left, Right Operator
+	Pred        *expr.Scalar // nil for CROSS
+	Type        JoinType
+	RightWidth  int
+
+	ctx       *Ctx
+	right     []types.Row
+	leftRow   types.Row
+	rightPos  int
+	leftMatch bool
+}
+
+// Open implements Operator.
+func (j *NestedLoopJoin) Open(ctx *Ctx) error {
+	j.ctx = ctx
+	j.leftRow = nil
+	var err error
+	if j.right, err = Drain(ctx, j.Right); err != nil {
+		return err
+	}
+	return j.Left.Open(ctx)
+}
+
+// Next implements Operator.
+func (j *NestedLoopJoin) Next() (types.Row, error) {
+	for {
+		if j.leftRow == nil {
+			row, err := j.Left.Next()
+			if err != nil || row == nil {
+				return nil, err
+			}
+			j.leftRow = row
+			j.rightPos = 0
+			j.leftMatch = false
+		}
+		for j.rightPos < len(j.right) {
+			r := j.right[j.rightPos]
+			j.rightPos++
+			out := concatRows(j.leftRow, r)
+			if j.Pred != nil {
+				ok, err := evalPred(j.ctx, j.Pred, out)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			j.leftMatch = true
+			return out, nil
+		}
+		if !j.leftMatch && j.Type == JoinLeft {
+			out := concatRows(j.leftRow, nullRow(j.RightWidth))
+			j.leftRow = nil
+			return out, nil
+		}
+		j.leftRow = nil
+	}
+}
+
+// Close implements Operator.
+func (j *NestedLoopJoin) Close() error {
+	j.right = nil
+	return j.Left.Close()
+}
+
+func concatRows(l, r types.Row) types.Row {
+	out := make(types.Row, 0, len(l)+len(r))
+	out = append(out, l...)
+	return append(out, r...)
+}
+
+func nullRow(n int) types.Row {
+	out := make(types.Row, n)
+	for i := range out {
+		out[i] = types.Null
+	}
+	return out
+}

@@ -1,0 +1,349 @@
+package exec
+
+import (
+	"sort"
+
+	"streamrel/internal/expr"
+	"streamrel/internal/types"
+)
+
+// Filter passes through rows for which Pred is true.
+type Filter struct {
+	Child Operator
+	Pred  *expr.Scalar
+
+	ctx *Ctx
+}
+
+// Open implements Operator.
+func (f *Filter) Open(ctx *Ctx) error {
+	f.ctx = ctx
+	return f.Child.Open(ctx)
+}
+
+// Next implements Operator.
+func (f *Filter) Next() (types.Row, error) {
+	for {
+		row, err := f.Child.Next()
+		if err != nil || row == nil {
+			return nil, err
+		}
+		ok, err := evalPred(f.ctx, f.Pred, row)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return row, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (f *Filter) Close() error { return f.Child.Close() }
+
+// Project evaluates one output expression per column.
+type Project struct {
+	Child Operator
+	Exprs []*expr.Scalar
+
+	ctx *Ctx
+}
+
+// Open implements Operator.
+func (p *Project) Open(ctx *Ctx) error {
+	p.ctx = ctx
+	return p.Child.Open(ctx)
+}
+
+// Next implements Operator.
+func (p *Project) Next() (types.Row, error) {
+	row, err := p.Child.Next()
+	if err != nil || row == nil {
+		return nil, err
+	}
+	out := make(types.Row, len(p.Exprs))
+	ec := p.ctx.exprCtx(row)
+	for i, e := range p.Exprs {
+		if out[i], err = e.Eval(ec); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Close implements Operator.
+func (p *Project) Close() error { return p.Child.Close() }
+
+// Limit implements LIMIT/OFFSET.
+type Limit struct {
+	Child  Operator
+	Count  int64 // -1 means no limit
+	Offset int64
+
+	skipped int64
+	emitted int64
+}
+
+// Open implements Operator.
+func (l *Limit) Open(ctx *Ctx) error {
+	l.skipped, l.emitted = 0, 0
+	return l.Child.Open(ctx)
+}
+
+// Next implements Operator.
+func (l *Limit) Next() (types.Row, error) {
+	for l.skipped < l.Offset {
+		row, err := l.Child.Next()
+		if err != nil || row == nil {
+			return nil, err
+		}
+		l.skipped++
+	}
+	if l.Count >= 0 && l.emitted >= l.Count {
+		return nil, nil
+	}
+	row, err := l.Child.Next()
+	if err != nil || row == nil {
+		return nil, err
+	}
+	l.emitted++
+	return row, nil
+}
+
+// Close implements Operator.
+func (l *Limit) Close() error { return l.Child.Close() }
+
+// SortKey is one ORDER BY key.
+type SortKey struct {
+	Expr *expr.Scalar
+	Desc bool
+	// NullsFirst/NullsLast force NULL placement; when neither is set,
+	// NULLs follow the total order (first ascending, last descending).
+	NullsFirst bool
+	NullsLast  bool
+}
+
+// Sort materializes its input and emits it ordered by Keys. NULLs sort
+// first on ascending keys (types.Compare's total order), last on
+// descending.
+type Sort struct {
+	Child Operator
+	Keys  []SortKey
+
+	rows []types.Row
+	pos  int
+}
+
+// Open implements Operator.
+func (s *Sort) Open(ctx *Ctx) error {
+	s.rows = nil
+	s.pos = 0
+	if err := s.Child.Open(ctx); err != nil {
+		return err
+	}
+	defer s.Child.Close()
+	type keyed struct {
+		row  types.Row
+		keys types.Row
+	}
+	var all []keyed
+	for {
+		row, err := s.Child.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		ks := make(types.Row, len(s.Keys))
+		ec := ctx.exprCtx(row)
+		for i, k := range s.Keys {
+			if ks[i], err = k.Expr.Eval(ec); err != nil {
+				return err
+			}
+		}
+		all = append(all, keyed{row, ks})
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		for k := range s.Keys {
+			key := s.Keys[k]
+			a, b := all[i].keys[k], all[j].keys[k]
+			an, bn := a.IsNull(), b.IsNull()
+			if an || bn {
+				if an && bn {
+					continue
+				}
+				// Explicit placement overrides the total order.
+				if key.NullsFirst {
+					return an
+				}
+				if key.NullsLast {
+					return bn
+				}
+			}
+			c := types.Compare(a, b)
+			if c == 0 {
+				continue
+			}
+			if key.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	s.rows = make([]types.Row, len(all))
+	for i, a := range all {
+		s.rows[i] = a.row
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (s *Sort) Next() (types.Row, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, nil
+}
+
+// Close implements Operator.
+func (s *Sort) Close() error { s.rows = nil; return nil }
+
+// Distinct removes duplicate rows (SQL DISTINCT: NULLs compare equal).
+type Distinct struct {
+	Child Operator
+
+	seen map[string]struct{}
+}
+
+// Open implements Operator.
+func (d *Distinct) Open(ctx *Ctx) error {
+	d.seen = make(map[string]struct{})
+	return d.Child.Open(ctx)
+}
+
+// Next implements Operator.
+func (d *Distinct) Next() (types.Row, error) {
+	for {
+		row, err := d.Child.Next()
+		if err != nil || row == nil {
+			return nil, err
+		}
+		k := row.Key()
+		if _, dup := d.seen[k]; dup {
+			continue
+		}
+		d.seen[k] = struct{}{}
+		return row, nil
+	}
+}
+
+// Close implements Operator.
+func (d *Distinct) Close() error { d.seen = nil; return d.Child.Close() }
+
+// SetOpKind mirrors sql.SetOpKind without importing it (exec stays
+// front-end-agnostic).
+type SetOpKind int
+
+// Set operation kinds.
+const (
+	SetUnion SetOpKind = iota
+	SetExcept
+	SetIntersect
+)
+
+// SetOp implements UNION/EXCEPT/INTERSECT, with and without ALL, by
+// hashing the right side.
+type SetOp struct {
+	Kind        SetOpKind
+	All         bool
+	Left, Right Operator
+
+	rows []types.Row
+	pos  int
+}
+
+// Open implements Operator: both sides are evaluated eagerly.
+func (s *SetOp) Open(ctx *Ctx) error {
+	s.rows = nil
+	s.pos = 0
+	left, err := Drain(ctx, s.Left)
+	if err != nil {
+		return err
+	}
+	right, err := Drain(ctx, s.Right)
+	if err != nil {
+		return err
+	}
+	counts := make(map[string]int, len(right))
+	for _, r := range right {
+		counts[r.Key()]++
+	}
+	switch s.Kind {
+	case SetUnion:
+		s.rows = append(left, right...)
+		if !s.All {
+			s.rows = dedup(s.rows)
+		}
+	case SetExcept:
+		for _, r := range left {
+			k := r.Key()
+			if s.All {
+				if counts[k] > 0 {
+					counts[k]--
+					continue
+				}
+				s.rows = append(s.rows, r)
+			} else if counts[k] == 0 {
+				s.rows = append(s.rows, r)
+			}
+		}
+		if !s.All {
+			s.rows = dedup(s.rows)
+		}
+	case SetIntersect:
+		for _, r := range left {
+			k := r.Key()
+			if counts[k] > 0 {
+				if s.All {
+					counts[k]--
+				}
+				s.rows = append(s.rows, r)
+			}
+		}
+		if !s.All {
+			s.rows = dedup(s.rows)
+		}
+	}
+	return nil
+}
+
+func dedup(rows []types.Row) []types.Row {
+	seen := make(map[string]struct{}, len(rows))
+	out := rows[:0]
+	for _, r := range rows {
+		k := r.Key()
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Next implements Operator.
+func (s *SetOp) Next() (types.Row, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, nil
+}
+
+// Close implements Operator.
+func (s *SetOp) Close() error { s.rows = nil; return nil }

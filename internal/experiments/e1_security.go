@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"streamrel"
+	"streamrel/internal/workload"
+)
+
+// securityReportSQL is the §4 case study's report: top denied sources.
+const securityReportBatch = `
+	SELECT src_ip, count(*) AS denials
+	FROM sec_events
+	WHERE action = 'deny'
+	GROUP BY src_ip
+	ORDER BY denials DESC, src_ip
+	LIMIT 10`
+
+const securityReportActive = `
+	SELECT src_ip, sum(denials) AS denials
+	FROM deny_archive
+	GROUP BY src_ip
+	ORDER BY denials DESC, src_ip
+	LIMIT 10`
+
+// E1 reproduces the paper's §4 network-security case study: a batch report
+// that took "over 20 minutes" ran "in milliseconds" once the query was run
+// continuously and its results stored in an Active Table. We run the same
+// report both ways over identical synthetic firewall logs and report the
+// per-report latency and the speedup factor. Absolute numbers shrink with
+// laptop-scale data; the orders-of-magnitude gap is the reproduced shape,
+// and E2 shows it widening with volume.
+func E1(s Scale) (*Table, error) {
+	n := s.n(400_000)
+
+	// ---- Store-first-query-later: load raw events, query at report time.
+	batch, err := streamrel.Open(streamrel.Config{})
+	if err != nil {
+		return nil, err
+	}
+	defer batch.Close()
+	if _, err := batch.Exec(`CREATE TABLE sec_events (
+		etime timestamp, src_ip varchar, dst_port bigint, action varchar, bytes bigint)`); err != nil {
+		return nil, err
+	}
+	gen := workload.NewSecurityEvents(workload.SecurityConfig{Seed: 11, EventsPerSec: float64(n) / 600})
+	events := gen.Take(n)
+	loadStart := time.Now()
+	if err := batch.BulkInsert("sec_events", events); err != nil {
+		return nil, err
+	}
+	loadTime := time.Since(loadStart)
+	qStart := time.Now()
+	batchRows, err := batch.Query(securityReportBatch)
+	if err != nil {
+		return nil, err
+	}
+	batchLatency := time.Since(qStart)
+
+	// ---- Continuous Analytics: per-minute deny counts flow into an
+	// Active Table as events arrive; the report reads the table.
+	cont, err := streamrel.Open(streamrel.Config{})
+	if err != nil {
+		return nil, err
+	}
+	defer cont.Close()
+	err = cont.ExecScript(`
+		CREATE STREAM sec_stream (
+			etime timestamp CQTIME USER, src_ip varchar, dst_port bigint,
+			action varchar, bytes bigint);
+		CREATE STREAM deny_now AS
+			SELECT src_ip, count(*) AS denials, cq_close(*)
+			FROM sec_stream <ADVANCE '1 minute'>
+			WHERE action = 'deny'
+			GROUP BY src_ip;
+		CREATE TABLE deny_archive (src_ip varchar, denials bigint, stime timestamp);
+		CREATE CHANNEL deny_ch FROM deny_now INTO deny_archive APPEND;
+	`)
+	if err != nil {
+		return nil, err
+	}
+	gen2 := workload.NewSecurityEvents(workload.SecurityConfig{Seed: 11, EventsPerSec: float64(n) / 600})
+	events2 := gen2.Take(n)
+	ingestStart := time.Now()
+	if err := cont.Append("sec_stream", events2...); err != nil {
+		return nil, err
+	}
+	if err := cont.AdvanceTime("sec_stream", time.UnixMicro(gen2.Now()+60_000_000).UTC()); err != nil {
+		return nil, err
+	}
+	ingestTime := time.Since(ingestStart)
+	qStart = time.Now()
+	contRows, err := cont.Query(securityReportActive)
+	if err != nil {
+		return nil, err
+	}
+	contLatency := time.Since(qStart)
+
+	// Both architectures must agree on the report itself.
+	if err := sameTopReport(batchRows, contRows); err != nil {
+		return nil, err
+	}
+
+	speedup := float64(batchLatency) / float64(contLatency)
+	t := &Table{
+		ID:     "E1",
+		Title:  "§4 case study: network-security report, store-first vs Continuous Analytics",
+		Header: []string{"architecture", "events", "ingest+maintain", "report latency", "speedup"},
+	}
+	t.Rows = [][]string{
+		{"store-first-query-later", fmt.Sprintf("%d", n), fmtDur(loadTime), fmtDur(batchLatency), "1.0×"},
+		{"continuous + active table", fmt.Sprintf("%d", n), fmtDur(ingestTime), fmtDur(contLatency), fmtX(speedup)},
+	}
+	t.Notes = append(t.Notes,
+		"reports verified identical across architectures",
+		"paper reports ~5 orders of magnitude at production volume; the gap grows with data size (see E2)")
+	return t, nil
+}
+
+// sameTopReport verifies the two architectures computed the same top-k.
+func sameTopReport(a, b *streamrel.Rows) error {
+	if len(a.Data) != len(b.Data) {
+		return fmt.Errorf("experiments: report mismatch: %d vs %d rows", len(a.Data), len(b.Data))
+	}
+	for i := range a.Data {
+		if a.Data[i].String() != b.Data[i].String() {
+			return fmt.Errorf("experiments: report row %d differs: %s vs %s",
+				i, a.Data[i].String(), b.Data[i].String())
+		}
+	}
+	return nil
+}

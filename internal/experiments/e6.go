@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"streamrel"
+	"streamrel/internal/workload"
+)
+
+// E6 measures the paper's §4 recovery claim: a stream-relational system
+// can rebuild runtime state "from disk automatically" using Active Tables
+// instead of per-operator checkpoints. We crash an engine mid-stream and
+// compare: (a) restart + first report from the Active Table, versus (b)
+// recomputing the same report from the raw archived events.
+func E6(s Scale) (*Table, error) {
+	n := s.n(200_000)
+	dir, err := os.MkdirTemp("", "streamrel-e6-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	eng, err := streamrel.Open(streamrel.Config{Dir: dir})
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.ExecScript(`
+		CREATE TABLE sec_raw (etime timestamp, src_ip varchar, dst_port bigint, action varchar, bytes bigint);
+		CREATE STREAM sec_stream (etime timestamp CQTIME USER, src_ip varchar, dst_port bigint, action varchar, bytes bigint);
+		CREATE STREAM deny_now AS
+			SELECT src_ip, count(*) AS denials, cq_close(*)
+			FROM sec_stream <ADVANCE '1 minute'>
+			WHERE action = 'deny'
+			GROUP BY src_ip;
+		CREATE TABLE deny_archive (src_ip varchar, denials bigint, stime timestamp);
+		CREATE CHANNEL deny_ch FROM deny_now INTO deny_archive APPEND;
+	`); err != nil {
+		return nil, err
+	}
+	gen := workload.NewSecurityEvents(workload.SecurityConfig{Seed: 9})
+	events := gen.Take(n)
+	// Both the raw archive (store-first side) and the stream receive the
+	// events, as a deployment that archives raw data would do.
+	if err := eng.BulkInsert("sec_raw", events); err != nil {
+		return nil, err
+	}
+	if err := eng.Append("sec_stream", events...); err != nil {
+		return nil, err
+	}
+	eng.AdvanceTime("sec_stream", time.UnixMicro(gen.Now()+60_000_000).UTC())
+	// Crash: no clean shutdown beyond closing the WAL file handle.
+	eng.Close()
+
+	// (a) Restart: recovery replays the WAL and resumes CQs from the
+	// Active Table; the first report is a table lookup.
+	start := time.Now()
+	e2, err := streamrel.Open(streamrel.Config{Dir: dir})
+	if err != nil {
+		return nil, err
+	}
+	defer e2.Close()
+	recoverTime := time.Since(start)
+	start = time.Now()
+	activeRows, err := e2.Query(securityReportActive)
+	if err != nil {
+		return nil, err
+	}
+	activeReport := time.Since(start)
+
+	// (b) Cold recompute of the same report from the raw archive.
+	start = time.Now()
+	rawRows, err := e2.Query(`
+		SELECT src_ip, count(*) AS denials
+		FROM sec_raw
+		WHERE action = 'deny'
+		GROUP BY src_ip
+		ORDER BY denials DESC, src_ip
+		LIMIT 10`)
+	if err != nil {
+		return nil, err
+	}
+	recompute := time.Since(start)
+	if err := sameTopReport(activeRows, rawRows); err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:     "E6",
+		Title:  "§4 recovery: rebuild from Active Tables vs recompute from raw archive",
+		Header: []string{"step", "time"},
+		Rows: [][]string{
+			{"restart (WAL replay + CQ resume points)", fmtDur(recoverTime)},
+			{"first report from Active Table", fmtDur(activeReport)},
+			{"same report recomputed from raw archive", fmtDur(recompute)},
+			{"report speedup (active vs recompute)", fmtX(float64(recompute) / float64(activeReport))},
+		},
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("events before crash: %d; reports verified identical", n),
+		"no per-operator checkpoint code exists: each CQ resumes past max(stime) found in its channel's table")
+	return t, nil
+}

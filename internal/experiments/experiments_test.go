@@ -1,0 +1,44 @@
+package experiments
+
+import "testing"
+
+// TestAllExperimentsSmall runs the full suite at a tiny scale: every
+// experiment must execute end to end, produce a well-formed table, and
+// pass its internal correctness cross-checks (e.g. E1/E6 verify batch and
+// continuous reports are identical).
+func TestAllExperimentsSmall(t *testing.T) {
+	tables, err := All(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 9 {
+		t.Fatalf("expected 9 experiments, got %d", len(tables))
+	}
+	seen := map[string]bool{}
+	for _, tab := range tables {
+		if tab.ID == "" || tab.Title == "" || len(tab.Header) == 0 || len(tab.Rows) == 0 {
+			t.Fatalf("malformed table: %+v", tab)
+		}
+		if seen[tab.ID] {
+			t.Fatalf("duplicate experiment id %s", tab.ID)
+		}
+		seen[tab.ID] = true
+		if tab.String() == "" {
+			t.Fatal("empty rendering")
+		}
+	}
+	for _, id := range []string{"F1", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"} {
+		if !seen[id] {
+			t.Fatalf("missing experiment %s", id)
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	if Scale(0.001).n(100) != 1 {
+		t.Fatal("scale floor")
+	}
+	if Scale(2).n(100) != 200 {
+		t.Fatal("scale up")
+	}
+}

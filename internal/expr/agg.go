@@ -1,0 +1,380 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"streamrel/internal/types"
+)
+
+// aggregate names recognized by the planner.
+var aggregateNames = map[string]bool{
+	"count": true, "sum": true, "avg": true, "min": true, "max": true,
+	"stddev": true, "variance": true, "first": true, "last": true,
+}
+
+// IsAggregate reports whether name is an aggregate function.
+func IsAggregate(name string) bool { return aggregateNames[strings.ToLower(name)] }
+
+// AggSpec describes one aggregate call extracted from a query.
+type AggSpec struct {
+	Name     string  // lower-cased aggregate name
+	Arg      *Scalar // nil for count(*)
+	Star     bool
+	Distinct bool
+}
+
+// ResultType returns the aggregate's static output type.
+func (s AggSpec) ResultType() types.Type {
+	switch s.Name {
+	case "count":
+		return types.TypeInt
+	case "avg", "stddev", "variance":
+		return types.TypeFloat
+	case "sum", "min", "max", "first", "last":
+		if s.Arg != nil {
+			return s.Arg.Type
+		}
+		return types.TypeUnknown
+	}
+	return types.TypeUnknown
+}
+
+// Acc is an aggregate accumulator. Accumulators are mergeable: Merge
+// combines another accumulator of the same spec into this one. That
+// property is what lets window slices be aggregated once and combined per
+// window (shared slice aggregation, paper refs [4],[12]).
+type Acc interface {
+	// Add folds one input value in. For count(*) the value is ignored.
+	Add(v types.Datum) error
+	// Merge combines a partial accumulator produced by the same spec.
+	Merge(other Acc) error
+	// Result returns the aggregate value for everything added so far.
+	Result() types.Datum
+}
+
+// NewAcc returns a fresh accumulator for the spec.
+func NewAcc(spec AggSpec) (Acc, error) {
+	var inner Acc
+	switch spec.Name {
+	case "count":
+		inner = &countAcc{star: spec.Star}
+	case "sum":
+		inner = &sumAcc{}
+	case "avg":
+		inner = &avgAcc{}
+	case "min":
+		inner = &minmaxAcc{want: -1}
+	case "max":
+		inner = &minmaxAcc{want: 1}
+	case "stddev":
+		inner = &momentsAcc{stddev: true}
+	case "variance":
+		inner = &momentsAcc{}
+	case "first":
+		inner = &firstLastAcc{first: true}
+	case "last":
+		inner = &firstLastAcc{}
+	default:
+		return nil, fmt.Errorf("expr: unknown aggregate %q", spec.Name)
+	}
+	if spec.Distinct {
+		if spec.Star {
+			return nil, fmt.Errorf("expr: %s(DISTINCT *) is not valid", spec.Name)
+		}
+		return &distinctAcc{seen: make(map[string]types.Datum), inner: inner}, nil
+	}
+	return inner, nil
+}
+
+// countAcc implements count(*) and count(x).
+type countAcc struct {
+	star bool
+	n    int64
+}
+
+func (a *countAcc) Add(v types.Datum) error {
+	if a.star || !v.IsNull() {
+		a.n++
+	}
+	return nil
+}
+
+func (a *countAcc) Merge(other Acc) error {
+	o, ok := other.(*countAcc)
+	if !ok {
+		return mergeTypeErr(a, other)
+	}
+	a.n += o.n
+	return nil
+}
+
+func (a *countAcc) Result() types.Datum { return types.NewInt(a.n) }
+
+// sumAcc implements sum over ints, floats and intervals. Empty input
+// yields NULL per SQL.
+type sumAcc struct {
+	seen    bool
+	isFloat bool
+	isIval  bool
+	i       int64
+	f       float64
+}
+
+func (a *sumAcc) Add(v types.Datum) error {
+	if v.IsNull() {
+		return nil
+	}
+	switch v.Type() {
+	case types.TypeInt:
+		a.i += v.Int()
+		a.f += float64(v.Int())
+	case types.TypeFloat:
+		a.isFloat = true
+		a.f += v.Float()
+	case types.TypeInterval:
+		a.isIval = true
+		a.i += v.IntervalMicros()
+	default:
+		return fmt.Errorf("expr: sum over %s", v.Type())
+	}
+	a.seen = true
+	return nil
+}
+
+func (a *sumAcc) Merge(other Acc) error {
+	o, ok := other.(*sumAcc)
+	if !ok {
+		return mergeTypeErr(a, other)
+	}
+	a.seen = a.seen || o.seen
+	a.isFloat = a.isFloat || o.isFloat
+	a.isIval = a.isIval || o.isIval
+	a.i += o.i
+	a.f += o.f
+	return nil
+}
+
+func (a *sumAcc) Result() types.Datum {
+	switch {
+	case !a.seen:
+		return types.Null
+	case a.isIval:
+		return types.NewIntervalMicros(a.i)
+	case a.isFloat:
+		return types.NewFloat(a.f)
+	default:
+		return types.NewInt(a.i)
+	}
+}
+
+// avgAcc implements avg as (sum, count).
+type avgAcc struct {
+	n int64
+	f float64
+}
+
+func (a *avgAcc) Add(v types.Datum) error {
+	if v.IsNull() {
+		return nil
+	}
+	if !v.Type().Numeric() {
+		return fmt.Errorf("expr: avg over %s", v.Type())
+	}
+	a.n++
+	a.f += v.Float()
+	return nil
+}
+
+func (a *avgAcc) Merge(other Acc) error {
+	o, ok := other.(*avgAcc)
+	if !ok {
+		return mergeTypeErr(a, other)
+	}
+	a.n += o.n
+	a.f += o.f
+	return nil
+}
+
+func (a *avgAcc) Result() types.Datum {
+	if a.n == 0 {
+		return types.Null
+	}
+	return types.NewFloat(a.f / float64(a.n))
+}
+
+// minmaxAcc implements min (want=-1) and max (want=+1).
+type minmaxAcc struct {
+	want int
+	seen bool
+	best types.Datum
+}
+
+func (a *minmaxAcc) Add(v types.Datum) error {
+	if v.IsNull() {
+		return nil
+	}
+	if !a.seen {
+		a.best, a.seen = v, true
+		return nil
+	}
+	if !types.Comparable(v.Type(), a.best.Type()) {
+		return fmt.Errorf("expr: min/max over mixed types %s and %s", v.Type(), a.best.Type())
+	}
+	if c := types.Compare(v, a.best); (a.want < 0 && c < 0) || (a.want > 0 && c > 0) {
+		a.best = v
+	}
+	return nil
+}
+
+func (a *minmaxAcc) Merge(other Acc) error {
+	o, ok := other.(*minmaxAcc)
+	if !ok {
+		return mergeTypeErr(a, other)
+	}
+	if o.seen {
+		return a.Add(o.best)
+	}
+	return nil
+}
+
+func (a *minmaxAcc) Result() types.Datum {
+	if !a.seen {
+		return types.Null
+	}
+	return a.best
+}
+
+// momentsAcc implements sample variance and stddev via (n, Σx, Σx²),
+// which merges exactly.
+type momentsAcc struct {
+	stddev bool
+	n      int64
+	sum    float64
+	sumsq  float64
+}
+
+func (a *momentsAcc) Add(v types.Datum) error {
+	if v.IsNull() {
+		return nil
+	}
+	if !v.Type().Numeric() {
+		return fmt.Errorf("expr: stddev/variance over %s", v.Type())
+	}
+	x := v.Float()
+	a.n++
+	a.sum += x
+	a.sumsq += x * x
+	return nil
+}
+
+func (a *momentsAcc) Merge(other Acc) error {
+	o, ok := other.(*momentsAcc)
+	if !ok {
+		return mergeTypeErr(a, other)
+	}
+	a.n += o.n
+	a.sum += o.sum
+	a.sumsq += o.sumsq
+	return nil
+}
+
+func (a *momentsAcc) Result() types.Datum {
+	if a.n < 2 {
+		return types.Null
+	}
+	n := float64(a.n)
+	variance := (a.sumsq - a.sum*a.sum/n) / (n - 1)
+	if variance < 0 {
+		variance = 0 // floating point noise
+	}
+	if a.stddev {
+		return types.NewFloat(math.Sqrt(variance))
+	}
+	return types.NewFloat(variance)
+}
+
+// firstLastAcc keeps the first or last non-NULL value in arrival order.
+// Merge assumes "other" accumulated later input, which holds for slice
+// merging (slices merge in time order).
+type firstLastAcc struct {
+	first bool
+	seen  bool
+	val   types.Datum
+}
+
+func (a *firstLastAcc) Add(v types.Datum) error {
+	if v.IsNull() {
+		return nil
+	}
+	if a.first && a.seen {
+		return nil
+	}
+	a.val, a.seen = v, true
+	return nil
+}
+
+func (a *firstLastAcc) Merge(other Acc) error {
+	o, ok := other.(*firstLastAcc)
+	if !ok {
+		return mergeTypeErr(a, other)
+	}
+	if !o.seen {
+		return nil
+	}
+	if a.first && a.seen {
+		return nil
+	}
+	a.val, a.seen = o.val, true
+	return nil
+}
+
+func (a *firstLastAcc) Result() types.Datum {
+	if !a.seen {
+		return types.Null
+	}
+	return a.val
+}
+
+// distinctAcc wraps another accumulator, feeding it each distinct value
+// exactly once. Merging unions the seen-sets and replays the union into a
+// fresh inner accumulator, which keeps DISTINCT exact under slice sharing.
+type distinctAcc struct {
+	seen  map[string]types.Datum
+	inner Acc
+}
+
+func (a *distinctAcc) Add(v types.Datum) error {
+	if v.IsNull() {
+		return nil
+	}
+	k := types.Row{v}.Key()
+	if _, ok := a.seen[k]; ok {
+		return nil
+	}
+	a.seen[k] = v
+	return a.inner.Add(v)
+}
+
+func (a *distinctAcc) Merge(other Acc) error {
+	o, ok := other.(*distinctAcc)
+	if !ok {
+		return mergeTypeErr(a, other)
+	}
+	for k, v := range o.seen {
+		if _, ok := a.seen[k]; !ok {
+			a.seen[k] = v
+			if err := a.inner.Add(v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (a *distinctAcc) Result() types.Datum { return a.inner.Result() }
+
+func mergeTypeErr(a, b Acc) error {
+	return fmt.Errorf("expr: cannot merge %T into %T", b, a)
+}

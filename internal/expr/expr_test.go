@@ -1,0 +1,468 @@
+package expr
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"streamrel/internal/sql"
+	"streamrel/internal/types"
+)
+
+// testBinder resolves single-letter columns a..e to row positions 0..4,
+// all typed INT except d (FLOAT) and s (STRING at position 5).
+type testBinder struct{}
+
+func (testBinder) ResolveColumn(table, name string) (ColumnBinding, error) {
+	switch name {
+	case "a":
+		return ColumnBinding{0, types.TypeInt}, nil
+	case "b":
+		return ColumnBinding{1, types.TypeInt}, nil
+	case "c":
+		return ColumnBinding{2, types.TypeInt}, nil
+	case "d":
+		return ColumnBinding{3, types.TypeFloat}, nil
+	case "n":
+		return ColumnBinding{4, types.TypeInt}, nil // holds NULL in tests
+	case "s":
+		return ColumnBinding{5, types.TypeString}, nil
+	}
+	return ColumnBinding{}, sqlErr(name)
+}
+
+func sqlErr(name string) error { return &unknownColumn{name} }
+
+type unknownColumn struct{ name string }
+
+func (e *unknownColumn) Error() string { return "unknown column " + e.name }
+
+var testRow = types.Row{
+	types.NewInt(2), types.NewInt(3), types.NewInt(-1),
+	types.NewFloat(2.5), types.Null, types.NewString("hello world"),
+}
+
+func evalStr(t *testing.T, src string) types.Datum {
+	t.Helper()
+	ast, err := sql.ParseExpr(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	s, err := Compile(ast, testBinder{})
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	v, err := s.Eval(&Ctx{Row: testRow})
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return v
+}
+
+func TestScalarEval(t *testing.T) {
+	cases := []struct {
+		src  string
+		want types.Datum
+	}{
+		{"1 + 2 * 3", types.NewInt(7)},
+		{"a + b", types.NewInt(5)},
+		{"a - b", types.NewInt(-1)},
+		{"a * d", types.NewFloat(5)},
+		{"b / a", types.NewInt(1)},
+		{"b % a", types.NewInt(1)},
+		{"-c", types.NewInt(1)},
+		{"a = 2", types.True},
+		{"a <> 2", types.False},
+		{"a < b", types.True},
+		{"a >= b", types.False},
+		{"a = 2 and b = 3", types.True},
+		{"a = 0 or b = 3", types.True},
+		{"not a = 2", types.False},
+		{"n is null", types.True},
+		{"a is null", types.False},
+		{"a is not null", types.True},
+		{"a between 1 and 3", types.True},
+		{"a not between 1 and 3", types.False},
+		{"a in (1, 2, 3)", types.True},
+		{"a in (5, 6)", types.False},
+		{"a not in (5, 6)", types.True},
+		{"s like 'hello%'", types.True},
+		{"s like '%world'", types.True},
+		{"s like 'h_llo%'", types.True},
+		{"s like 'xyz%'", types.False},
+		{"s not like 'xyz%'", types.True},
+		{"case when a = 2 then 'two' else 'other' end", types.NewString("two")},
+		{"case a when 1 then 'one' when 2 then 'two' end", types.NewString("two")},
+		{"case a when 9 then 'nine' end", types.Null},
+		{"cast(a as varchar)", types.NewString("2")},
+		{"a::double", types.NewFloat(2)},
+		{"'12'::bigint + 1", types.NewInt(13)},
+		{"s || '!'", types.NewString("hello world!")},
+		{"null is null", types.True},
+	}
+	for _, c := range cases {
+		got := evalStr(t, c.src)
+		if got.IsNull() != c.want.IsNull() || (!got.IsNull() && types.Compare(got, c.want) != 0) {
+			t.Errorf("%s = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want types.Datum // Null means NULL
+	}{
+		{"n = 1", types.Null},
+		{"n and true", types.Null},
+		{"n = 1 and false", types.False}, // NULL AND false = false
+		{"n = 1 or true", types.True},    // NULL OR true = true
+		{"n = 1 or false", types.Null},
+		{"not (n = 1)", types.Null},
+		{"n + 1", types.Null},
+		{"n in (1, 2)", types.Null},
+		{"1 in (2, n)", types.Null}, // no match, NULL present
+		{"1 in (1, n)", types.True}, // match wins
+		{"n between 1 and 2", types.Null},
+		{"n like 'x'", types.Null},
+	}
+	for _, c := range cases {
+		got := evalStr(t, c.src)
+		if got.IsNull() != c.want.IsNull() {
+			t.Errorf("%s = %v, want %v", c.src, got, c.want)
+			continue
+		}
+		if !got.IsNull() && types.Compare(got, c.want) != 0 {
+			t.Errorf("%s = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestBuiltinFunctions(t *testing.T) {
+	cases := []struct {
+		src  string
+		want types.Datum
+	}{
+		{"lower('ABC')", types.NewString("abc")},
+		{"upper('abc')", types.NewString("ABC")},
+		{"length(s)", types.NewInt(11)},
+		{"trim('  x ')", types.NewString("x")},
+		{"replace(s, 'world', 'go')", types.NewString("hello go")},
+		{"substr(s, 1, 5)", types.NewString("hello")},
+		{"substr(s, 7)", types.NewString("world")},
+		{"strpos(s, 'world')", types.NewInt(7)},
+		{"concat('a', 1, 'b')", types.NewString("a1b")},
+		{"abs(-5)", types.NewInt(5)},
+		{"abs(c)", types.NewInt(1)},
+		{"floor(2.7)", types.NewFloat(2)},
+		{"ceil(2.1)", types.NewFloat(3)},
+		{"round(2.567, 2)", types.NewFloat(2.57)},
+		{"sqrt(9.0)", types.NewFloat(3)},
+		{"power(2, 10)", types.NewFloat(1024)},
+		{"sign(-3)", types.NewInt(-1)},
+		{"coalesce(n, a)", types.NewInt(2)},
+		{"coalesce(n, n)", types.Null},
+		{"nullif(a, 2)", types.Null},
+		{"nullif(a, 9)", types.NewInt(2)},
+		{"greatest(1, 5, 3)", types.NewInt(5)},
+		{"least(4, 2, 8)", types.NewInt(2)},
+		{"epoch(timestamp '1970-01-01 00:00:01')", types.NewFloat(1)},
+		{"date_trunc('minute', timestamp '2009-01-04 09:30:45')",
+			mustTS(t, "2009-01-04 09:30:00")},
+		{"date_trunc('hour', timestamp '2009-01-04 09:30:45')",
+			mustTS(t, "2009-01-04 09:00:00")},
+		{"date_trunc('day', timestamp '2009-01-04 09:30:45')",
+			mustTS(t, "2009-01-04")},
+		{"year(timestamp '2009-01-04 09:30:45')", types.NewInt(2009)},
+		{"month(timestamp '2009-01-04 09:30:45')", types.NewInt(1)},
+		{"day(timestamp '2009-01-04 09:30:45')", types.NewInt(4)},
+		{"hour(timestamp '2009-01-04 09:30:45')", types.NewInt(9)},
+		{"minute(timestamp '2009-01-04 09:30:45')", types.NewInt(30)},
+		{"second(timestamp '2009-01-04 09:30:45')", types.NewInt(45)},
+		{"dow(timestamp '2009-01-04 09:30:45')", types.NewInt(0)}, // Sunday
+	}
+	for _, c := range cases {
+		got := evalStr(t, c.src)
+		if got.IsNull() != c.want.IsNull() || (!got.IsNull() && types.Compare(got, c.want) != 0) {
+			t.Errorf("%s = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func mustTS(t *testing.T, s string) types.Datum {
+	t.Helper()
+	d, err := types.ParseTimestamp(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestCQClose(t *testing.T) {
+	ast, _ := sql.ParseExpr("cq_close(*)")
+	s, err := Compile(ast, testBinder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	close := types.NewTimestampMicros(42_000_000)
+	v, err := s.Eval(&Ctx{Row: testRow, WindowClose: close})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if types.Compare(v, close) != 0 {
+		t.Fatalf("cq_close = %v", v)
+	}
+	if s.Type != types.TypeTimestamp {
+		t.Fatal("cq_close type")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []string{
+		"zzz",           // unknown column
+		"nosuchfunc(1)", // unknown function
+		"sum(a)",        // aggregate in scalar context
+		"lower(1, 2)",   // arity
+		"lower(*)",      // star on scalar
+		"'a' < 1",       // incomparable static types
+	}
+	for _, src := range bad {
+		ast, err := sql.ParseExpr(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, err := Compile(ast, testBinder{}); err == nil {
+			t.Errorf("Compile(%q) should fail", src)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	for _, src := range []string{"a / 0", "b % 0", "sqrt(-1.0)", "ln(0.0)"} {
+		ast, _ := sql.ParseExpr(src)
+		s, err := Compile(ast, testBinder{})
+		if err != nil {
+			t.Fatalf("compile %q: %v", src, err)
+		}
+		if _, err := s.Eval(&Ctx{Row: testRow}); err == nil {
+			t.Errorf("Eval(%q) should fail", src)
+		}
+	}
+}
+
+func TestMatchLike(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"", "", true},
+		{"", "%", true},
+		{"a", "", false},
+		{"abc", "abc", true},
+		{"abc", "a%", true},
+		{"abc", "%c", true},
+		{"abc", "%b%", true},
+		{"abc", "a_c", true},
+		{"abc", "a_b", false},
+		{"abc", "____", false},
+		{"abc", "___", true},
+		{"aXbXc", "a%b%c", true},
+		{"mississippi", "%iss%ppi", true},
+		{"mississippi", "%iss%ppx", false},
+		{"/index.html", "/%.html", true},
+	}
+	for _, c := range cases {
+		if got := MatchLike(c.s, c.p); got != c.want {
+			t.Errorf("MatchLike(%q, %q) = %v, want %v", c.s, c.p, got, c.want)
+		}
+	}
+}
+
+// ---------------------------------------------------------------- aggs
+
+func addAll(t *testing.T, a Acc, vs ...types.Datum) {
+	t.Helper()
+	for _, v := range vs {
+		if err := a.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func newAcc(t *testing.T, name string, distinct bool) Acc {
+	t.Helper()
+	a, err := NewAcc(AggSpec{Name: name, Star: name == "count" && !distinct, Distinct: distinct})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func ints(vs ...int64) []types.Datum {
+	out := make([]types.Datum, len(vs))
+	for i, v := range vs {
+		out[i] = types.NewInt(v)
+	}
+	return out
+}
+
+func TestAggregates(t *testing.T) {
+	count := newAcc(t, "count", false)
+	addAll(t, count, ints(1, 2, 3)...)
+	addAll(t, count, types.Null) // count(*) counts NULLs
+	if count.Result().Int() != 4 {
+		t.Fatalf("count(*) = %v", count.Result())
+	}
+
+	countX, _ := NewAcc(AggSpec{Name: "count"})
+	addAll(t, countX, ints(1, 2)...)
+	addAll(t, countX, types.Null) // count(x) skips NULLs
+	if countX.Result().Int() != 2 {
+		t.Fatalf("count(x) = %v", countX.Result())
+	}
+
+	sum := newAcc(t, "sum", false)
+	addAll(t, sum, ints(1, 2, 3)...)
+	if sum.Result().Int() != 6 {
+		t.Fatalf("sum = %v", sum.Result())
+	}
+
+	sumF := newAcc(t, "sum", false)
+	addAll(t, sumF, types.NewInt(1), types.NewFloat(0.5))
+	if sumF.Result().Float() != 1.5 {
+		t.Fatalf("mixed sum = %v", sumF.Result())
+	}
+
+	empty := newAcc(t, "sum", false)
+	if !empty.Result().IsNull() {
+		t.Fatal("sum of nothing should be NULL")
+	}
+
+	avg := newAcc(t, "avg", false)
+	addAll(t, avg, ints(1, 2, 3, 4)...)
+	if avg.Result().Float() != 2.5 {
+		t.Fatalf("avg = %v", avg.Result())
+	}
+
+	min := newAcc(t, "min", false)
+	addAll(t, min, ints(5, 2, 9)...)
+	if min.Result().Int() != 2 {
+		t.Fatalf("min = %v", min.Result())
+	}
+
+	max := newAcc(t, "max", false)
+	addAll(t, max, types.NewString("b"), types.NewString("z"), types.NewString("a"))
+	if max.Result().Str() != "z" {
+		t.Fatalf("max = %v", max.Result())
+	}
+
+	sd := newAcc(t, "stddev", false)
+	addAll(t, sd, ints(2, 4, 4, 4, 5, 5, 7, 9)...)
+	if got := sd.Result().Float(); math.Abs(got-2.138089935299395) > 1e-9 {
+		t.Fatalf("stddev = %v", got)
+	}
+
+	one := newAcc(t, "stddev", false)
+	addAll(t, one, ints(5)...)
+	if !one.Result().IsNull() {
+		t.Fatal("stddev of one value should be NULL")
+	}
+
+	first := newAcc(t, "first", false)
+	addAll(t, first, ints(7, 8, 9)...)
+	if first.Result().Int() != 7 {
+		t.Fatalf("first = %v", first.Result())
+	}
+	last := newAcc(t, "last", false)
+	addAll(t, last, ints(7, 8, 9)...)
+	if last.Result().Int() != 9 {
+		t.Fatalf("last = %v", last.Result())
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	cd := newAcc(t, "count", true)
+	addAll(t, cd, ints(1, 2, 2, 3, 3, 3)...)
+	addAll(t, cd, types.Null)
+	if cd.Result().Int() != 3 {
+		t.Fatalf("count(distinct) = %v", cd.Result())
+	}
+	sd := newAcc(t, "sum", true)
+	addAll(t, sd, ints(5, 5, 7)...)
+	if sd.Result().Int() != 12 {
+		t.Fatalf("sum(distinct) = %v", sd.Result())
+	}
+}
+
+// TestMergeEqualsDirect is the core sharing property: splitting any input
+// across two accumulators and merging must equal accumulating directly.
+func TestMergeEqualsDirect(t *testing.T) {
+	inputs := []types.Datum{
+		types.NewInt(4), types.NewInt(-2), types.NewInt(4), types.Null,
+		types.NewInt(11), types.NewInt(0), types.NewInt(7), types.NewInt(7),
+	}
+	for _, name := range []string{"count", "sum", "avg", "min", "max", "stddev", "variance", "first", "last"} {
+		for _, distinct := range []bool{false, true} {
+			if distinct && (name == "first" || name == "last") {
+				continue // order-sensitive; distinct not meaningful
+			}
+			for split := 0; split <= len(inputs); split++ {
+				direct := newAcc(t, name, distinct)
+				left := newAcc(t, name, distinct)
+				right := newAcc(t, name, distinct)
+				addAll(t, direct, inputs...)
+				addAll(t, left, inputs[:split]...)
+				addAll(t, right, inputs[split:]...)
+				if err := left.Merge(right); err != nil {
+					t.Fatalf("%s merge: %v", name, err)
+				}
+				want, got := direct.Result(), left.Result()
+				if want.IsNull() != got.IsNull() {
+					t.Fatalf("%s distinct=%v split=%d: merged %v, direct %v", name, distinct, split, got, want)
+				}
+				if !want.IsNull() {
+					// Compare with tolerance for float aggregates.
+					if want.Type().Numeric() && got.Type().Numeric() {
+						if math.Abs(want.Float()-got.Float()) > 1e-9 {
+							t.Fatalf("%s distinct=%v split=%d: merged %v, direct %v", name, distinct, split, got, want)
+						}
+					} else if types.Compare(want, got) != 0 {
+						t.Fatalf("%s distinct=%v split=%d: merged %v, direct %v", name, distinct, split, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMergeTypeMismatch(t *testing.T) {
+	a := newAcc(t, "sum", false)
+	b := newAcc(t, "count", false)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merging different accumulator types should error")
+	}
+}
+
+func TestAggSpecResultType(t *testing.T) {
+	if (AggSpec{Name: "count"}).ResultType() != types.TypeInt {
+		t.Fatal("count type")
+	}
+	if (AggSpec{Name: "avg"}).ResultType() != types.TypeFloat {
+		t.Fatal("avg type")
+	}
+	s := &Scalar{Type: types.TypeInterval}
+	if (AggSpec{Name: "sum", Arg: s}).ResultType() != types.TypeInterval {
+		t.Fatal("sum type follows arg")
+	}
+}
+
+func TestIsAggregateAndScalar(t *testing.T) {
+	for _, n := range []string{"count", "sum", "avg", "min", "max", "stddev"} {
+		if !IsAggregate(n) || !IsAggregate(strings.ToUpper(n)) {
+			t.Errorf("IsAggregate(%s)", n)
+		}
+	}
+	if IsAggregate("lower") || !IsScalarFunc("lower") || !IsScalarFunc("cq_close") {
+		t.Fatal("classification")
+	}
+}

@@ -1,0 +1,85 @@
+package expr
+
+import (
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// likeToRegexp converts a LIKE pattern into an anchored regexp — the
+// reference implementation MatchLike must agree with.
+func likeToRegexp(pattern string) *regexp.Regexp {
+	var b strings.Builder
+	b.WriteByte('^')
+	for i := 0; i < len(pattern); i++ {
+		switch pattern[i] {
+		case '%':
+			b.WriteString("(?s).*")
+		case '_':
+			b.WriteString("(?s).")
+		default:
+			b.WriteString(regexp.QuoteMeta(string(pattern[i])))
+		}
+	}
+	b.WriteByte('$')
+	return regexp.MustCompile(b.String())
+}
+
+// TestMatchLikeAgainstRegexpProperty checks MatchLike against the regexp
+// semantics over random small alphabets (small alphabets maximize
+// collisions and backtracking edge cases).
+func TestMatchLikeAgainstRegexpProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	randFrom := func(alphabet string, max int) string {
+		n := r.Intn(max)
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteByte(alphabet[r.Intn(len(alphabet))])
+		}
+		return b.String()
+	}
+	for i := 0; i < 20000; i++ {
+		s := randFrom("ab", 10)
+		p := randFrom("ab%_", 8)
+		want := likeToRegexp(p).MatchString(s)
+		if got := MatchLike(s, p); got != want {
+			t.Fatalf("MatchLike(%q, %q) = %v, regexp says %v", s, p, got, want)
+		}
+	}
+}
+
+// TestMatchLikeQuick uses testing/quick over arbitrary ASCII-ish inputs
+// with literal-only patterns derived from the input (self-match and
+// prefix/suffix variants must always hold).
+func TestMatchLikeQuick(t *testing.T) {
+	f := func(raw string) bool {
+		// Strip the wildcards so the pattern is literal.
+		s := strings.Map(func(r rune) rune {
+			if r == '%' || r == '_' {
+				return 'x'
+			}
+			return r
+		}, raw)
+		if !MatchLike(s, s) {
+			return false
+		}
+		if !MatchLike(s, "%") {
+			return false
+		}
+		if !MatchLike(s, s+"%") {
+			return false
+		}
+		if !MatchLike(s, "%"+s) {
+			return false
+		}
+		if len(s) > 0 && MatchLike(s, s+"_") {
+			return false // one extra required char can never match
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,342 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"streamrel/internal/exec"
+	"streamrel/internal/expr"
+	"streamrel/internal/sql"
+	"streamrel/internal/types"
+)
+
+// aggColPrefix qualifies the synthetic scope holding aggregation output.
+const aggQual = "#agg"
+
+// buildAggregate plans GROUP BY / aggregate queries. The aggregation
+// output row layout is [group keys…, aggregate results…]; every post-
+// aggregation expression (projection, HAVING, ORDER BY) is rewritten to
+// reference that layout.
+func (b *builder) buildAggregate(sel *sql.Select, rel *relNode, streamOnly bool) (*node, error) {
+	inScope := rel.scope
+
+	// Resolve GROUP BY items: positions and aliases refer to the select
+	// list; anything else is an expression over the input.
+	groupExprs := make([]sql.Expr, len(sel.GroupBy))
+	for i, g := range sel.GroupBy {
+		groupExprs[i] = g
+		if lit, ok := g.(*sql.Literal); ok && lit.Val.Type() == types.TypeInt {
+			pos := int(lit.Val.Int())
+			if pos < 1 || pos > len(sel.Items) || sel.Items[pos-1].Expr == nil {
+				return nil, fmt.Errorf("plan: GROUP BY position %d out of range", pos)
+			}
+			groupExprs[i] = sel.Items[pos-1].Expr
+			continue
+		}
+		if cr, ok := g.(*sql.ColumnRef); ok && cr.Table == "" {
+			if _, err := inScope.ResolveColumn("", cr.Name); err != nil {
+				// Not an input column: try select-list aliases.
+				for _, item := range sel.Items {
+					if item.Alias == cr.Name && item.Expr != nil {
+						groupExprs[i] = item.Expr
+						break
+					}
+				}
+			}
+		}
+		if containsAggregate(groupExprs[i]) {
+			return nil, fmt.Errorf("plan: aggregate functions are not allowed in GROUP BY")
+		}
+	}
+
+	// Collect the distinct aggregate calls appearing anywhere post-GROUP.
+	var aggCalls []*sql.FuncCall
+	seen := map[string]bool{}
+	collect := func(e sql.Expr) {
+		sql.WalkExprs(e, func(x sql.Expr) bool {
+			if fc, ok := x.(*sql.FuncCall); ok && expr.IsAggregate(fc.Name) {
+				if !seen[fc.String()] {
+					seen[fc.String()] = true
+					aggCalls = append(aggCalls, fc)
+				}
+				return false
+			}
+			return true
+		})
+	}
+	for _, item := range sel.Items {
+		if item.Star || item.TableStar != "" {
+			return nil, fmt.Errorf("plan: * is not allowed with GROUP BY or aggregates")
+		}
+		collect(item.Expr)
+	}
+	collect(sel.Having)
+	for _, o := range sel.OrderBy {
+		collect(o.Expr)
+	}
+
+	// Compile group keys and aggregate arguments over the input scope.
+	compiledGroups := make([]*expr.Scalar, len(groupExprs))
+	for i, g := range groupExprs {
+		s, err := expr.Compile(g, inScope)
+		if err != nil {
+			return nil, err
+		}
+		compiledGroups[i] = s
+	}
+	aggSpecs := make([]expr.AggSpec, len(aggCalls))
+	for i, fc := range aggCalls {
+		spec := expr.AggSpec{Name: strings.ToLower(fc.Name), Star: fc.Star, Distinct: fc.Distinct}
+		if !fc.Star {
+			if len(fc.Args) != 1 {
+				return nil, fmt.Errorf("plan: %s takes exactly one argument", fc.Name)
+			}
+			if containsAggregate(fc.Args[0]) {
+				return nil, fmt.Errorf("plan: aggregate calls cannot be nested")
+			}
+			arg, err := expr.Compile(fc.Args[0], inScope)
+			if err != nil {
+				return nil, err
+			}
+			spec.Arg = arg
+		}
+		aggSpecs[i] = spec
+	}
+
+	// The post-aggregation scope: group keys then aggregate results,
+	// addressed via the synthetic #agg qualifier.
+	postCols := make([]scopeCol, 0, len(groupExprs)+len(aggSpecs))
+	for i, g := range groupExprs {
+		name := fmt.Sprintf("#g%d", i)
+		if cr, ok := g.(*sql.ColumnRef); ok {
+			name = cr.Name
+		}
+		postCols = append(postCols, scopeCol{qual: aggQual, name: name, typ: compiledGroups[i].Type})
+		_ = name
+	}
+	for i, spec := range aggSpecs {
+		postCols = append(postCols, scopeCol{qual: aggQual, name: fmt.Sprintf("#a%d", i), typ: spec.ResultType()})
+	}
+	postScope := &scope{cols: postCols}
+
+	// rewrite maps post-aggregation AST onto the agg output layout.
+	rewrite := func(e sql.Expr) (sql.Expr, error) {
+		var rewriteErr error
+		out := rewriteExpr(e, func(x sql.Expr) (sql.Expr, bool) {
+			// Aggregate call → its output column.
+			if fc, ok := x.(*sql.FuncCall); ok && expr.IsAggregate(fc.Name) {
+				for i, call := range aggCalls {
+					if call.String() == fc.String() {
+						return &sql.ColumnRef{Table: aggQual, Name: fmt.Sprintf("#a%d", i)}, true
+					}
+				}
+				rewriteErr = fmt.Errorf("plan: unexpected aggregate %s", fc)
+				return x, true
+			}
+			// Whole group expression → its key column.
+			for i, g := range groupExprs {
+				if sameExpr(x, g, inScope) {
+					if cr, ok := g.(*sql.ColumnRef); ok {
+						return &sql.ColumnRef{Table: aggQual, Name: cr.Name}, true
+					}
+					return &sql.ColumnRef{Table: aggQual, Name: fmt.Sprintf("#g%d", i)}, true
+				}
+			}
+			return x, false
+		})
+		return out, rewriteErr
+	}
+
+	compilePost := func(e sql.Expr) (*expr.Scalar, error) {
+		r, err := rewrite(e)
+		if err != nil {
+			return nil, err
+		}
+		s, err := expr.Compile(r, postScope)
+		if err != nil {
+			// The usual cause: a column not wrapped in an aggregate and not
+			// in GROUP BY.
+			return nil, fmt.Errorf("plan: %q must appear in the GROUP BY clause or be used in an aggregate function", e.String())
+		}
+		return s, nil
+	}
+
+	// HAVING.
+	var having *expr.Scalar
+	if sel.Having != nil {
+		var err error
+		if having, err = compilePost(sel.Having); err != nil {
+			return nil, err
+		}
+	}
+
+	// Projection over the agg output.
+	var projExprs []*expr.Scalar
+	var schema types.Schema
+	closeCol := -1
+	for _, item := range sel.Items {
+		s, err := compilePost(item.Expr)
+		if err != nil {
+			return nil, err
+		}
+		if isCQClose(item.Expr) && closeCol == -1 {
+			closeCol = len(projExprs)
+		}
+		schema = append(schema, types.Column{Name: outName(item, len(projExprs)), Type: s.Type})
+		projExprs = append(projExprs, s)
+	}
+
+	inner := rel.build
+	sortedOutput := len(sel.OrderBy) == 0 // deterministic output when unsorted
+	buildAbove := func(aggOp exec.Operator) exec.Operator {
+		var op exec.Operator = aggOp
+		if having != nil {
+			op = &exec.Filter{Child: op, Pred: having}
+		}
+		op = &exec.Project{Child: op, Exprs: projExprs}
+		if sel.Distinct {
+			op = &exec.Distinct{Child: op}
+		}
+		return op
+	}
+	aggStage := func(in Input) exec.Operator {
+		var op exec.Operator = &exec.HashAgg{
+			Child:        inner(in),
+			GroupBy:      compiledGroups,
+			Aggs:         aggSpecs,
+			SortedOutput: sortedOutput,
+		}
+		if having != nil {
+			op = &exec.Filter{Child: op, Pred: having}
+		}
+		return op
+	}
+	n := &node{
+		schema:   schema,
+		closeCol: closeCol,
+		build: func(in Input) exec.Operator {
+			agg := &exec.HashAgg{
+				Child:        inner(in),
+				GroupBy:      compiledGroups,
+				Aggs:         aggSpecs,
+				SortedOutput: sortedOutput,
+			}
+			return buildAbove(agg)
+		},
+		preScope:   postScope,
+		preBuild:   aggStage,
+		projExprs:  projExprs,
+		distinct:   sel.Distinct,
+		preRewrite: rewrite,
+	}
+
+	// Shared-aggregation fast path (paper refs [4],[12]): aggregation
+	// directly over the windowed stream. The runtime computes per-slice
+	// partials once per (stream, fingerprint) and merges at window close;
+	// PostBuild runs everything above the aggregation.
+	if streamOnly && b.stream != nil && !anyUsesWindowContext(sel, groupExprs, aggCalls) {
+		fp := fingerprint(b.stream.Name, sel, groupExprs, aggCalls)
+		var pred *expr.Scalar
+		if sel.Where != nil {
+			var err error
+			if pred, err = expr.Compile(sel.Where, inScope); err != nil {
+				return nil, err
+			}
+		}
+		n.streamAgg = &StreamAgg{
+			Pred:        pred,
+			GroupBy:     compiledGroups,
+			Aggs:        aggSpecs,
+			Fingerprint: fp,
+			PostBuild: func(aggRows []types.Row) exec.Operator {
+				if sortedOutput {
+					return buildAbove(&exec.Sort{Child: &exec.Relation{Rows: aggRows}, Keys: sortKeysForWidth(len(compiledGroups), compiledGroups)})
+				}
+				return buildAbove(&exec.Relation{Rows: aggRows})
+			},
+		}
+		n.aggPostScope = postScope
+	}
+	return n, nil
+}
+
+// sortKeysForWidth sorts agg output rows by their group-key columns so the
+// shared path matches HashAgg's SortedOutput determinism.
+func sortKeysForWidth(n int, groups []*expr.Scalar) []exec.SortKey {
+	keys := make([]exec.SortKey, n)
+	for i := 0; i < n; i++ {
+		keys[i] = exec.SortKey{Expr: columnScalar(i, groups[i].Type)}
+	}
+	return keys
+}
+
+// sameExpr reports structural equality of two expressions, resolving
+// column references through the scope so "u.url" and "url" match when they
+// bind to the same column.
+func sameExpr(a, c sql.Expr, sc *scope) bool {
+	ca, okA := a.(*sql.ColumnRef)
+	cb, okB := c.(*sql.ColumnRef)
+	if okA && okB {
+		ba, errA := sc.ResolveColumn(ca.Table, ca.Name)
+		bb, errB := sc.ResolveColumn(cb.Table, cb.Name)
+		if errA == nil && errB == nil {
+			return ba.Index == bb.Index
+		}
+	}
+	return a.String() == c.String()
+}
+
+// fingerprint canonically identifies a shareable slice computation.
+func fingerprint(stream string, sel *sql.Select, groups []sql.Expr, aggs []*sql.FuncCall) string {
+	var b strings.Builder
+	b.WriteString(stream)
+	b.WriteString("|W:")
+	if sel.Where != nil {
+		b.WriteString(sel.Where.String())
+	}
+	b.WriteString("|G:")
+	for _, g := range groups {
+		b.WriteString(g.String())
+		b.WriteByte(';')
+	}
+	b.WriteString("|A:")
+	for _, a := range aggs {
+		b.WriteString(a.String())
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// anyUsesWindowContext reports whether the slice-evaluated parts of the
+// query (WHERE, group keys, aggregate arguments) reference cq_close(*),
+// which is only known at window close — such plans cannot take the shared
+// slice path.
+func anyUsesWindowContext(sel *sql.Select, groups []sql.Expr, aggs []*sql.FuncCall) bool {
+	uses := func(e sql.Expr) bool {
+		found := false
+		sql.WalkExprs(e, func(x sql.Expr) bool {
+			if fc, ok := x.(*sql.FuncCall); ok && strings.ToLower(fc.Name) == "cq_close" {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+	if sel.Where != nil && uses(sel.Where) {
+		return true
+	}
+	for _, g := range groups {
+		if uses(g) {
+			return true
+		}
+	}
+	for _, fc := range aggs {
+		for _, arg := range fc.Args {
+			if uses(arg) {
+				return true
+			}
+		}
+	}
+	return false
+}

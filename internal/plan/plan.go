@@ -1,0 +1,335 @@
+// Package plan turns parsed SELECT statements into executable operator
+// trees. One planner serves both worlds: a snapshot query plans to a tree
+// rooted in table scans; a continuous query plans to the *same* tree shape
+// with a window-fed relation as the stream leaf (paper §2.3/§4 — CQ plans
+// reuse the standard relational operators).
+//
+// The planner also detects the shared-aggregation shape (a plain aggregate
+// over a single windowed stream) and exposes its pieces so the stream
+// runtime can evaluate per-slice partial aggregates shared across
+// continuous queries (paper refs [4], [12]).
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"streamrel/internal/catalog"
+	"streamrel/internal/exec"
+	"streamrel/internal/expr"
+	"streamrel/internal/sql"
+	"streamrel/internal/types"
+)
+
+// Input carries per-execution inputs into a built plan: the rows of the
+// current window for the plan's stream leaf (nil for snapshot queries).
+type Input struct {
+	WindowRows []types.Row
+}
+
+// StreamInfo describes the (single) windowed stream a continuous query
+// reads.
+type StreamInfo struct {
+	Name      string // base or derived stream name
+	Schema    types.Schema
+	CQTimeCol int // index of the CQTIME column; -1 for derived streams without one
+	Window    sql.WindowSpec
+}
+
+// StreamAgg exposes the pieces of a shareable aggregation plan: aggregate
+// (with optional filter) directly over the stream leaf. The stream runtime
+// computes per-slice partials with Pred/GroupBy/Aggs, merges them at each
+// window close, and feeds the merged groups through PostBuild for HAVING,
+// projection, ORDER BY and LIMIT.
+type StreamAgg struct {
+	Pred    *expr.Scalar // nil if no WHERE
+	GroupBy []*expr.Scalar
+	Aggs    []expr.AggSpec
+	// PostBuild assembles the operators that run over the aggregated rows
+	// (group keys ++ agg results).
+	PostBuild func(aggRows []types.Row) exec.Operator
+	// Fingerprint identifies the sliceable computation: two CQs with equal
+	// fingerprints over the same stream can share slice partials.
+	Fingerprint string
+}
+
+// Plan is a compiled query.
+type Plan struct {
+	// Columns names and types the output.
+	Columns types.Schema
+	// Stream is non-nil for continuous queries.
+	Stream *StreamInfo
+	// StreamAgg is non-nil when the plan has the shareable aggregate shape.
+	StreamAgg *StreamAgg
+	// CloseCol is the output column produced by cq_close(*), or -1; it is
+	// how recovery locates the archived window timestamp (paper §4).
+	CloseCol int
+	// Build assembles a fresh operator tree for one execution.
+	Build func(in Input) exec.Operator
+}
+
+// Planner compiles statements against a catalog.
+type Planner struct {
+	Cat *catalog.Catalog
+}
+
+// BuildSelect compiles a SELECT (snapshot or continuous).
+func (p *Planner) BuildSelect(sel *sql.Select) (*Plan, error) {
+	b := &builder{cat: p.Cat}
+	n, err := b.buildSelect(sel, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{
+		Columns:   n.schema,
+		Stream:    b.stream,
+		StreamAgg: n.streamAgg,
+		CloseCol:  n.closeCol,
+		Build:     n.build,
+	}, nil
+}
+
+// builder holds per-query planning state.
+type builder struct {
+	cat    *catalog.Catalog
+	stream *StreamInfo
+	// viewDepth guards against recursive view definitions.
+	viewDepth int
+}
+
+// node is a planned (sub)tree.
+type node struct {
+	schema    types.Schema
+	build     func(in Input) exec.Operator
+	streamAgg *StreamAgg
+	// closeCol is the output column carrying cq_close(*), or -1.
+	closeCol int
+
+	// State for ORDER BY planning above this node: the scope expressions
+	// may be compiled against (input scope, or post-aggregation scope), a
+	// rewrite applied before compiling (aggregate rewriting), and the
+	// pieces needed to add hidden sort columns.
+	preScope     *scope
+	preBuild     func(in Input) exec.Operator
+	preRewrite   func(sql.Expr) (sql.Expr, error)
+	projExprs    []*expr.Scalar
+	distinct     bool
+	aggPostScope *scope
+}
+
+// ------------------------------------------------------------- scopes
+
+// scopeCol is one resolvable column: qualifier (alias), name, type and
+// position in the concatenated input row.
+type scopeCol struct {
+	qual string
+	name string
+	typ  types.Type
+}
+
+// scope resolves column references against an ordered column list.
+type scope struct {
+	cols []scopeCol
+}
+
+// ResolveColumn implements expr.Binder.
+func (s *scope) ResolveColumn(table, name string) (expr.ColumnBinding, error) {
+	found := -1
+	for i, c := range s.cols {
+		if c.name != name {
+			continue
+		}
+		if table != "" && c.qual != table {
+			continue
+		}
+		if found >= 0 {
+			return expr.ColumnBinding{}, fmt.Errorf("plan: column reference %q is ambiguous", refName(table, name))
+		}
+		found = i
+	}
+	if found < 0 {
+		return expr.ColumnBinding{}, fmt.Errorf("plan: column %q does not exist", refName(table, name))
+	}
+	return expr.ColumnBinding{Index: found, Type: s.cols[found].typ}, nil
+}
+
+func refName(table, name string) string {
+	if table != "" {
+		return table + "." + name
+	}
+	return name
+}
+
+// schemaOf converts scope columns to an output schema.
+func (s *scope) schema() types.Schema {
+	out := make(types.Schema, len(s.cols))
+	for i, c := range s.cols {
+		out[i] = types.Column{Name: c.name, Type: c.typ}
+	}
+	return out
+}
+
+func scopeFrom(qual string, schema types.Schema) *scope {
+	cols := make([]scopeCol, len(schema))
+	for i, c := range schema {
+		cols[i] = scopeCol{qual: qual, name: c.Name, typ: c.Type}
+	}
+	return &scope{cols: cols}
+}
+
+func concatScopes(a, b *scope) *scope {
+	cols := make([]scopeCol, 0, len(a.cols)+len(b.cols))
+	cols = append(cols, a.cols...)
+	cols = append(cols, b.cols...)
+	return &scope{cols: cols}
+}
+
+// ------------------------------------------------------------- helpers
+
+// splitConjuncts flattens a predicate into AND-ed conjuncts.
+func splitConjuncts(e sql.Expr) []sql.Expr {
+	if e == nil {
+		return nil
+	}
+	if be, ok := e.(*sql.BinaryExpr); ok && be.Op == sql.OpAnd {
+		return append(splitConjuncts(be.L), splitConjuncts(be.R)...)
+	}
+	return []sql.Expr{e}
+}
+
+// andAll rebuilds a conjunction; nil for an empty list.
+func andAll(es []sql.Expr) sql.Expr {
+	var out sql.Expr
+	for _, e := range es {
+		if out == nil {
+			out = e
+		} else {
+			out = &sql.BinaryExpr{Op: sql.OpAnd, L: out, R: e}
+		}
+	}
+	return out
+}
+
+// columnRefs collects every column reference in e.
+func columnRefs(e sql.Expr) []*sql.ColumnRef {
+	var out []*sql.ColumnRef
+	sql.WalkExprs(e, func(x sql.Expr) bool {
+		if c, ok := x.(*sql.ColumnRef); ok {
+			out = append(out, c)
+		}
+		return true
+	})
+	return out
+}
+
+// refsResolvable reports whether every column reference in e resolves in s.
+func refsResolvable(e sql.Expr, s *scope) bool {
+	for _, c := range columnRefs(e) {
+		if _, err := s.ResolveColumn(c.Table, c.Name); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// isConst reports whether e contains no column references (it may still
+// reference per-execution context like now() or cq_close(*), which is fine
+// for bounds evaluated at Open time).
+func isConst(e sql.Expr) bool { return len(columnRefs(e)) == 0 }
+
+// containsAggregate reports whether e contains an aggregate call.
+func containsAggregate(e sql.Expr) bool {
+	found := false
+	sql.WalkExprs(e, func(x sql.Expr) bool {
+		if fc, ok := x.(*sql.FuncCall); ok && expr.IsAggregate(fc.Name) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// rewriteExpr returns a copy of e with every node for which repl returns a
+// replacement substituted (top-down; replaced subtrees are not descended).
+func rewriteExpr(e sql.Expr, repl func(sql.Expr) (sql.Expr, bool)) sql.Expr {
+	if e == nil {
+		return nil
+	}
+	if r, ok := repl(e); ok {
+		return r
+	}
+	switch n := e.(type) {
+	case *sql.Literal, *sql.ColumnRef:
+		return e
+	case *sql.BinaryExpr:
+		return &sql.BinaryExpr{Op: n.Op, L: rewriteExpr(n.L, repl), R: rewriteExpr(n.R, repl)}
+	case *sql.UnaryExpr:
+		return &sql.UnaryExpr{Op: n.Op, E: rewriteExpr(n.E, repl)}
+	case *sql.FuncCall:
+		args := make([]sql.Expr, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = rewriteExpr(a, repl)
+		}
+		return &sql.FuncCall{Name: n.Name, Args: args, Star: n.Star, Distinct: n.Distinct}
+	case *sql.CastExpr:
+		return &sql.CastExpr{E: rewriteExpr(n.E, repl), To: n.To}
+	case *sql.IsNullExpr:
+		return &sql.IsNullExpr{E: rewriteExpr(n.E, repl), Neg: n.Neg}
+	case *sql.BetweenExpr:
+		return &sql.BetweenExpr{E: rewriteExpr(n.E, repl), Lo: rewriteExpr(n.Lo, repl),
+			Hi: rewriteExpr(n.Hi, repl), Neg: n.Neg}
+	case *sql.InExpr:
+		list := make([]sql.Expr, len(n.List))
+		for i, a := range n.List {
+			list[i] = rewriteExpr(a, repl)
+		}
+		return &sql.InExpr{E: rewriteExpr(n.E, repl), List: list, Neg: n.Neg}
+	case *sql.LikeExpr:
+		return &sql.LikeExpr{E: rewriteExpr(n.E, repl), Pattern: rewriteExpr(n.Pattern, repl), Neg: n.Neg}
+	case *sql.CaseExpr:
+		whens := make([]sql.CaseWhen, len(n.Whens))
+		for i, w := range n.Whens {
+			whens[i] = sql.CaseWhen{Cond: rewriteExpr(w.Cond, repl), Result: rewriteExpr(w.Result, repl)}
+		}
+		return &sql.CaseExpr{Operand: rewriteExpr(n.Operand, repl), Whens: whens, Else: rewriteExpr(n.Else, repl)}
+	}
+	return e
+}
+
+// outName derives the output column name for a projection item.
+func outName(item sql.SelectItem, idx int) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	switch e := item.Expr.(type) {
+	case *sql.ColumnRef:
+		return e.Name
+	case *sql.FuncCall:
+		return strings.ToLower(e.Name)
+	case *sql.CastExpr:
+		if c, ok := e.E.(*sql.ColumnRef); ok {
+			return c.Name
+		}
+	}
+	return fmt.Sprintf("column%d", idx+1)
+}
+
+// evalConstInt evaluates a constant integer expression (LIMIT/OFFSET).
+func evalConstInt(e sql.Expr, what string) (int64, error) {
+	s, err := expr.Compile(e, expr.ConstBinder{})
+	if err != nil {
+		return 0, fmt.Errorf("plan: %s: %w", what, err)
+	}
+	v, err := s.Eval(&expr.Ctx{})
+	if err != nil {
+		return 0, fmt.Errorf("plan: %s: %w", what, err)
+	}
+	if v.Type() != types.TypeInt {
+		return 0, fmt.Errorf("plan: %s must be an integer", what)
+	}
+	if v.Int() < 0 {
+		return 0, fmt.Errorf("plan: %s must not be negative", what)
+	}
+	return v.Int(), nil
+}

@@ -1,0 +1,191 @@
+// Package server exposes a streamrel engine over TCP with a
+// newline-delimited JSON protocol. One request, one response — except
+// subscriptions, whose window batches are pushed asynchronously, which is
+// the natural wire shape for continuous queries: the paper's CQs "produce
+// answers incrementally and run until they are explicitly terminated".
+//
+// Frame format (one JSON object per line):
+//
+//	→ {"id":1,"op":"exec","sql":"CREATE TABLE t (a bigint)"}
+//	← {"id":1,"ok":true}
+//	→ {"id":2,"op":"query","sql":"SELECT * FROM t"}
+//	← {"id":2,"ok":true,"columns":[{"name":"a","type":"BIGINT"}],"rows":[[{"i":1}]]}
+//	→ {"id":3,"op":"subscribe","sql":"SELECT count(*) FROM s <ADVANCE '1 minute'>"}
+//	← {"id":3,"ok":true,"cq":7,"columns":[…]}
+//	← {"cq":7,"close":61000000,"rows":[[{"i":42}]]}        (async, repeated)
+//	→ {"id":4,"op":"unsubscribe","cq":7}
+//	→ {"id":5,"op":"append","stream":"s","rows":[[…],[…]]}
+//	→ {"id":6,"op":"advance","stream":"s","ts":61000000}
+//
+// Values are tagged JSON objects so types round-trip exactly:
+// null, {"b":bool}, {"i":int64}, {"f":float64}, {"s":string},
+// {"ts":micros}, {"iv":micros}.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"streamrel/internal/types"
+)
+
+// Request is one client frame.
+type Request struct {
+	ID     int64         `json:"id"`
+	Op     string        `json:"op"`
+	SQL    string        `json:"sql,omitempty"`
+	Stream string        `json:"stream,omitempty"`
+	Rows   [][]WireValue `json:"rows,omitempty"`
+	TS     int64         `json:"ts,omitempty"`
+	CQ     int64         `json:"cq,omitempty"`
+	// Args bind $1, $2, … placeholders in SQL.
+	Args []WireValue `json:"args,omitempty"`
+}
+
+// Response is one server frame. Async CQ batches have ID 0 and CQ set.
+type Response struct {
+	ID      int64         `json:"id,omitempty"`
+	OK      bool          `json:"ok,omitempty"`
+	Error   string        `json:"error,omitempty"`
+	Columns []WireColumn  `json:"columns,omitempty"`
+	Rows    [][]WireValue `json:"rows,omitempty"`
+	// Affected is the DML row count.
+	Affected int `json:"affected,omitempty"`
+	// CQ is the subscription handle (on subscribe responses and batches).
+	CQ int64 `json:"cq,omitempty"`
+	// Close is the window boundary of an async batch, micros since epoch.
+	Close int64 `json:"close,omitempty"`
+	// Batch marks asynchronous CQ result frames.
+	Batch bool `json:"batch,omitempty"`
+}
+
+// WireColumn is a schema column on the wire.
+type WireColumn struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+// WireValue is one SQL value in tagged-JSON form.
+type WireValue struct {
+	B  *bool    `json:"b,omitempty"`
+	I  *int64   `json:"i,omitempty"`
+	F  *float64 `json:"f,omitempty"`
+	S  *string  `json:"s,omitempty"`
+	TS *int64   `json:"ts,omitempty"`
+	IV *int64   `json:"iv,omitempty"`
+}
+
+// MarshalJSON renders NULL as JSON null.
+func (w WireValue) MarshalJSON() ([]byte, error) {
+	type alias WireValue
+	if w.B == nil && w.I == nil && w.F == nil && w.S == nil && w.TS == nil && w.IV == nil {
+		return []byte("null"), nil
+	}
+	return json.Marshal(alias(w))
+}
+
+// UnmarshalJSON accepts JSON null for NULL.
+func (w *WireValue) UnmarshalJSON(data []byte) error {
+	if string(data) == "null" {
+		*w = WireValue{}
+		return nil
+	}
+	type alias WireValue
+	var a alias
+	if err := json.Unmarshal(data, &a); err != nil {
+		return err
+	}
+	*w = WireValue(a)
+	return nil
+}
+
+// EncodeValue converts a datum to its wire form.
+func EncodeValue(d types.Datum) WireValue {
+	switch d.Type() {
+	case types.TypeBool:
+		v := d.Bool()
+		return WireValue{B: &v}
+	case types.TypeInt:
+		v := d.Int()
+		return WireValue{I: &v}
+	case types.TypeFloat:
+		v := d.Float()
+		return WireValue{F: &v}
+	case types.TypeString:
+		v := d.Str()
+		return WireValue{S: &v}
+	case types.TypeTimestamp:
+		v := d.TimestampMicros()
+		return WireValue{TS: &v}
+	case types.TypeInterval:
+		v := d.IntervalMicros()
+		return WireValue{IV: &v}
+	default:
+		return WireValue{}
+	}
+}
+
+// DecodeValue converts a wire value back to a datum.
+func DecodeValue(w WireValue) (types.Datum, error) {
+	set := 0
+	var out types.Datum = types.Null
+	if w.B != nil {
+		set++
+		out = types.NewBool(*w.B)
+	}
+	if w.I != nil {
+		set++
+		out = types.NewInt(*w.I)
+	}
+	if w.F != nil {
+		set++
+		out = types.NewFloat(*w.F)
+	}
+	if w.S != nil {
+		set++
+		out = types.NewString(*w.S)
+	}
+	if w.TS != nil {
+		set++
+		out = types.NewTimestampMicros(*w.TS)
+	}
+	if w.IV != nil {
+		set++
+		out = types.NewIntervalMicros(*w.IV)
+	}
+	if set > 1 {
+		return types.Null, fmt.Errorf("server: ambiguous wire value")
+	}
+	return out, nil
+}
+
+// EncodeRow converts a row to wire form.
+func EncodeRow(r types.Row) []WireValue {
+	out := make([]WireValue, len(r))
+	for i, d := range r {
+		out[i] = EncodeValue(d)
+	}
+	return out
+}
+
+// DecodeRow converts a wire row back to datums.
+func DecodeRow(ws []WireValue) (types.Row, error) {
+	out := make(types.Row, len(ws))
+	for i, w := range ws {
+		d, err := DecodeValue(w)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = d
+	}
+	return out, nil
+}
+
+// EncodeSchema converts a schema to wire form.
+func EncodeSchema(s types.Schema) []WireColumn {
+	out := make([]WireColumn, len(s))
+	for i, c := range s {
+		out[i] = WireColumn{Name: c.Name, Type: c.Type.String()}
+	}
+	return out
+}

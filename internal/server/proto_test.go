@@ -1,0 +1,31 @@
+package server
+
+import (
+	"testing"
+
+	"streamrel/internal/types"
+)
+
+func TestWireValueEncoding(t *testing.T) {
+	cases := []types.Datum{
+		types.Null, types.True, types.NewInt(-5), types.NewFloat(2.5),
+		types.NewString("x"), types.NewTimestampMicros(123), types.NewIntervalMicros(-60),
+	}
+	for _, d := range cases {
+		got, err := DecodeValue(EncodeValue(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.IsNull() != d.IsNull() || (!d.IsNull() && types.Compare(got, d) != 0) {
+			t.Fatalf("round trip %v -> %v", d, got)
+		}
+		if !d.IsNull() && got.Type() != d.Type() {
+			t.Fatalf("type changed: %v -> %v", d.Type(), got.Type())
+		}
+	}
+	// Ambiguous values rejected.
+	i, f := int64(1), 2.5
+	if _, err := DecodeValue(WireValue{I: &i, F: &f}); err == nil {
+		t.Fatal("ambiguous wire value accepted")
+	}
+}

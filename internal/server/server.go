@@ -1,0 +1,238 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"streamrel"
+)
+
+// Server serves one engine over TCP.
+type Server struct {
+	eng *streamrel.Engine
+	lis net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	// Log receives connection errors; nil silences them.
+	Log *log.Logger
+}
+
+// New creates a server for the engine.
+func New(eng *streamrel.Engine) *Server {
+	return &Server{eng: eng, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen binds to addr (e.g. "127.0.0.1:7475") and returns the bound
+// address — useful with port 0.
+func (s *Server) Listen(addr string) (string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.lis = lis
+	return lis.Addr().String(), nil
+}
+
+// Serve accepts connections until Close. Call after Listen; blocks.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Close stops accepting and closes every connection.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if s.lis != nil {
+		return s.lis.Close()
+	}
+	return nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Log != nil {
+		s.Log.Printf(format, args...)
+	}
+}
+
+// session is one connection's state.
+type session struct {
+	srv    *Server
+	conn   net.Conn
+	wmu    sync.Mutex // serializes frame writes (responses vs CQ pushes)
+	enc    *json.Encoder
+	nextCQ int64
+	cqs    map[int64]*streamrel.CQ
+	done   chan struct{}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	sess := &session{
+		srv:  s,
+		conn: conn,
+		enc:  json.NewEncoder(conn),
+		cqs:  make(map[int64]*streamrel.CQ),
+		done: make(chan struct{}),
+	}
+	defer func() {
+		close(sess.done)
+		for _, cq := range sess.cqs {
+			cq.Close()
+		}
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
+	rd := bufio.NewReaderSize(conn, 1<<20)
+	dec := json.NewDecoder(rd)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("server: decode: %v", err)
+			}
+			return
+		}
+		resp := sess.dispatch(&req)
+		resp.ID = req.ID
+		if err := sess.write(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (sess *session) write(resp *Response) error {
+	sess.wmu.Lock()
+	defer sess.wmu.Unlock()
+	return sess.enc.Encode(resp)
+}
+
+func fail(err error) *Response { return &Response{Error: err.Error()} }
+
+func (sess *session) dispatch(req *Request) *Response {
+	eng := sess.srv.eng
+	args, err := DecodeRow(req.Args)
+	if err != nil {
+		return fail(err)
+	}
+	switch req.Op {
+	case "exec":
+		res, err := eng.ExecArgs(req.SQL, args...)
+		if err != nil {
+			return fail(err)
+		}
+		out := &Response{OK: true, Affected: res.RowsAffected}
+		if res.Rows != nil {
+			out.Columns = EncodeSchema(res.Rows.Columns)
+			for _, r := range res.Rows.Data {
+				out.Rows = append(out.Rows, EncodeRow(r))
+			}
+		}
+		return out
+
+	case "query":
+		rows, err := eng.QueryArgs(req.SQL, args...)
+		if err != nil {
+			return fail(err)
+		}
+		out := &Response{OK: true, Columns: EncodeSchema(rows.Columns)}
+		for _, r := range rows.Data {
+			out.Rows = append(out.Rows, EncodeRow(r))
+		}
+		return out
+
+	case "append":
+		rows := make([]streamrel.Row, len(req.Rows))
+		for i, wr := range req.Rows {
+			r, err := DecodeRow(wr)
+			if err != nil {
+				return fail(err)
+			}
+			rows[i] = r
+		}
+		if err := eng.Append(req.Stream, rows...); err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true, Affected: len(rows)}
+
+	case "advance":
+		if err := eng.AdvanceTime(req.Stream, time.UnixMicro(req.TS).UTC()); err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true}
+
+	case "subscribe":
+		cq, err := eng.SubscribeArgs(req.SQL, args...)
+		if err != nil {
+			return fail(err)
+		}
+		sess.nextCQ++
+		handle := sess.nextCQ
+		sess.cqs[handle] = cq
+		// Pump batches to the client until the CQ or connection closes.
+		go func() {
+			for {
+				b, ok := cq.Next()
+				if !ok {
+					return
+				}
+				frame := &Response{Batch: true, CQ: handle, Close: b.Close.UnixMicro()}
+				for _, r := range b.Rows {
+					frame.Rows = append(frame.Rows, EncodeRow(r))
+				}
+				select {
+				case <-sess.done:
+					return
+				default:
+				}
+				if err := sess.write(frame); err != nil {
+					return
+				}
+			}
+		}()
+		return &Response{OK: true, CQ: handle, Columns: EncodeSchema(cq.Columns)}
+
+	case "unsubscribe":
+		cq, ok := sess.cqs[req.CQ]
+		if !ok {
+			return fail(fmt.Errorf("server: unknown cq %d", req.CQ))
+		}
+		cq.Close()
+		delete(sess.cqs, req.CQ)
+		return &Response{OK: true}
+
+	case "ping":
+		return &Response{OK: true}
+	}
+	return fail(fmt.Errorf("server: unknown op %q", req.Op))
+}

@@ -1,0 +1,587 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"streamrel/internal/types"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmtNode() }
+
+// Expr is any scalar expression node.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// ---------------------------------------------------------------- DDL/DML
+
+// ColumnDef is one column in a CREATE TABLE or CREATE STREAM.
+type ColumnDef struct {
+	Name   string
+	Type   types.Type
+	CQTime bool // marked CQTIME; streams only
+	// CQTimeSystem marks "CQTIME SYSTEM": the engine stamps arrival time
+	// instead of trusting the inserted value.
+	CQTimeSystem bool
+}
+
+// CreateTable is CREATE TABLE name (cols…).
+type CreateTable struct {
+	Name        string
+	Columns     []ColumnDef
+	IfNotExists bool
+}
+
+// CreateStream is CREATE STREAM name (cols…) with exactly one CQTIME column.
+type CreateStream struct {
+	Name        string
+	Columns     []ColumnDef
+	IfNotExists bool
+}
+
+// CreateDerivedStream is CREATE STREAM name AS select — an always-on CQ.
+type CreateDerivedStream struct {
+	Name        string
+	Query       *Select
+	IfNotExists bool
+}
+
+// CreateView is CREATE VIEW name AS select. If the query references a
+// stream it is a Streaming View, instantiated when used (paper §3.2).
+type CreateView struct {
+	Name        string
+	Query       *Select
+	IfNotExists bool
+}
+
+// ChannelMode selects how a channel writes into its table (paper §3.3).
+type ChannelMode int
+
+// Channel modes.
+const (
+	ChannelAppend  ChannelMode = iota // add new results to the table
+	ChannelReplace                    // each window's results replace the previous
+)
+
+func (m ChannelMode) String() string {
+	if m == ChannelReplace {
+		return "REPLACE"
+	}
+	return "APPEND"
+}
+
+// CreateChannel is CREATE CHANNEL name FROM stream INTO table APPEND|REPLACE.
+type CreateChannel struct {
+	Name        string
+	From        string // derived stream name
+	Into        string // table name (becomes an Active Table)
+	Mode        ChannelMode
+	IfNotExists bool
+}
+
+// CreateIndex is CREATE INDEX name ON table (cols…).
+type CreateIndex struct {
+	Name        string
+	Table       string
+	Columns     []string
+	IfNotExists bool
+}
+
+// ObjectKind names a droppable catalog object class.
+type ObjectKind int
+
+// Object kinds.
+const (
+	ObjTable ObjectKind = iota
+	ObjStream
+	ObjView
+	ObjChannel
+	ObjIndex
+)
+
+func (k ObjectKind) String() string {
+	switch k {
+	case ObjTable:
+		return "TABLE"
+	case ObjStream:
+		return "STREAM"
+	case ObjView:
+		return "VIEW"
+	case ObjChannel:
+		return "CHANNEL"
+	case ObjIndex:
+		return "INDEX"
+	}
+	return "?"
+}
+
+// Drop is DROP kind name.
+type Drop struct {
+	Kind     ObjectKind
+	Name     string
+	IfExists bool
+}
+
+// Insert is INSERT INTO table [(cols…)] VALUES… | select.
+type Insert struct {
+	Table   string
+	Columns []string
+	Rows    [][]Expr // literal rows; nil if Query is set
+	Query   *Select
+}
+
+// Update is UPDATE table SET col = expr… [WHERE…].
+type Update struct {
+	Table string
+	Set   []Assignment
+	Where Expr
+}
+
+// Assignment is one SET clause item.
+type Assignment struct {
+	Column string
+	Value  Expr
+}
+
+// Delete is DELETE FROM table [WHERE…].
+type Delete struct {
+	Table string
+	Where Expr
+}
+
+// Truncate is TRUNCATE table.
+type Truncate struct{ Table string }
+
+// Show is SHOW TABLES|STREAMS|VIEWS|CHANNELS.
+type Show struct{ What string }
+
+// Explain wraps a statement for plan display.
+type Explain struct{ Stmt Statement }
+
+func (*CreateTable) stmtNode()         {}
+func (*CreateStream) stmtNode()        {}
+func (*CreateDerivedStream) stmtNode() {}
+func (*CreateView) stmtNode()          {}
+func (*CreateChannel) stmtNode()       {}
+func (*CreateIndex) stmtNode()         {}
+func (*Drop) stmtNode()                {}
+func (*Insert) stmtNode()              {}
+func (*Update) stmtNode()              {}
+func (*Delete) stmtNode()              {}
+func (*Truncate) stmtNode()            {}
+func (*Show) stmtNode()                {}
+func (*Explain) stmtNode()             {}
+func (*Select) stmtNode()              {}
+
+// ---------------------------------------------------------------- SELECT
+
+// Select is a (possibly continuous) query block. Set operations chain via
+// SetOp.
+type Select struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef // joined with CROSS semantics when >1 (plus WHERE)
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    Expr
+	Offset   Expr
+	SetOp    *SetOp // optional trailing UNION/EXCEPT/INTERSECT
+}
+
+// SetOpKind distinguishes UNION, EXCEPT and INTERSECT.
+type SetOpKind int
+
+// Set operation kinds.
+const (
+	SetUnion SetOpKind = iota
+	SetExcept
+	SetIntersect
+)
+
+// SetOp chains a set operation onto a select.
+type SetOp struct {
+	Kind  SetOpKind
+	All   bool
+	Right *Select
+}
+
+// SelectItem is one projection: expr [AS alias], *, or table.*.
+type SelectItem struct {
+	Expr      Expr
+	Alias     string
+	Star      bool
+	TableStar string // "t" for t.*
+}
+
+// NullsOrder is the explicit NULLS FIRST/LAST request on an ORDER BY key.
+type NullsOrder int
+
+// Nulls placements. Default follows the total order (NULLs first
+// ascending, last descending).
+const (
+	NullsDefault NullsOrder = iota
+	NullsFirst
+	NullsLast
+)
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr  Expr
+	Desc  bool
+	Nulls NullsOrder
+}
+
+// TableRef is a FROM-clause item.
+type TableRef interface{ tableRefNode() }
+
+// BaseTable references a named table, stream, view or derived stream,
+// optionally with a window specification (streams only).
+type BaseTable struct {
+	Name   string
+	Alias  string
+	Window *WindowSpec
+}
+
+// Subquery is a parenthesized select in FROM.
+type Subquery struct {
+	Query *Select
+	Alias string
+}
+
+// JoinType enumerates join variants.
+type JoinType int
+
+// Join types.
+const (
+	JoinInner JoinType = iota
+	JoinLeft
+	JoinRight
+	JoinFull
+	JoinCross
+)
+
+func (t JoinType) String() string {
+	switch t {
+	case JoinInner:
+		return "INNER"
+	case JoinLeft:
+		return "LEFT"
+	case JoinRight:
+		return "RIGHT"
+	case JoinFull:
+		return "FULL"
+	case JoinCross:
+		return "CROSS"
+	}
+	return "?"
+}
+
+// Join is an explicit JOIN in FROM.
+type Join struct {
+	Type  JoinType
+	Left  TableRef
+	Right TableRef
+	On    Expr
+}
+
+func (*BaseTable) tableRefNode() {}
+func (*Subquery) tableRefNode()  {}
+func (*Join) tableRefNode()      {}
+
+// WindowKind distinguishes the window clause forms.
+type WindowKind int
+
+// Window kinds.
+const (
+	// WindowTime: VISIBLE and ADVANCE are interval microseconds over the
+	// stream's CQTIME attribute.
+	WindowTime WindowKind = iota
+	// WindowRows: VISIBLE and ADVANCE are row counts.
+	WindowRows
+	// WindowSlices: <SLICES n WINDOWS> — the last n window-emissions of a
+	// derived stream; advances one emission at a time.
+	WindowSlices
+)
+
+// WindowSpec is the parsed window clause attached to a stream reference.
+// The paper's Example 2 uses <VISIBLE '5 minutes' ADVANCE '1 minute'>;
+// Example 5 uses <SLICES 1 WINDOWS>.
+type WindowSpec struct {
+	Kind    WindowKind
+	Visible int64 // micros (WindowTime) or rows (WindowRows) or windows (WindowSlices)
+	Advance int64 // micros or rows; for WindowSlices fixed at 1 emission
+}
+
+func (w *WindowSpec) String() string {
+	switch w.Kind {
+	case WindowTime:
+		return fmt.Sprintf("<VISIBLE '%s' ADVANCE '%s'>",
+			types.FormatInterval(w.Visible), types.FormatInterval(w.Advance))
+	case WindowRows:
+		return fmt.Sprintf("<VISIBLE %d ROWS ADVANCE %d ROWS>", w.Visible, w.Advance)
+	case WindowSlices:
+		return fmt.Sprintf("<SLICES %d WINDOWS>", w.Visible)
+	}
+	return "<?>"
+}
+
+// ---------------------------------------------------------------- exprs
+
+// Literal is a constant.
+type Literal struct{ Val types.Datum }
+
+// ColumnRef is a possibly qualified column reference.
+type ColumnRef struct{ Table, Name string }
+
+// BinOp enumerates binary operators.
+type BinOp int
+
+// Binary operators.
+const (
+	OpEq BinOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpAnd
+	OpOr
+	OpConcat
+)
+
+var binOpNames = map[BinOp]string{
+	OpEq: "=", OpNe: "<>", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpAnd: "AND", OpOr: "OR", OpConcat: "||",
+}
+
+func (o BinOp) String() string { return binOpNames[o] }
+
+// BinaryExpr is L op R.
+type BinaryExpr struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// UnaryOp enumerates unary operators.
+type UnaryOp int
+
+// Unary operators.
+const (
+	OpNeg UnaryOp = iota
+	OpNot
+)
+
+// UnaryExpr is op E.
+type UnaryExpr struct {
+	Op UnaryOp
+	E  Expr
+}
+
+// FuncCall is name(args…); Star marks count(*)-style calls.
+type FuncCall struct {
+	Name     string
+	Args     []Expr
+	Star     bool
+	Distinct bool
+}
+
+// CastExpr is E::type or CAST(E AS type).
+type CastExpr struct {
+	E  Expr
+	To types.Type
+}
+
+// IsNullExpr is E IS [NOT] NULL.
+type IsNullExpr struct {
+	E   Expr
+	Neg bool
+}
+
+// BetweenExpr is E [NOT] BETWEEN Lo AND Hi.
+type BetweenExpr struct {
+	E, Lo, Hi Expr
+	Neg       bool
+}
+
+// InExpr is E [NOT] IN (list…).
+type InExpr struct {
+	E    Expr
+	List []Expr
+	Neg  bool
+}
+
+// LikeExpr is E [NOT] LIKE pattern.
+type LikeExpr struct {
+	E, Pattern Expr
+	Neg        bool
+}
+
+// CaseWhen is one WHEN … THEN … arm.
+type CaseWhen struct{ Cond, Result Expr }
+
+// CaseExpr is CASE [operand] WHEN… [ELSE…] END.
+type CaseExpr struct {
+	Operand Expr // nil for searched CASE
+	Whens   []CaseWhen
+	Else    Expr
+}
+
+func (*Literal) exprNode()     {}
+func (*ColumnRef) exprNode()   {}
+func (*BinaryExpr) exprNode()  {}
+func (*UnaryExpr) exprNode()   {}
+func (*FuncCall) exprNode()    {}
+func (*CastExpr) exprNode()    {}
+func (*IsNullExpr) exprNode()  {}
+func (*BetweenExpr) exprNode() {}
+func (*InExpr) exprNode()      {}
+func (*LikeExpr) exprNode()    {}
+func (*CaseExpr) exprNode()    {}
+
+func (e *Literal) String() string {
+	if e.Val.Type() == types.TypeString {
+		return "'" + strings.ReplaceAll(e.Val.Str(), "'", "''") + "'"
+	}
+	return e.Val.String()
+}
+
+func (e *ColumnRef) String() string {
+	if e.Table != "" {
+		return e.Table + "." + e.Name
+	}
+	return e.Name
+}
+
+func (e *BinaryExpr) String() string {
+	return "(" + e.L.String() + " " + e.Op.String() + " " + e.R.String() + ")"
+}
+
+func (e *UnaryExpr) String() string {
+	if e.Op == OpNot {
+		return "(NOT " + e.E.String() + ")"
+	}
+	return "(-" + e.E.String() + ")"
+}
+
+func (e *FuncCall) String() string {
+	if e.Star {
+		return e.Name + "(*)"
+	}
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.String()
+	}
+	d := ""
+	if e.Distinct {
+		d = "DISTINCT "
+	}
+	return e.Name + "(" + d + strings.Join(args, ", ") + ")"
+}
+
+func (e *CastExpr) String() string {
+	return "CAST(" + e.E.String() + " AS " + e.To.String() + ")"
+}
+
+func (e *IsNullExpr) String() string {
+	if e.Neg {
+		return "(" + e.E.String() + " IS NOT NULL)"
+	}
+	return "(" + e.E.String() + " IS NULL)"
+}
+
+func (e *BetweenExpr) String() string {
+	n := ""
+	if e.Neg {
+		n = "NOT "
+	}
+	return "(" + e.E.String() + " " + n + "BETWEEN " + e.Lo.String() + " AND " + e.Hi.String() + ")"
+}
+
+func (e *InExpr) String() string {
+	items := make([]string, len(e.List))
+	for i, a := range e.List {
+		items[i] = a.String()
+	}
+	n := ""
+	if e.Neg {
+		n = "NOT "
+	}
+	return "(" + e.E.String() + " " + n + "IN (" + strings.Join(items, ", ") + "))"
+}
+
+func (e *LikeExpr) String() string {
+	n := ""
+	if e.Neg {
+		n = "NOT "
+	}
+	return "(" + e.E.String() + " " + n + "LIKE " + e.Pattern.String() + ")"
+}
+
+func (e *CaseExpr) String() string {
+	var b strings.Builder
+	b.WriteString("CASE")
+	if e.Operand != nil {
+		b.WriteString(" " + e.Operand.String())
+	}
+	for _, w := range e.Whens {
+		b.WriteString(" WHEN " + w.Cond.String() + " THEN " + w.Result.String())
+	}
+	if e.Else != nil {
+		b.WriteString(" ELSE " + e.Else.String())
+	}
+	b.WriteString(" END")
+	return b.String()
+}
+
+// WalkExprs visits every expression in the tree rooted at e, depth-first.
+// The visitor returns false to stop descending into a node's children.
+func WalkExprs(e Expr, visit func(Expr) bool) {
+	if e == nil || !visit(e) {
+		return
+	}
+	switch n := e.(type) {
+	case *BinaryExpr:
+		WalkExprs(n.L, visit)
+		WalkExprs(n.R, visit)
+	case *UnaryExpr:
+		WalkExprs(n.E, visit)
+	case *FuncCall:
+		for _, a := range n.Args {
+			WalkExprs(a, visit)
+		}
+	case *CastExpr:
+		WalkExprs(n.E, visit)
+	case *IsNullExpr:
+		WalkExprs(n.E, visit)
+	case *BetweenExpr:
+		WalkExprs(n.E, visit)
+		WalkExprs(n.Lo, visit)
+		WalkExprs(n.Hi, visit)
+	case *InExpr:
+		WalkExprs(n.E, visit)
+		for _, a := range n.List {
+			WalkExprs(a, visit)
+		}
+	case *LikeExpr:
+		WalkExprs(n.E, visit)
+		WalkExprs(n.Pattern, visit)
+	case *CaseExpr:
+		WalkExprs(n.Operand, visit)
+		for _, w := range n.Whens {
+			WalkExprs(w.Cond, visit)
+			WalkExprs(w.Result, visit)
+		}
+		WalkExprs(n.Else, visit)
+	}
+}

@@ -1,0 +1,197 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"streamrel/internal/types"
+)
+
+func TestLexParams(t *testing.T) {
+	toks, err := Tokenize(`$1 $23`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokParam || toks[0].Text != "1" {
+		t.Fatalf("%+v", toks[0])
+	}
+	if toks[1].Kind != TokParam || toks[1].Text != "23" {
+		t.Fatalf("%+v", toks[1])
+	}
+	if _, err := Tokenize(`$x`); err == nil {
+		t.Fatal("bare $ should fail")
+	}
+}
+
+func TestParseParams(t *testing.T) {
+	e, err := ParseExpr(`a = $1 AND b BETWEEN $2 AND $3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	WalkExprs(e, func(x Expr) bool {
+		if _, ok := x.(*Param); ok {
+			n++
+		}
+		return true
+	})
+	// WalkExprs doesn't visit Param specially; count via String instead.
+	if !strings.Contains(e.String(), "$1") {
+		t.Fatalf("params lost: %s", e.String())
+	}
+}
+
+func TestBindParamsSelect(t *testing.T) {
+	stmt, err := Parse(`SELECT a + $1 FROM t WHERE b = $2 GROUP BY a + $1 HAVING count(*) > $3 ORDER BY 1 LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := BindParams(stmt, []types.Datum{
+		types.NewInt(10), types.NewString("x"), types.NewInt(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := bound.(*Select)
+	if sel.Items[0].Expr.String() != "(a + 10)" {
+		t.Fatalf("items: %s", sel.Items[0].Expr.String())
+	}
+	if sel.Where.String() != "(b = 'x')" {
+		t.Fatalf("where: %s", sel.Where.String())
+	}
+	if sel.Having.String() != "(count(*) > 2)" {
+		t.Fatalf("having: %s", sel.Having.String())
+	}
+	// The original AST is untouched.
+	if !strings.Contains(stmt.(*Select).Where.String(), "$2") {
+		t.Fatal("BindParams mutated the original statement")
+	}
+}
+
+func TestBindParamsSubqueryAndJoin(t *testing.T) {
+	stmt, _ := Parse(`SELECT * FROM (SELECT a FROM t WHERE a > $1) s JOIN u ON s.a = u.a AND u.b = $2`)
+	bound, err := BindParams(stmt, []types.Datum{types.NewInt(1), types.NewInt(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(boundString(bound), "$") {
+		t.Fatalf("unbound params remain: %s", boundString(bound))
+	}
+}
+
+func boundString(stmt Statement) string {
+	sel := stmt.(*Select)
+	var parts []string
+	for _, item := range sel.Items {
+		if item.Expr != nil {
+			parts = append(parts, item.Expr.String())
+		}
+	}
+	var collect func(TableRef)
+	collect = func(r TableRef) {
+		switch n := r.(type) {
+		case *Subquery:
+			if n.Query.Where != nil {
+				parts = append(parts, n.Query.Where.String())
+			}
+		case *Join:
+			collect(n.Left)
+			collect(n.Right)
+			if n.On != nil {
+				parts = append(parts, n.On.String())
+			}
+		}
+	}
+	for _, r := range sel.From {
+		collect(r)
+	}
+	return strings.Join(parts, " ")
+}
+
+func TestBindParamsDML(t *testing.T) {
+	stmt, _ := Parse(`INSERT INTO t VALUES ($1, $2)`)
+	bound, err := BindParams(stmt, []types.Datum{types.NewInt(1), types.NewInt(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := bound.(*Insert)
+	if ins.Rows[0][0].String() != "1" || ins.Rows[0][1].String() != "2" {
+		t.Fatalf("%v", ins.Rows)
+	}
+
+	stmt, _ = Parse(`UPDATE t SET a = $1 WHERE b = $2`)
+	bound, err = BindParams(stmt, []types.Datum{types.NewInt(1), types.NewInt(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := bound.(*Update)
+	if up.Set[0].Value.String() != "1" || up.Where.String() != "(b = 2)" {
+		t.Fatalf("%+v", up)
+	}
+
+	stmt, _ = Parse(`DELETE FROM t WHERE a IN ($1, $2)`)
+	if _, err := BindParams(stmt, []types.Datum{types.NewInt(1), types.NewInt(2)}); err != nil {
+		t.Fatal(err)
+	}
+
+	stmt, _ = Parse(`INSERT INTO t SELECT a FROM u WHERE a = $1`)
+	if _, err := BindParams(stmt, []types.Datum{types.NewInt(1)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBindParamsErrors(t *testing.T) {
+	stmt, _ := Parse(`SELECT $2 FROM t`)
+	if _, err := BindParams(stmt, []types.Datum{types.NewInt(1)}); err == nil {
+		t.Fatal("out of range")
+	}
+	stmt, _ = Parse(`SELECT $1 FROM t`)
+	if _, err := BindParams(stmt, []types.Datum{types.NewInt(1), types.NewInt(2)}); err == nil {
+		t.Fatal("unused trailing arg")
+	}
+	stmt, _ = Parse(`CREATE TABLE t (a bigint)`)
+	if _, err := BindParams(stmt, []types.Datum{types.NewInt(1)}); err == nil {
+		t.Fatal("DDL with args")
+	}
+	// DDL with zero args passes through unchanged.
+	if out, err := BindParams(stmt, nil); err != nil || out != stmt {
+		t.Fatal("DDL without args should pass through")
+	}
+}
+
+func TestBindParamsInCaseAndSetOps(t *testing.T) {
+	stmt, _ := Parse(`SELECT CASE WHEN a > $1 THEN $2 ELSE $3 END FROM t
+		UNION SELECT b FROM u WHERE b < $4`)
+	bound, err := BindParams(stmt, []types.Datum{
+		types.NewInt(1), types.NewString("hi"), types.NewString("lo"), types.NewInt(9),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := bound.(*Select)
+	if strings.Contains(sel.Items[0].Expr.String(), "$") {
+		t.Fatal("case params unbound")
+	}
+	if strings.Contains(sel.SetOp.Right.Where.String(), "$") {
+		t.Fatal("set-op params unbound")
+	}
+}
+
+func TestParseScriptTextSpans(t *testing.T) {
+	parsed, err := ParseScript(`
+		CREATE TABLE a (x bigint);  -- comment
+		INSERT INTO a VALUES (1);
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != 2 {
+		t.Fatalf("%d statements", len(parsed))
+	}
+	if parsed[0].Text != "CREATE TABLE a (x bigint)" {
+		t.Fatalf("text 0: %q", parsed[0].Text)
+	}
+	if parsed[1].Text != "INSERT INTO a VALUES (1)" {
+		t.Fatalf("text 1: %q", parsed[1].Text)
+	}
+}

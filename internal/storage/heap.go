@@ -1,0 +1,182 @@
+// Package storage implements the persistent structures of the engine: MVCC
+// heap tables and B-tree secondary indexes. Per the paper's unification
+// principle (§2.3), "stored data is simply streaming data that has been
+// entered into persistent structures such as tables and indexes" — this
+// package is those structures.
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"streamrel/internal/txn"
+	"streamrel/internal/types"
+)
+
+// RowID identifies a row version within a heap. RowIDs are stable for the
+// life of the heap (versions are never moved), which lets indexes reference
+// them and lets the WAL name them during replay.
+type RowID uint64
+
+// version is one MVCC row version.
+type version struct {
+	xmin txn.ID
+	xmax txn.ID
+	row  types.Row
+}
+
+// Heap is an append-only, versioned row store. Deletes stamp xmax; updates
+// are delete+insert. A background vacuum is unnecessary at the scale this
+// engine targets, but Vacuum is provided for long-running processes.
+type Heap struct {
+	mu       sync.RWMutex
+	name     string
+	schema   types.Schema
+	versions []version
+	liveEst  int // rough count of versions with xmax == 0
+}
+
+// NewHeap creates an empty heap for the given schema.
+func NewHeap(name string, schema types.Schema) *Heap {
+	return &Heap{name: name, schema: schema}
+}
+
+// Name returns the heap's table name.
+func (h *Heap) Name() string { return h.name }
+
+// Schema returns the heap's schema.
+func (h *Heap) Schema() types.Schema { return h.schema }
+
+// Insert appends a new row version owned by tx and returns its RowID.
+// The row must match the schema arity; the caller has already type-checked.
+func (h *Heap) Insert(tx txn.ID, row types.Row) (RowID, error) {
+	if len(row) != len(h.schema) {
+		return 0, fmt.Errorf("storage: %s: row has %d columns, schema has %d",
+			h.name, len(row), len(h.schema))
+	}
+	h.mu.Lock()
+	id := RowID(len(h.versions))
+	h.versions = append(h.versions, version{xmin: tx, row: row})
+	h.liveEst++
+	h.mu.Unlock()
+	return id, nil
+}
+
+// Delete stamps the version as deleted by tx. Deleting an already-deleted
+// version is an error (write-write conflict surfaced to the caller).
+func (h *Heap) Delete(tx txn.ID, id RowID) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if int(id) >= len(h.versions) {
+		return fmt.Errorf("storage: %s: no row %d", h.name, id)
+	}
+	v := &h.versions[id]
+	if v.xmax != 0 {
+		return fmt.Errorf("storage: %s: row %d concurrently deleted", h.name, id)
+	}
+	v.xmax = tx
+	h.liveEst--
+	return nil
+}
+
+// UndoDelete clears a delete stamp set by an aborted transaction.
+func (h *Heap) UndoDelete(tx txn.ID, id RowID) {
+	h.mu.Lock()
+	if int(id) < len(h.versions) && h.versions[id].xmax == tx {
+		h.versions[id].xmax = 0
+		h.liveEst++
+	}
+	h.mu.Unlock()
+}
+
+// Get returns the row for id if it is visible under snap.
+func (h *Heap) Get(snap txn.Snapshot, id RowID) (types.Row, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if int(id) >= len(h.versions) {
+		return nil, false
+	}
+	v := h.versions[id]
+	if !snap.VisibleVersion(v.xmin, v.xmax) {
+		return nil, false
+	}
+	return v.row, true
+}
+
+// Scan calls fn for every version visible under snap, in insertion order.
+// fn returns false to stop early. The row passed to fn must not be
+// mutated.
+func (h *Heap) Scan(snap txn.Snapshot, fn func(RowID, types.Row) bool) {
+	h.mu.RLock()
+	n := len(h.versions)
+	h.mu.RUnlock()
+	// Versions beyond n were created after the scan began and are invisible
+	// to any snapshot the caller can hold; index only up to n. Individual
+	// version reads take the lock briefly so concurrent appends don't block
+	// the whole scan.
+	for i := 0; i < n; i++ {
+		h.mu.RLock()
+		v := h.versions[i]
+		h.mu.RUnlock()
+		if !snap.VisibleVersion(v.xmin, v.xmax) {
+			continue
+		}
+		if !fn(RowID(i), v.row) {
+			return
+		}
+	}
+}
+
+// Count returns the number of rows visible under snap.
+func (h *Heap) Count(snap txn.Snapshot) int {
+	n := 0
+	h.Scan(snap, func(RowID, types.Row) bool { n++; return true })
+	return n
+}
+
+// LiveEstimate returns an O(1) approximation of live row count for the
+// planner's join-side selection.
+func (h *Heap) LiveEstimate() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if h.liveEst < 0 {
+		return 0
+	}
+	return h.liveEst
+}
+
+// Vacuum removes versions invisible to every snapshot at or after horizon
+// and returns the number removed. RowIDs are NOT stable across Vacuum, so
+// callers must rebuild indexes afterwards; the engine only vacuums during
+// checkpoints when it holds an exclusive lock.
+func (h *Heap) Vacuum(horizon txn.Snapshot) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	kept := h.versions[:0]
+	removed := 0
+	for _, v := range h.versions {
+		if v.xmax != 0 && !horizon.VisibleVersion(v.xmin, 0) {
+			// Created by an aborted txn or already deleted and invisible.
+		}
+		visible := horizon.VisibleVersion(v.xmin, v.xmax)
+		if visible {
+			// Freeze: owner is historic now.
+			kept = append(kept, version{xmin: txn.Bootstrap, row: v.row})
+		} else {
+			removed++
+		}
+	}
+	h.versions = kept
+	h.liveEst = len(kept)
+	return removed
+}
+
+// SnapshotRows returns all rows visible under snap; used by checkpoints.
+func (h *Heap) SnapshotRows(snap txn.Snapshot) []types.Row {
+	var out []types.Row
+	h.Scan(snap, func(_ RowID, r types.Row) bool {
+		out = append(out, r)
+		return true
+	})
+	return out
+}

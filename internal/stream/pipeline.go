@@ -1,0 +1,278 @@
+package stream
+
+import (
+	"fmt"
+
+	"streamrel/internal/exec"
+	"streamrel/internal/plan"
+	"streamrel/internal/sql"
+	"streamrel/internal/types"
+)
+
+// tsRow is a buffered stream row with its extracted timestamp.
+type tsRow struct {
+	ts  int64
+	row types.Row
+}
+
+// Pipeline is one running continuous query: it buffers stream rows into
+// the window defined by its plan and evaluates the plan at every window
+// close, sending results to its sink.
+type Pipeline struct {
+	rt   *Runtime
+	src  *source
+	plan *plan.Plan
+	win  sql.WindowSpec
+	sink Sink
+
+	// Time windows: rows retained for the sliding extent, plus the next
+	// boundary to close.
+	pending   []tsRow
+	nextClose int64
+	started   bool
+
+	// Row windows: the last `visible` rows; countdown to the next close.
+	rowBuf       []tsRow
+	sinceAdvance int64
+
+	// SLICES windows: the last n emissions of a derived stream.
+	emissions []emission
+
+	// Shared slice aggregation (nil when not applicable or disabled).
+	shared *sharedAgg
+
+	// resumeAfter suppresses closes at or before this boundary; recovery
+	// sets it from the Active Table's high-water mark (paper §4).
+	resumeAfter int64
+
+	windowsFired int64
+	rowsSeen     int64
+}
+
+type emission struct {
+	ts   int64
+	rows []types.Row
+}
+
+// newPipeline validates the window against the source and joins a shared
+// aggregation when the plan shape allows it.
+func newPipeline(rt *Runtime, src *source, p *plan.Plan, sink Sink) (*Pipeline, error) {
+	w := p.Stream.Window
+	pipe := &Pipeline{rt: rt, src: src, plan: p, win: w, sink: sink, resumeAfter: -1 << 62}
+	switch w.Kind {
+	case sql.WindowTime:
+		if w.Visible <= 0 || w.Advance <= 0 {
+			return nil, fmt.Errorf("stream: window extents must be positive")
+		}
+	case sql.WindowRows:
+		if w.Visible <= 0 || w.Advance <= 0 {
+			return nil, fmt.Errorf("stream: window extents must be positive")
+		}
+		if w.Advance > w.Visible {
+			return nil, fmt.Errorf("stream: row window ADVANCE larger than VISIBLE is not supported")
+		}
+	case sql.WindowSlices:
+		if src.cqtimeCol >= 0 {
+			return nil, fmt.Errorf("stream: <SLICES n WINDOWS> applies to derived streams")
+		}
+	}
+
+	// Shared slice aggregation: time windows whose VISIBLE is a multiple
+	// of ADVANCE, with the shareable plan shape.
+	if rt.sharing && p.StreamAgg != nil && w.Kind == sql.WindowTime && w.Visible%w.Advance == 0 {
+		key := fmt.Sprintf("%s@%d", p.StreamAgg.Fingerprint, w.Advance)
+		agg, ok := src.shared[key]
+		if !ok {
+			agg = newSharedAgg(key, p.StreamAgg, w.Advance)
+			src.shared[key] = agg
+		}
+		agg.attach(pipe)
+		pipe.shared = agg
+	}
+	return pipe, nil
+}
+
+// Plan returns the pipeline's compiled plan.
+func (p *Pipeline) Plan() *plan.Plan { return p.plan }
+
+// Shared reports whether this pipeline aggregates via shared slices.
+func (p *Pipeline) Shared() bool { return p.shared != nil }
+
+// ResumeAfter suppresses window closes at or before ts; used by recovery
+// so an Active Table is not fed duplicate windows after restart.
+func (p *Pipeline) ResumeAfter(ts int64) {
+	p.resumeAfter = ts
+	if p.win.Kind == sql.WindowTime {
+		// Start the boundary clock just past the resume point.
+		p.nextClose = p.alignUp(ts + 1)
+		p.started = true
+	}
+}
+
+// push buffers one row (already proven in-order by the source).
+func (p *Pipeline) push(row types.Row, ts int64) error {
+	p.rowsSeen++
+	switch p.win.Kind {
+	case sql.WindowTime:
+		if !p.started {
+			p.nextClose = p.alignUp(ts + 1)
+			p.started = true
+		}
+		if p.shared == nil {
+			p.pending = append(p.pending, tsRow{ts, row})
+		}
+		return nil
+	case sql.WindowRows:
+		p.rowBuf = append(p.rowBuf, tsRow{ts, row})
+		if len(p.rowBuf) > int(p.win.Visible) {
+			p.rowBuf = p.rowBuf[1:]
+		}
+		p.sinceAdvance++
+		if p.sinceAdvance >= p.win.Advance {
+			p.sinceAdvance = 0
+			return p.fireRows(ts)
+		}
+		return nil
+	case sql.WindowSlices:
+		// Rows accumulate into the current emission; endEmission seals it.
+		n := len(p.emissions)
+		if n == 0 || p.emissions[n-1].ts != ts {
+			p.emissions = append(p.emissions, emission{ts: ts})
+			n++
+		}
+		p.emissions[n-1].rows = append(p.emissions[n-1].rows, row)
+		return nil
+	}
+	return fmt.Errorf("stream: unknown window kind")
+}
+
+// advanceTo fires every time-window boundary at or before ts.
+func (p *Pipeline) advanceTo(ts int64) error {
+	if p.win.Kind != sql.WindowTime {
+		return nil
+	}
+	if !p.started {
+		// No data yet: set the clock so the first boundary is after ts
+		// (there is nothing to report before data or a later heartbeat).
+		p.nextClose = p.alignUp(ts + 1)
+		p.started = true
+		return nil
+	}
+	for p.nextClose <= ts {
+		c := p.nextClose
+		p.nextClose += p.win.Advance
+		if c <= p.resumeAfter {
+			p.prune(c)
+			continue
+		}
+		if err := p.fireTime(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// alignUp returns the smallest multiple of ADVANCE that is >= ts.
+func (p *Pipeline) alignUp(ts int64) int64 {
+	adv := p.win.Advance
+	q := floorDiv(ts, adv)
+	if q*adv < ts {
+		q++
+	}
+	return q * adv
+}
+
+// fireTime evaluates the window closing at boundary c: rows with
+// timestamps in [c-VISIBLE, c).
+func (p *Pipeline) fireTime(c int64) error {
+	var rows []types.Row
+	if p.shared != nil {
+		aggRows, err := p.shared.windowRows(c, p.win.Visible)
+		if err != nil {
+			return err
+		}
+		return p.runPost(c, aggRows)
+	}
+	lo := c - p.win.Visible
+	for _, tr := range p.pending {
+		if tr.ts >= lo && tr.ts < c {
+			rows = append(rows, tr.row)
+		}
+	}
+	p.prune(c)
+	return p.run(c, rows)
+}
+
+// prune drops buffered rows no window after boundary c can see.
+func (p *Pipeline) prune(c int64) {
+	keepFrom := c + p.win.Advance - p.win.Visible
+	i := 0
+	for i < len(p.pending) && p.pending[i].ts < keepFrom {
+		i++
+	}
+	if i > 0 {
+		p.pending = append(p.pending[:0], p.pending[i:]...)
+	}
+}
+
+// fireRows evaluates a row-count window: the last VISIBLE rows as of the
+// row that completed the ADVANCE count. cq_close is that row's timestamp.
+func (p *Pipeline) fireRows(ts int64) error {
+	if ts <= p.resumeAfter {
+		return nil
+	}
+	rows := make([]types.Row, len(p.rowBuf))
+	for i, tr := range p.rowBuf {
+		rows[i] = tr.row
+	}
+	return p.run(ts, rows)
+}
+
+// endEmission seals the current derived-stream emission and, for SLICES
+// windows, fires over the last n emissions.
+func (p *Pipeline) endEmission(ts int64, rowCount int) error {
+	if p.win.Kind != sql.WindowSlices {
+		return nil
+	}
+	// Ensure an (possibly empty) emission exists for ts.
+	n := len(p.emissions)
+	if n == 0 || p.emissions[n-1].ts != ts {
+		p.emissions = append(p.emissions, emission{ts: ts})
+		n++
+	}
+	// Retain only the last `Visible` emissions.
+	if over := n - int(p.win.Visible); over > 0 {
+		p.emissions = append(p.emissions[:0], p.emissions[over:]...)
+	}
+	if ts <= p.resumeAfter {
+		return nil
+	}
+	var rows []types.Row
+	for _, em := range p.emissions {
+		rows = append(rows, em.rows...)
+	}
+	return p.run(ts, rows)
+}
+
+// run executes the full plan over the window's rows and emits the result.
+func (p *Pipeline) run(c int64, rows []types.Row) error {
+	ctx := p.rt.snapshotCtx(c)
+	out, err := exec.Drain(ctx, p.plan.Build(plan.Input{WindowRows: rows}))
+	if err != nil {
+		return fmt.Errorf("stream: window close at %d: %w", c, err)
+	}
+	p.windowsFired++
+	return p.sink(c, out)
+}
+
+// runPost executes only the post-aggregation stage over merged shared
+// slice results.
+func (p *Pipeline) runPost(c int64, aggRows []types.Row) error {
+	ctx := p.rt.snapshotCtx(c)
+	out, err := exec.Drain(ctx, p.plan.StreamAgg.PostBuild(aggRows))
+	if err != nil {
+		return fmt.Errorf("stream: window close at %d: %w", c, err)
+	}
+	p.windowsFired++
+	return p.sink(c, out)
+}

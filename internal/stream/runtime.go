@@ -1,0 +1,388 @@
+// Package stream implements the continuous-query runtime: stream sources,
+// window processing ("windows produce a sequence of tables", paper Fig. 1),
+// derived streams, channels into Active Tables, and shared slice-based
+// aggregation across continuous queries (paper refs [4],[12]).
+//
+// Execution model: stream time is driven by data (CQTIME values) and by
+// explicit heartbeats. Sources require non-decreasing timestamps; when
+// time reaches a window boundary, the window's rows are materialized as a
+// relation and the query plan — the same iterator operators used by
+// snapshot queries — runs over it under a fresh MVCC snapshot (window
+// consistency, paper §4). All processing is synchronous on the pushing
+// goroutine, which makes results deterministic.
+package stream
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"streamrel/internal/exec"
+	"streamrel/internal/plan"
+	"streamrel/internal/txn"
+	"streamrel/internal/types"
+)
+
+// Sink receives the rows produced by one window close of a continuous
+// query.
+type Sink func(closeTS int64, rows []types.Row) error
+
+// LatePolicy decides what happens to a row whose timestamp precedes the
+// stream's high-water mark. The paper's streams are "ordered on an
+// attribute"; real feeds occasionally violate that, so deployments choose
+// a policy.
+type LatePolicy uint8
+
+// Late-row policies.
+const (
+	// LateReject returns an error to the producer (default: disorder is a
+	// bug in the feed).
+	LateReject LatePolicy = iota
+	// LateDrop silently discards late rows, counting them in Stats.
+	LateDrop
+	// LateClamp advances the row's timestamp to the high-water mark so it
+	// lands in the current window.
+	LateClamp
+)
+
+// Runtime owns every stream source and continuous query.
+type Runtime struct {
+	mu      sync.Mutex
+	sources map[string]*source
+	mgr     *txn.Manager
+	// Sharing enables shared slice aggregation across CQs with identical
+	// fingerprints (the paper's "Jellybean" shared processing). It can be
+	// disabled to measure its benefit (experiment E3).
+	sharing bool
+	now     func() time.Time
+	// Late is the disorder policy applied to all sources.
+	Late        LatePolicy
+	lateDropped int64
+}
+
+// NewRuntime creates a runtime bound to the transaction manager (window
+// consistency takes its snapshots there).
+func NewRuntime(mgr *txn.Manager, sharing bool) *Runtime {
+	return &Runtime{
+		sources: make(map[string]*source),
+		mgr:     mgr,
+		sharing: sharing,
+		now:     time.Now,
+	}
+}
+
+// source is the fan-out point for one stream (base or derived).
+type source struct {
+	name      string
+	schema    types.Schema
+	cqtimeCol int // -1: timestamps supplied by the pusher (derived streams)
+	lastTS    int64
+	hasTS     bool
+	pipes     []*Pipeline
+	taps      []*Sink
+	shared    map[string]*sharedAgg // key: fingerprint + advance
+}
+
+// RegisterSource declares a stream. cqtimeCol is the index of the CQTIME
+// column, or -1 when timestamps arrive out of band (derived streams).
+func (r *Runtime) RegisterSource(name string, schema types.Schema, cqtimeCol int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.sources[name]; ok {
+		return fmt.Errorf("stream: source %q already registered", name)
+	}
+	r.sources[name] = &source{
+		name:      name,
+		schema:    schema,
+		cqtimeCol: cqtimeCol,
+		shared:    make(map[string]*sharedAgg),
+	}
+	return nil
+}
+
+// DropSource removes a stream and detaches its subscribers.
+func (r *Runtime) DropSource(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.sources, name)
+}
+
+// HasSource reports whether name is a registered stream.
+func (r *Runtime) HasSource(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.sources[name]
+	return ok
+}
+
+// Subscribe attaches a compiled continuous query to its stream and returns
+// the pipeline handle. The plan must reference a stream.
+//
+// Subscription-time semantics: a new CQ starts observing from the next
+// arriving event. Its earliest windows may be partial with respect to
+// history — in unshared mode the buffer starts empty; in shared mode the
+// first windows may additionally see slices retained for longer-extent
+// members. Queries needing exact history replay it from an archive table
+// instead (INSERT INTO stream SELECT … ORDER BY ts).
+func (r *Runtime) Subscribe(p *plan.Plan, sink Sink) (*Pipeline, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p.Stream == nil {
+		return nil, fmt.Errorf("stream: plan is not a continuous query")
+	}
+	src, ok := r.sources[p.Stream.Name]
+	if !ok {
+		return nil, fmt.Errorf("stream: unknown stream %q", p.Stream.Name)
+	}
+	pipe, err := newPipeline(r, src, p, sink)
+	if err != nil {
+		return nil, err
+	}
+	src.pipes = append(src.pipes, pipe)
+	return pipe, nil
+}
+
+// Unsubscribe detaches a pipeline.
+func (r *Runtime) Unsubscribe(pipe *Pipeline) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	src := pipe.src
+	for i, p := range src.pipes {
+		if p == pipe {
+			src.pipes = append(src.pipes[:i], src.pipes[i+1:]...)
+			break
+		}
+	}
+	if pipe.shared != nil {
+		pipe.shared.detach(pipe)
+		if len(pipe.shared.members) == 0 {
+			delete(src.shared, pipe.shared.key)
+		}
+	}
+}
+
+// Push appends one row to a base stream. The row's CQTIME column supplies
+// its timestamp; timestamps must be non-decreasing (the paper's streams
+// are "ordered on an attribute").
+func (r *Runtime) Push(stream string, row types.Row) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pushLocked(stream, row, 0, false)
+}
+
+// PushBatch appends rows in order; one lock acquisition for the batch.
+func (r *Runtime) PushBatch(stream string, rows []types.Row) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, row := range rows {
+		if err := r.pushLocked(stream, row, 0, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pushLocked delivers one row. explicitTS is used for derived-stream
+// emissions (cqtimeCol == -1). Callers hold r.mu.
+func (r *Runtime) pushLocked(stream string, row types.Row, explicitTS int64, explicit bool) error {
+	src, ok := r.sources[stream]
+	if !ok {
+		return fmt.Errorf("stream: unknown stream %q", stream)
+	}
+	if len(row) != len(src.schema) {
+		return fmt.Errorf("stream: %s: row has %d columns, schema has %d",
+			stream, len(row), len(src.schema))
+	}
+	var ts int64
+	switch {
+	case explicit:
+		ts = explicitTS
+	case src.cqtimeCol >= 0:
+		d := row[src.cqtimeCol]
+		if d.Type() != types.TypeTimestamp {
+			return fmt.Errorf("stream: %s: CQTIME column is %s, want TIMESTAMP", stream, d.Type())
+		}
+		ts = d.TimestampMicros()
+	default:
+		return fmt.Errorf("stream: %s: no CQTIME column and no explicit timestamp", stream)
+	}
+	if src.hasTS && ts < src.lastTS {
+		switch r.Late {
+		case LateDrop:
+			r.lateDropped++
+			return nil
+		case LateClamp:
+			ts = src.lastTS
+		default:
+			return fmt.Errorf("stream: %s: out-of-order timestamp %d < %d (streams are ordered on CQTIME)",
+				stream, ts, src.lastTS)
+		}
+	}
+	src.lastTS, src.hasTS = ts, true
+
+	// A row at ts proves every window closing at or before ts is complete:
+	// fire those closes first, then buffer the row.
+	for _, pipe := range src.pipes {
+		if err := pipe.advanceTo(ts); err != nil {
+			return err
+		}
+	}
+	for _, agg := range src.shared {
+		agg.advanceTo(ts)
+	}
+	for _, pipe := range src.pipes {
+		if err := pipe.push(row, ts); err != nil {
+			return err
+		}
+	}
+	for _, agg := range src.shared {
+		if err := agg.push(row, ts); err != nil {
+			return err
+		}
+	}
+	// Base-stream taps archive raw rows as they arrive (derived-stream
+	// taps fire per emission in emitDerived instead).
+	if !explicit && src.cqtimeCol >= 0 {
+		for _, tap := range src.taps {
+			if err := (*tap)(ts, []types.Row{row}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Advance moves a stream's clock to ts (a heartbeat), closing any windows
+// whose boundary has been reached even if no data arrived.
+func (r *Runtime) Advance(stream string, ts int64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.advanceLocked(stream, ts)
+}
+
+func (r *Runtime) advanceLocked(stream string, ts int64) error {
+	src, ok := r.sources[stream]
+	if !ok {
+		return fmt.Errorf("stream: unknown stream %q", stream)
+	}
+	if src.hasTS && ts < src.lastTS {
+		return nil // stale heartbeat: ignore
+	}
+	src.lastTS, src.hasTS = ts, true
+	for _, pipe := range src.pipes {
+		if err := pipe.advanceTo(ts); err != nil {
+			return err
+		}
+	}
+	for _, agg := range src.shared {
+		agg.advanceTo(ts)
+	}
+	return nil
+}
+
+// Tap attaches a raw sink to a stream. On a derived stream the sink
+// receives every emission (close timestamp + rows); on a base stream it
+// receives each pushed row. Channels use taps to copy stream contents into
+// tables (paper §3.3); a base-stream channel archives the raw feed. The
+// returned function detaches the tap.
+func (r *Runtime) Tap(stream string, sink Sink) (func(), error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	src, ok := r.sources[stream]
+	if !ok {
+		return nil, fmt.Errorf("stream: unknown stream %q", stream)
+	}
+	src.taps = append(src.taps, &sink)
+	handle := &sink
+	return func() {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		for i, t := range src.taps {
+			if t == handle {
+				src.taps = append(src.taps[:i], src.taps[i+1:]...)
+				return
+			}
+		}
+	}, nil
+}
+
+// DerivedSink returns the sink that feeds a derived stream's source. The
+// engine wires it as the sink of the derived stream's always-on pipeline;
+// it must only be invoked from within pipeline sinks (the runtime lock is
+// already held there).
+func (r *Runtime) DerivedSink(stream string) Sink {
+	return func(closeTS int64, rows []types.Row) error {
+		return r.emitDerived(stream, closeTS, rows)
+	}
+}
+
+// emitDerived delivers one emission of a derived stream into its source:
+// all rows share the emission timestamp closeTS, and the emission boundary
+// itself is signalled for SLICES-window consumers.
+func (r *Runtime) emitDerived(stream string, closeTS int64, rows []types.Row) error {
+	src, ok := r.sources[stream]
+	if !ok {
+		// The derived stream has been dropped; discard silently.
+		return nil
+	}
+	for _, row := range rows {
+		if err := r.pushLocked(stream, row, closeTS, true); err != nil {
+			return err
+		}
+	}
+	for _, pipe := range src.pipes {
+		if err := pipe.endEmission(closeTS, len(rows)); err != nil {
+			return err
+		}
+	}
+	for _, tap := range src.taps {
+		if err := (*tap)(closeTS, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// snapshotCtx builds the per-window execution context: a fresh snapshot at
+// the window boundary (window consistency) plus the closing timestamp for
+// cq_close(*).
+func (r *Runtime) snapshotCtx(closeTS int64) *exec.Ctx {
+	return &exec.Ctx{
+		Snap:        r.mgr.SnapshotNow(),
+		WindowClose: types.NewTimestampMicros(closeTS),
+		Now:         r.now,
+	}
+}
+
+// Stats reports runtime counters for tests and the REPL.
+type Stats struct {
+	Sources        int
+	Pipelines      int
+	SharedAggs     int
+	SharedMembers  int
+	WindowsFired   int64
+	RowsProcessed  int64
+	SliceHitShares int64
+	LateDropped    int64
+}
+
+// Stats returns a snapshot of runtime counters.
+func (r *Runtime) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var s Stats
+	s.Sources = len(r.sources)
+	s.LateDropped = r.lateDropped
+	for _, src := range r.sources {
+		s.Pipelines += len(src.pipes)
+		s.SharedAggs += len(src.shared)
+		for _, agg := range src.shared {
+			s.SharedMembers += len(agg.members)
+		}
+		for _, pipe := range src.pipes {
+			s.WindowsFired += pipe.windowsFired
+			s.RowsProcessed += pipe.rowsSeen
+		}
+	}
+	return s
+}

@@ -1,0 +1,429 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"streamrel/internal/catalog"
+	"streamrel/internal/plan"
+	"streamrel/internal/sql"
+	"streamrel/internal/txn"
+	"streamrel/internal/types"
+)
+
+const minute = int64(60_000_000) // microseconds
+
+// batch is one captured window result.
+type batch struct {
+	close int64
+	rows  []types.Row
+}
+
+type env struct {
+	cat *catalog.Catalog
+	mgr *txn.Manager
+	rt  *Runtime
+}
+
+func newEnv(t *testing.T, sharing bool) *env {
+	t.Helper()
+	e := &env{cat: catalog.New(), mgr: txn.NewManager(), rt: NewRuntime(txnMgr(), sharing)}
+	e.rt.mgr = e.mgr
+	if _, err := e.cat.CreateStream("url_stream", types.Schema{
+		{Name: "url", Type: types.TypeString},
+		{Name: "atime", Type: types.TypeTimestamp},
+		{Name: "client_ip", Type: types.TypeString},
+	}, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.rt.RegisterSource("url_stream", types.Schema{
+		{Name: "url", Type: types.TypeString},
+		{Name: "atime", Type: types.TypeTimestamp},
+		{Name: "client_ip", Type: types.TypeString},
+	}, 1); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func txnMgr() *txn.Manager { return txn.NewManager() }
+
+// subscribe compiles a CQ and collects its output batches.
+func (e *env) subscribe(t *testing.T, src string) (*Pipeline, *[]batch) {
+	t.Helper()
+	stmt, err := sql.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p := &plan.Planner{Cat: e.cat}
+	pl, err := p.BuildSelect(stmt.(*sql.Select))
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	out := &[]batch{}
+	pipe, err := e.rt.Subscribe(pl, func(c int64, rows []types.Row) error {
+		*out = append(*out, batch{c, rows})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	return pipe, out
+}
+
+// hit pushes one url_stream event.
+func (e *env) hit(t *testing.T, url string, ts int64, ip string) {
+	t.Helper()
+	err := e.rt.Push("url_stream", types.Row{
+		types.NewString(url), types.NewTimestampMicros(ts), types.NewString(ip),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func flatten(bs []batch) []string {
+	var out []string
+	for _, b := range bs {
+		for _, r := range b.rows {
+			out = append(out, fmt.Sprintf("%d:%s", b.close/minute, r.String()))
+		}
+	}
+	return out
+}
+
+func expect(t *testing.T, got []string, want ...string) {
+	t.Helper()
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Fatalf("got:\n%s\nwant:\n%s", strings.Join(got, "\n"), strings.Join(want, "\n"))
+	}
+}
+
+// TestTumblingWindowCounts exercises Figure 1: each window produces a
+// relation; the query runs over each in turn.
+func TestTumblingWindowCounts(t *testing.T) {
+	e := newEnv(t, true)
+	_, out := e.subscribe(t, `SELECT url, count(*) FROM url_stream <ADVANCE '1 minute'> GROUP BY url`)
+
+	e.hit(t, "/a", 10*minute+1, "ip1")
+	e.hit(t, "/a", 10*minute+2, "ip2")
+	e.hit(t, "/b", 10*minute+3, "ip1")
+	// Nothing fires until time passes the boundary.
+	if len(*out) != 0 {
+		t.Fatalf("window fired early: %v", *out)
+	}
+	e.hit(t, "/c", 11*minute+1, "ip1") // proves window [10m,11m) complete
+	expect(t, flatten(*out), "11:/a|2", "11:/b|1")
+
+	// Heartbeat closes the next window without data beyond /c.
+	if err := e.rt.Advance("url_stream", 12*minute); err != nil {
+		t.Fatal(err)
+	}
+	expect(t, flatten(*out), "11:/a|2", "11:/b|1", "12:/c|1")
+}
+
+// TestSlidingWindow checks VISIBLE 3m ADVANCE 1m contents.
+func TestSlidingWindow(t *testing.T) {
+	e := newEnv(t, false)
+	_, out := e.subscribe(t, `SELECT count(*) FROM url_stream <VISIBLE '3 minutes' ADVANCE '1 minute'>`)
+
+	e.hit(t, "/a", 10*minute, "x")            // in windows closing at 11,12,13
+	e.hit(t, "/b", 11*minute+30_000_000, "x") // in 12,13,14
+	e.rt.Advance("url_stream", 15*minute)
+	// Closes at 11..15: counts 1,2,2,1,0.
+	expect(t, flatten(*out), "11:1", "12:2", "13:2", "14:1", "15:0")
+}
+
+// TestScalarAggEmptyWindow: scalar aggregates produce a default row even
+// for empty windows, like a snapshot query over an empty table.
+func TestScalarAggEmptyWindow(t *testing.T) {
+	for _, sharing := range []bool{true, false} {
+		e := newEnv(t, sharing)
+		pipe, out := e.subscribe(t, `SELECT count(*), sum(length(url)) FROM url_stream <ADVANCE '1 minute'>`)
+		if sharing != pipe.Shared() {
+			t.Fatalf("sharing=%v but pipe.Shared()=%v", sharing, pipe.Shared())
+		}
+		e.rt.Advance("url_stream", 10*minute) // starts the clock
+		e.rt.Advance("url_stream", 12*minute)
+		got := flatten(*out)
+		expect(t, got, "11:0|NULL", "12:0|NULL")
+	}
+}
+
+// TestGroupedEmptyWindowProducesNoRows.
+func TestGroupedEmptyWindowProducesNoRows(t *testing.T) {
+	e := newEnv(t, true)
+	_, out := e.subscribe(t, `SELECT url, count(*) FROM url_stream <ADVANCE '1 minute'> GROUP BY url`)
+	e.rt.Advance("url_stream", 10*minute)
+	e.rt.Advance("url_stream", 11*minute)
+	if n := len(*out); n != 1 || len((*out)[0].rows) != 0 {
+		t.Fatalf("expected one empty batch, got %+v", *out)
+	}
+}
+
+func TestOutOfOrderRejected(t *testing.T) {
+	e := newEnv(t, true)
+	e.subscribe(t, `SELECT count(*) FROM url_stream <ADVANCE '1 minute'>`)
+	e.hit(t, "/a", 10*minute, "x")
+	err := e.rt.Push("url_stream", types.Row{
+		types.NewString("/b"), types.NewTimestampMicros(9 * minute), types.NewString("x"),
+	})
+	if err == nil {
+		t.Fatal("out-of-order row accepted")
+	}
+	// Equal timestamps are fine.
+	e.hit(t, "/c", 10*minute, "x")
+}
+
+func TestCQCloseValue(t *testing.T) {
+	e := newEnv(t, true)
+	_, out := e.subscribe(t, `SELECT url, count(*) AS scnt, cq_close(*) FROM url_stream <ADVANCE '1 minute'> GROUP BY url`)
+	e.hit(t, "/a", 10*minute+5, "x")
+	e.rt.Advance("url_stream", 11*minute)
+	rows := (*out)[0].rows
+	if len(rows) != 1 {
+		t.Fatalf("rows: %v", rows)
+	}
+	if rows[0][2].TimestampMicros() != 11*minute {
+		t.Fatalf("cq_close = %v, want 11 minutes", rows[0][2])
+	}
+}
+
+func TestRowWindow(t *testing.T) {
+	e := newEnv(t, true)
+	_, out := e.subscribe(t, `SELECT count(*), min(url), max(url) FROM url_stream <VISIBLE 3 ROWS ADVANCE 2 ROWS>`)
+	for i := 0; i < 6; i++ {
+		e.hit(t, fmt.Sprintf("/u%d", i), int64(i+1)*minute, "x")
+	}
+	// Fires after rows 2, 4, 6 with the last min(3, seen) rows visible.
+	got := flatten(*out)
+	expect(t, got,
+		"2:2|/u0|/u1",
+		"4:3|/u1|/u3",
+		"6:3|/u3|/u5")
+}
+
+// TestSharedMatchesUnshared is the central sharing property: identical
+// queries, shared vs unshared, over identical random input, produce
+// identical batches.
+func TestSharedMatchesUnshared(t *testing.T) {
+	queries := []string{
+		`SELECT url, count(*) FROM url_stream <VISIBLE '3 minutes' ADVANCE '1 minute'> GROUP BY url`,
+		`SELECT url, count(*), sum(length(client_ip)), min(client_ip), max(client_ip)
+		   FROM url_stream <VISIBLE '2 minutes' ADVANCE '1 minute'>
+		   WHERE url LIKE '/p%' GROUP BY url HAVING count(*) >= 1`,
+		`SELECT count(distinct url) FROM url_stream <VISIBLE '4 minutes' ADVANCE '2 minutes'>`,
+		`SELECT url, avg(length(client_ip)) FROM url_stream <ADVANCE '1 minute'> GROUP BY url ORDER BY url`,
+		`SELECT url, stddev(length(client_ip)) FROM url_stream <VISIBLE '3 minutes' ADVANCE '1 minute'> GROUP BY url`,
+	}
+	r := rand.New(rand.NewSource(42))
+	var events []types.Row
+	ts := 100 * minute
+	for i := 0; i < 2000; i++ {
+		ts += int64(r.Intn(3000000)) // 0-3s gaps
+		events = append(events, types.Row{
+			types.NewString(fmt.Sprintf("/p%d", r.Intn(20))),
+			types.NewTimestampMicros(ts),
+			types.NewString(fmt.Sprintf("10.0.0.%d", r.Intn(50))),
+		})
+	}
+	end := ts + 10*minute
+
+	for qi, q := range queries {
+		var results [2][]batch
+		for mode := 0; mode < 2; mode++ {
+			e := newEnv(t, mode == 0)
+			pipe, out := e.subscribe(t, q)
+			if mode == 0 && !pipe.Shared() {
+				t.Fatalf("query %d: expected shared path", qi)
+			}
+			if mode == 1 && pipe.Shared() {
+				t.Fatalf("query %d: sharing disabled but still shared", qi)
+			}
+			for _, ev := range events {
+				if err := e.rt.Push("url_stream", ev); err != nil {
+					t.Fatal(err)
+				}
+			}
+			e.rt.Advance("url_stream", end)
+			results[mode] = *out
+		}
+		a, b := flatten(results[0]), flatten(results[1])
+		if strings.Join(a, "\n") != strings.Join(b, "\n") {
+			t.Errorf("query %d: shared and unshared outputs differ\nshared: %d lines\nunshared: %d lines",
+				qi, len(a), len(b))
+			for i := 0; i < len(a) && i < len(b); i++ {
+				if a[i] != b[i] {
+					t.Errorf("first diff at %d: shared=%q unshared=%q", i, a[i], b[i])
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestSharingDeduplicatesWork: k identical CQs share one slice
+// aggregation.
+func TestSharingDeduplicatesWork(t *testing.T) {
+	e := newEnv(t, true)
+	const k = 5
+	var outs []*[]batch
+	for i := 0; i < k; i++ {
+		_, out := e.subscribe(t, `SELECT url, count(*) FROM url_stream <VISIBLE '5 minutes' ADVANCE '1 minute'> GROUP BY url`)
+		outs = append(outs, out)
+	}
+	st := e.rt.Stats()
+	if st.SharedAggs != 1 || st.SharedMembers != k {
+		t.Fatalf("stats: %+v", st)
+	}
+	e.hit(t, "/a", 10*minute, "x")
+	e.rt.Advance("url_stream", 11*minute)
+	for i, out := range outs {
+		if len(*out) != 1 || len((*out)[0].rows) != 1 {
+			t.Fatalf("subscriber %d: %+v", i, *out)
+		}
+	}
+	// Different window extents still share when ADVANCE matches.
+	_, _ = e.subscribe(t, `SELECT url, count(*) FROM url_stream <VISIBLE '2 minutes' ADVANCE '1 minute'> GROUP BY url`)
+	if st := e.rt.Stats(); st.SharedAggs != 1 || st.SharedMembers != k+1 {
+		t.Fatalf("stats after mixed-visible subscribe: %+v", st)
+	}
+}
+
+func TestUnsubscribe(t *testing.T) {
+	e := newEnv(t, true)
+	pipe, out := e.subscribe(t, `SELECT count(*) FROM url_stream <ADVANCE '1 minute'>`)
+	e.hit(t, "/a", 10*minute, "x")
+	e.rt.Unsubscribe(pipe)
+	e.rt.Advance("url_stream", 12*minute)
+	if len(*out) != 0 {
+		t.Fatalf("unsubscribed pipeline fired: %v", *out)
+	}
+	if st := e.rt.Stats(); st.Pipelines != 0 || st.SharedAggs != 0 {
+		t.Fatalf("stats after unsubscribe: %+v", st)
+	}
+}
+
+func TestResumeAfterSuppressesOldWindows(t *testing.T) {
+	e := newEnv(t, false)
+	pipe, out := e.subscribe(t, `SELECT count(*) FROM url_stream <ADVANCE '1 minute'>`)
+	pipe.ResumeAfter(11 * minute)
+	e.hit(t, "/a", 10*minute+1, "x")
+	e.rt.Advance("url_stream", 13*minute)
+	// Window closing at 11 suppressed; 12 and 13 fire.
+	got := flatten(*out)
+	expect(t, got, "12:0", "13:0")
+}
+
+func TestSlicesWindowOverDerived(t *testing.T) {
+	e := newEnv(t, true)
+	// Register a derived-style source (timestamps supplied per emission).
+	schema := types.Schema{
+		{Name: "url", Type: types.TypeString},
+		{Name: "scnt", Type: types.TypeInt},
+		{Name: "stime", Type: types.TypeTimestamp},
+	}
+	if err := e.rt.RegisterSource("urls_now", schema, -1); err != nil {
+		t.Fatal(err)
+	}
+	e.cat.CreateDerivedStream(&catalog.DerivedStream{Name: "urls_now", Schema: schema, CloseCol: 2})
+
+	_, out := e.subscribe(t, `SELECT sum(scnt), cq_close(*) FROM urls_now <SLICES 2 WINDOWS>`)
+
+	emit := func(c int64, counts ...int64) {
+		var rows []types.Row
+		for i, n := range counts {
+			rows = append(rows, types.Row{
+				types.NewString(fmt.Sprintf("/u%d", i)), types.NewInt(n), types.NewTimestampMicros(c),
+			})
+		}
+		e.rt.mu.Lock()
+		defer e.rt.mu.Unlock()
+		if err := e.rt.emitDerived("urls_now", c, rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	emit(11*minute, 3, 4) // window = last 2 emissions (only 1 so far): sum=7
+	emit(12*minute, 5)    // sum over last 2 emissions = 12
+	emit(13*minute, 1)    // sum = 6
+
+	got := flatten(*out)
+	expect(t, got,
+		"11:7|1970-01-01 00:11:00.000000",
+		"12:12|1970-01-01 00:12:00.000000",
+		"13:6|1970-01-01 00:13:00.000000")
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	e := newEnv(t, true)
+	if err := e.rt.Push("nope", types.Row{}); err == nil {
+		t.Fatal("push to unknown stream")
+	}
+	if err := e.rt.Advance("nope", 0); err == nil {
+		t.Fatal("advance unknown stream")
+	}
+	if err := e.rt.RegisterSource("url_stream", nil, 0); err == nil {
+		t.Fatal("duplicate source")
+	}
+	if err := e.rt.Push("url_stream", types.Row{types.NewString("x")}); err == nil {
+		t.Fatal("arity mismatch")
+	}
+	// Wrong type in CQTIME column.
+	err := e.rt.Push("url_stream", types.Row{
+		types.NewString("/a"), types.NewInt(5), types.NewString("x"),
+	})
+	if err == nil {
+		t.Fatal("non-timestamp cqtime accepted")
+	}
+}
+
+func TestPushBatch(t *testing.T) {
+	e := newEnv(t, true)
+	_, out := e.subscribe(t, `SELECT count(*) FROM url_stream <ADVANCE '1 minute'>`)
+	rows := []types.Row{
+		{types.NewString("/a"), types.NewTimestampMicros(10 * minute), types.NewString("x")},
+		{types.NewString("/b"), types.NewTimestampMicros(10*minute + 1), types.NewString("x")},
+		{types.NewString("/c"), types.NewTimestampMicros(11 * minute), types.NewString("x")},
+	}
+	if err := e.rt.PushBatch("url_stream", rows); err != nil {
+		t.Fatal(err)
+	}
+	expect(t, flatten(*out), "11:2")
+}
+
+// TestWindowConsistency: table updates become visible to a CQ only at
+// window boundaries (paper §4 / ref [6]).
+func TestWindowConsistency(t *testing.T) {
+	e := newEnv(t, false)
+	dim, err := e.cat.CreateTable("dim", types.Schema{
+		{Name: "url", Type: types.TypeString},
+		{Name: "label", Type: types.TypeString},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	insert := func(url, label string) {
+		tx := e.mgr.Begin()
+		dim.Heap.Insert(tx.ID, types.Row{types.NewString(url), types.NewString(label)})
+		tx.Commit()
+	}
+	insert("/a", "alpha")
+
+	_, out := e.subscribe(t, `
+		SELECT s.url, d.label FROM url_stream <ADVANCE '1 minute'> s
+		LEFT JOIN dim d ON s.url = d.url`)
+
+	e.hit(t, "/a", 10*minute, "x")
+	e.hit(t, "/b", 10*minute+1, "x")
+	e.rt.Advance("url_stream", 11*minute)
+	// First window: /b unmatched.
+	expect(t, flatten(*out), "11:/a|alpha", "11:/b|NULL")
+
+	// Update the table between boundaries: visible at the NEXT boundary.
+	insert("/b", "beta")
+	e.hit(t, "/b", 11*minute+1, "x")
+	e.rt.Advance("url_stream", 12*minute)
+	expect(t, flatten(*out), "11:/a|alpha", "11:/b|NULL", "12:/b|beta")
+}

@@ -1,0 +1,194 @@
+// Package txn implements transaction identity, MVCC snapshots, and the
+// visibility rules shared by snapshot queries and continuous queries.
+//
+// The paper (§4) observes that "the isolation mechanisms of some RDBMSs,
+// such as multi-version concurrency control, can be extended to provide
+// continuous isolation semantics": a CQ takes a fresh snapshot at each
+// window boundary ("window consistency"), so table updates become visible
+// to continuous processing only between windows. This package provides
+// exactly that primitive: cheap snapshots over a shared status table.
+package txn
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ID identifies a transaction. IDs are allocated monotonically; ID 0 is
+// reserved as "invalid" and ID 1 is the bootstrap transaction that owns
+// rows created by recovery and bulk loads.
+type ID uint64
+
+// Bootstrap is the always-committed transaction that owns recovered and
+// system-created rows.
+const Bootstrap ID = 1
+
+// Status is the lifecycle state of a transaction.
+type Status uint8
+
+// Transaction states.
+const (
+	StatusInProgress Status = iota
+	StatusCommitted
+	StatusAborted
+)
+
+// Manager allocates transaction IDs and tracks commit status. Committed
+// transactions are forgotten immediately (an ID below the allocation
+// horizon that is neither in progress nor aborted is committed), so state
+// is bounded by concurrent transactions plus the aborted set — Begin stays
+// O(concurrent), not O(history).
+type Manager struct {
+	mu         sync.RWMutex
+	next       ID
+	inProgress map[ID]struct{}
+	aborted    map[ID]struct{}
+}
+
+// NewManager returns a manager with the bootstrap transaction committed.
+func NewManager() *Manager {
+	return &Manager{
+		next:       Bootstrap + 1,
+		inProgress: make(map[ID]struct{}),
+		aborted:    make(map[ID]struct{}),
+	}
+}
+
+// Begin starts a new transaction and returns it with a fresh snapshot.
+func (m *Manager) Begin() *Txn {
+	m.mu.Lock()
+	id := m.next
+	m.next++
+	m.inProgress[id] = struct{}{}
+	inFlight := make(map[ID]struct{}, len(m.inProgress))
+	for x := range m.inProgress {
+		if x != id {
+			inFlight[x] = struct{}{}
+		}
+	}
+	aborted := m.copyAbortedLocked()
+	m.mu.Unlock()
+	return &Txn{
+		ID:  id,
+		mgr: m,
+		Snap: Snapshot{
+			XMax:     id,
+			InFlight: inFlight,
+			aborted:  aborted,
+			self:     id,
+		},
+	}
+}
+
+// copyAbortedLocked snapshots the aborted set (callers hold m.mu). The set
+// is empty in the common case, so this is cheap; copying it makes
+// Snapshot.sees lock-free.
+func (m *Manager) copyAbortedLocked() map[ID]struct{} {
+	if len(m.aborted) == 0 {
+		return nil
+	}
+	out := make(map[ID]struct{}, len(m.aborted))
+	for x := range m.aborted {
+		out[x] = struct{}{}
+	}
+	return out
+}
+
+// SnapshotNow returns a read-only snapshot as of now, without allocating a
+// transaction ID. Continuous queries take one of these at each window
+// close; pure SELECTs use them too.
+func (m *Manager) SnapshotNow() Snapshot {
+	m.mu.RLock()
+	inFlight := make(map[ID]struct{}, len(m.inProgress))
+	for x := range m.inProgress {
+		inFlight[x] = struct{}{}
+	}
+	xmax := m.next
+	aborted := m.copyAbortedLocked()
+	m.mu.RUnlock()
+	return Snapshot{XMax: xmax, InFlight: inFlight, aborted: aborted}
+}
+
+func (m *Manager) setStatus(id ID, s Status) {
+	m.mu.Lock()
+	delete(m.inProgress, id)
+	if s == StatusAborted {
+		m.aborted[id] = struct{}{}
+	}
+	m.mu.Unlock()
+}
+
+// Txn is an in-progress transaction.
+type Txn struct {
+	ID   ID
+	Snap Snapshot
+	mgr  *Manager
+	done bool
+}
+
+// Commit makes the transaction's effects visible to later snapshots.
+func (t *Txn) Commit() error {
+	if t.done {
+		return fmt.Errorf("txn: %d already finished", t.ID)
+	}
+	t.done = true
+	t.mgr.setStatus(t.ID, StatusCommitted)
+	return nil
+}
+
+// Abort discards the transaction's effects.
+func (t *Txn) Abort() error {
+	if t.done {
+		return fmt.Errorf("txn: %d already finished", t.ID)
+	}
+	t.done = true
+	t.mgr.setStatus(t.ID, StatusAborted)
+	return nil
+}
+
+// Snapshot is a point-in-time visibility horizon. It is entirely
+// self-contained: visibility checks touch no shared state, so scans never
+// contend with writers.
+type Snapshot struct {
+	XMax     ID // txns with ID >= XMax started after the snapshot
+	InFlight map[ID]struct{}
+	aborted  map[ID]struct{} // aborted as of snapshot time
+	self     ID              // the owning txn, if any: its own writes are visible
+}
+
+// sees reports whether a transaction's effects are visible.
+//
+// A txn that aborts after this snapshot was taken is necessarily in
+// InFlight (it was in progress at snapshot time), so the local aborted
+// copy is complete for every ID this snapshot can otherwise see.
+func (s Snapshot) sees(id ID) bool {
+	if id == 0 {
+		return false
+	}
+	if id == s.self {
+		return true
+	}
+	if id >= s.XMax {
+		return false
+	}
+	if _, ok := s.InFlight[id]; ok {
+		return false
+	}
+	if _, ok := s.aborted[id]; ok {
+		return false
+	}
+	return true
+}
+
+// VisibleVersion applies the MVCC rule to a row version stamped with the
+// creating (xmin) and deleting (xmax) transactions: the version is visible
+// iff its creation is visible and its deletion is not.
+func (s Snapshot) VisibleVersion(xmin, xmax ID) bool {
+	if !s.sees(xmin) {
+		return false
+	}
+	if xmax == 0 {
+		return true
+	}
+	return !s.sees(xmax)
+}

@@ -1,0 +1,83 @@
+package txn
+
+import "testing"
+
+func TestBeginCommitVisibility(t *testing.T) {
+	m := NewManager()
+	tx := m.Begin()
+	if m.SnapshotNow().VisibleVersion(tx.ID, 0) {
+		t.Fatal("in-progress txn visible to fresh snapshot")
+	}
+	if !tx.Snap.VisibleVersion(tx.ID, 0) {
+		t.Fatal("txn does not see its own writes")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if !m.SnapshotNow().VisibleVersion(tx.ID, 0) {
+		t.Fatal("committed txn invisible")
+	}
+}
+
+func TestSnapshotExcludesConcurrent(t *testing.T) {
+	m := NewManager()
+	tx := m.Begin()
+	snap := m.SnapshotNow() // taken while tx in flight
+	tx.Commit()
+	if snap.VisibleVersion(tx.ID, 0) {
+		t.Fatal("snapshot sees txn that was in flight when it was taken")
+	}
+	if snap.VisibleVersion(m.Begin().ID, 0) {
+		t.Fatal("snapshot sees future txn")
+	}
+}
+
+func TestAbortInvisible(t *testing.T) {
+	m := NewManager()
+	tx := m.Begin()
+	tx.Abort()
+	if m.SnapshotNow().VisibleVersion(tx.ID, 0) {
+		t.Fatal("aborted txn visible")
+	}
+}
+
+func TestDoubleFinishErrors(t *testing.T) {
+	m := NewManager()
+	tx := m.Begin()
+	tx.Commit()
+	if err := tx.Commit(); err == nil {
+		t.Fatal("double commit should error")
+	}
+	if err := tx.Abort(); err == nil {
+		t.Fatal("abort after commit should error")
+	}
+}
+
+func TestDeletedVersionVisibility(t *testing.T) {
+	m := NewManager()
+	ins := m.Begin()
+	ins.Commit()
+	preDelete := m.SnapshotNow()
+	del := m.Begin()
+	// While delete in flight, everyone still sees the row.
+	if !m.SnapshotNow().VisibleVersion(ins.ID, del.ID) {
+		t.Fatal("row hidden by uncommitted delete")
+	}
+	del.Commit()
+	if m.SnapshotNow().VisibleVersion(ins.ID, del.ID) {
+		t.Fatal("row visible after committed delete")
+	}
+	if !preDelete.VisibleVersion(ins.ID, del.ID) {
+		t.Fatal("pre-delete snapshot must keep the row")
+	}
+}
+
+func TestBootstrapAlwaysVisible(t *testing.T) {
+	m := NewManager()
+	if !m.SnapshotNow().VisibleVersion(Bootstrap, 0) {
+		t.Fatal("bootstrap rows invisible")
+	}
+	if m.SnapshotNow().VisibleVersion(0, 0) {
+		t.Fatal("xmin 0 should never be visible")
+	}
+}

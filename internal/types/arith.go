@@ -1,0 +1,206 @@
+package types
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrDivisionByZero is returned for integer division or modulo by zero.
+var ErrDivisionByZero = errors.New("division by zero")
+
+// Add computes a + b with SQL numeric promotion and timestamp/interval
+// arithmetic. NULL propagates.
+func Add(a, b Datum) (Datum, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null, nil
+	}
+	switch {
+	case a.typ == TypeInt && b.typ == TypeInt:
+		return NewInt(a.i + b.i), nil
+	case a.typ.Numeric() && b.typ.Numeric():
+		return NewFloat(a.Float() + b.Float()), nil
+	case a.typ == TypeTimestamp && b.typ == TypeInterval:
+		return NewTimestampMicros(a.i + b.i), nil
+	case a.typ == TypeInterval && b.typ == TypeTimestamp:
+		return NewTimestampMicros(a.i + b.i), nil
+	case a.typ == TypeInterval && b.typ == TypeInterval:
+		return NewIntervalMicros(a.i + b.i), nil
+	case a.typ == TypeString && b.typ == TypeString:
+		// '+' on strings is not SQL, but || maps here in the evaluator.
+		return NewString(a.s + b.s), nil
+	}
+	return Null, typeErr("+", a, b)
+}
+
+// Sub computes a - b.
+func Sub(a, b Datum) (Datum, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null, nil
+	}
+	switch {
+	case a.typ == TypeInt && b.typ == TypeInt:
+		return NewInt(a.i - b.i), nil
+	case a.typ.Numeric() && b.typ.Numeric():
+		return NewFloat(a.Float() - b.Float()), nil
+	case a.typ == TypeTimestamp && b.typ == TypeInterval:
+		return NewTimestampMicros(a.i - b.i), nil
+	case a.typ == TypeTimestamp && b.typ == TypeTimestamp:
+		return NewIntervalMicros(a.i - b.i), nil
+	case a.typ == TypeInterval && b.typ == TypeInterval:
+		return NewIntervalMicros(a.i - b.i), nil
+	}
+	return Null, typeErr("-", a, b)
+}
+
+// Mul computes a * b.
+func Mul(a, b Datum) (Datum, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null, nil
+	}
+	switch {
+	case a.typ == TypeInt && b.typ == TypeInt:
+		return NewInt(a.i * b.i), nil
+	case a.typ.Numeric() && b.typ.Numeric():
+		return NewFloat(a.Float() * b.Float()), nil
+	case a.typ == TypeInterval && b.typ == TypeInt:
+		return NewIntervalMicros(a.i * b.i), nil
+	case a.typ == TypeInt && b.typ == TypeInterval:
+		return NewIntervalMicros(a.i * b.i), nil
+	case a.typ == TypeInterval && b.typ == TypeFloat:
+		return NewIntervalMicros(int64(float64(a.i) * b.f)), nil
+	case a.typ == TypeFloat && b.typ == TypeInterval:
+		return NewIntervalMicros(int64(a.f * float64(b.i))), nil
+	}
+	return Null, typeErr("*", a, b)
+}
+
+// Div computes a / b. Integer division truncates toward zero, matching
+// Postgres.
+func Div(a, b Datum) (Datum, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null, nil
+	}
+	switch {
+	case a.typ == TypeInt && b.typ == TypeInt:
+		if b.i == 0 {
+			return Null, ErrDivisionByZero
+		}
+		return NewInt(a.i / b.i), nil
+	case a.typ.Numeric() && b.typ.Numeric():
+		bf := b.Float()
+		if bf == 0 {
+			return Null, ErrDivisionByZero
+		}
+		return NewFloat(a.Float() / bf), nil
+	case a.typ == TypeInterval && b.typ == TypeInt:
+		if b.i == 0 {
+			return Null, ErrDivisionByZero
+		}
+		return NewIntervalMicros(a.i / b.i), nil
+	}
+	return Null, typeErr("/", a, b)
+}
+
+// Mod computes a % b for integers.
+func Mod(a, b Datum) (Datum, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null, nil
+	}
+	if a.typ == TypeInt && b.typ == TypeInt {
+		if b.i == 0 {
+			return Null, ErrDivisionByZero
+		}
+		return NewInt(a.i % b.i), nil
+	}
+	return Null, typeErr("%", a, b)
+}
+
+// Neg computes -a.
+func Neg(a Datum) (Datum, error) {
+	if a.IsNull() {
+		return Null, nil
+	}
+	switch a.typ {
+	case TypeInt:
+		return NewInt(-a.i), nil
+	case TypeFloat:
+		return NewFloat(-a.f), nil
+	case TypeInterval:
+		return NewIntervalMicros(-a.i), nil
+	}
+	return Null, fmt.Errorf("types: cannot negate %s", a.typ)
+}
+
+// Cast converts d to type to, following Postgres-ish cast rules. Casting
+// NULL yields NULL of any type.
+func Cast(d Datum, to Type) (Datum, error) {
+	if d.IsNull() {
+		return Null, nil
+	}
+	if d.typ == to {
+		return d, nil
+	}
+	switch to {
+	case TypeBool:
+		switch d.typ {
+		case TypeInt:
+			return NewBool(d.i != 0), nil
+		case TypeString:
+			return ParseBool(d.s)
+		}
+	case TypeInt:
+		switch d.typ {
+		case TypeBool:
+			return NewInt(d.i), nil
+		case TypeFloat:
+			if math.IsNaN(d.f) || d.f > math.MaxInt64 || d.f < math.MinInt64 {
+				return Null, fmt.Errorf("types: float %v out of bigint range", d.f)
+			}
+			return NewInt(int64(d.f)), nil
+		case TypeString:
+			v, err := parseIntStrict(d.s)
+			if err != nil {
+				return Null, err
+			}
+			return NewInt(v), nil
+		case TypeTimestamp:
+			// Microseconds since epoch; useful for bucketing in tests.
+			return NewInt(d.i), nil
+		case TypeInterval:
+			return NewInt(d.i), nil
+		}
+	case TypeFloat:
+		switch d.typ {
+		case TypeInt:
+			return NewFloat(float64(d.i)), nil
+		case TypeString:
+			v, err := parseFloatStrict(d.s)
+			if err != nil {
+				return Null, err
+			}
+			return NewFloat(v), nil
+		}
+	case TypeString:
+		return NewString(d.String()), nil
+	case TypeTimestamp:
+		switch d.typ {
+		case TypeString:
+			return ParseTimestamp(d.s)
+		case TypeInt:
+			return NewTimestampMicros(d.i), nil
+		}
+	case TypeInterval:
+		switch d.typ {
+		case TypeString:
+			return ParseInterval(d.s)
+		case TypeInt:
+			return NewIntervalMicros(d.i), nil
+		}
+	}
+	return Null, fmt.Errorf("types: cannot cast %s to %s", d.typ, to)
+}
+
+func typeErr(op string, a, b Datum) error {
+	return fmt.Errorf("types: operator %s undefined for %s and %s", op, a.typ, b.typ)
+}

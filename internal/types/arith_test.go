@@ -1,0 +1,241 @@
+package types
+
+import (
+	"testing"
+	"time"
+)
+
+type evalHelper struct{ t *testing.T }
+
+func (e evalHelper) ok(d Datum, err error) Datum {
+	e.t.Helper()
+	if err != nil {
+		e.t.Fatalf("unexpected error: %v", err)
+	}
+	return d
+}
+
+func TestAdd(t *testing.T) {
+	e := evalHelper{t}
+	if got := e.ok(Add(NewInt(2), NewInt(3))); got.Int() != 5 {
+		t.Errorf("2+3 = %v", got)
+	}
+	if got := e.ok(Add(NewInt(2), NewFloat(0.5))); got.Float() != 2.5 {
+		t.Errorf("2+0.5 = %v", got)
+	}
+	ts := NewTimestamp(time.Date(2009, 1, 4, 0, 0, 0, 0, time.UTC))
+	iv := NewInterval(time.Hour)
+	got := e.ok(Add(ts, iv))
+	if got.Time().Hour() != 1 {
+		t.Errorf("ts + 1h = %v", got)
+	}
+	got = e.ok(Add(iv, ts))
+	if got.Type() != TypeTimestamp {
+		t.Errorf("interval + ts should be timestamp")
+	}
+	if got := e.ok(Add(iv, iv)); got.Duration() != 2*time.Hour {
+		t.Errorf("1h+1h = %v", got)
+	}
+	if got := e.ok(Add(Null, NewInt(1))); !got.IsNull() {
+		t.Error("NULL + 1 should be NULL")
+	}
+	if _, err := Add(True, NewInt(1)); err == nil {
+		t.Error("bool + int should error")
+	}
+}
+
+func TestSub(t *testing.T) {
+	e := evalHelper{t}
+	if got := e.ok(Sub(NewInt(5), NewInt(3))); got.Int() != 2 {
+		t.Errorf("5-3 = %v", got)
+	}
+	ts1 := NewTimestampMicros(10_000_000)
+	ts2 := NewTimestampMicros(4_000_000)
+	if got := e.ok(Sub(ts1, ts2)); got.Duration() != 6*time.Second {
+		t.Errorf("ts - ts = %v", got)
+	}
+	if got := e.ok(Sub(ts1, NewInterval(time.Second))); got.TimestampMicros() != 9_000_000 {
+		t.Errorf("ts - 1s = %v", got)
+	}
+	if got := e.ok(Sub(NewFloat(1), NewInt(2))); got.Float() != -1 {
+		t.Errorf("1.0-2 = %v", got)
+	}
+}
+
+func TestMulDivMod(t *testing.T) {
+	e := evalHelper{t}
+	if got := e.ok(Mul(NewInt(6), NewInt(7))); got.Int() != 42 {
+		t.Errorf("6*7 = %v", got)
+	}
+	if got := e.ok(Mul(NewInterval(time.Minute), NewInt(5))); got.Duration() != 5*time.Minute {
+		t.Errorf("1m*5 = %v", got)
+	}
+	if got := e.ok(Mul(NewFloat(0.5), NewInterval(time.Hour))); got.Duration() != 30*time.Minute {
+		t.Errorf("0.5*1h = %v", got)
+	}
+	if got := e.ok(Div(NewInt(7), NewInt(2))); got.Int() != 3 {
+		t.Errorf("7/2 = %v (integer division truncates)", got)
+	}
+	if got := e.ok(Div(NewFloat(7), NewInt(2))); got.Float() != 3.5 {
+		t.Errorf("7.0/2 = %v", got)
+	}
+	if got := e.ok(Div(NewInterval(time.Hour), NewInt(2))); got.Duration() != 30*time.Minute {
+		t.Errorf("1h/2 = %v", got)
+	}
+	if _, err := Div(NewInt(1), NewInt(0)); err != ErrDivisionByZero {
+		t.Error("int div by zero")
+	}
+	if _, err := Div(NewFloat(1), NewFloat(0)); err != ErrDivisionByZero {
+		t.Error("float div by zero")
+	}
+	if got := e.ok(Mod(NewInt(7), NewInt(3))); got.Int() != 1 {
+		t.Errorf("7%%3 = %v", got)
+	}
+	if _, err := Mod(NewInt(7), NewInt(0)); err != ErrDivisionByZero {
+		t.Error("mod by zero")
+	}
+}
+
+func TestNeg(t *testing.T) {
+	e := evalHelper{t}
+	if got := e.ok(Neg(NewInt(5))); got.Int() != -5 {
+		t.Errorf("-5 = %v", got)
+	}
+	if got := e.ok(Neg(NewFloat(2.5))); got.Float() != -2.5 {
+		t.Errorf("-2.5 = %v", got)
+	}
+	if got := e.ok(Neg(NewInterval(time.Second))); got.Duration() != -time.Second {
+		t.Errorf("-1s = %v", got)
+	}
+	if got := e.ok(Neg(Null)); !got.IsNull() {
+		t.Error("-NULL should be NULL")
+	}
+	if _, err := Neg(NewString("x")); err == nil {
+		t.Error("negating a string should error")
+	}
+}
+
+func TestCast(t *testing.T) {
+	cases := []struct {
+		in   Datum
+		to   Type
+		want Datum
+	}{
+		{NewInt(1), TypeBool, True},
+		{NewInt(0), TypeBool, False},
+		{NewString("true"), TypeBool, True},
+		{True, TypeInt, NewInt(1)},
+		{NewFloat(3.9), TypeInt, NewInt(3)},
+		{NewString("42"), TypeInt, NewInt(42)},
+		{NewInt(3), TypeFloat, NewFloat(3)},
+		{NewString("2.5"), TypeFloat, NewFloat(2.5)},
+		{NewInt(42), TypeString, NewString("42")},
+		{NewString("1 week"), TypeInterval, NewInterval(7 * 24 * time.Hour)},
+		{Null, TypeInt, Null},
+		{NewInt(5), TypeInt, NewInt(5)},
+	}
+	for _, c := range cases {
+		got, err := Cast(c.in, c.to)
+		if err != nil {
+			t.Errorf("Cast(%v, %s): %v", c.in, c.to, err)
+			continue
+		}
+		if !Equal(got, c.want) || (got.IsNull() != c.want.IsNull()) {
+			t.Errorf("Cast(%v, %s) = %v, want %v", c.in, c.to, got, c.want)
+		}
+	}
+	if _, err := Cast(NewString("zzz"), TypeInt); err == nil {
+		t.Error("bad int cast should error")
+	}
+	if _, err := Cast(True, TypeTimestamp); err == nil {
+		t.Error("bool→timestamp should error")
+	}
+	ts, err := Cast(NewString("2009-01-04 12:30:00"), TypeTimestamp)
+	if err != nil || ts.Time().Hour() != 12 {
+		t.Errorf("string→timestamp = %v, %v", ts, err)
+	}
+}
+
+func TestParseInterval(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"5 minutes", 5 * time.Minute},
+		{"1 minute", time.Minute},
+		{"1 week", 7 * 24 * time.Hour},
+		{"2 hours", 2 * time.Hour},
+		{"250 milliseconds", 250 * time.Millisecond},
+		{"1 hour 30 minutes", 90 * time.Minute},
+		{"1 day", 24 * time.Hour},
+		{"-30 seconds", -30 * time.Second},
+		{"1.5 hours", 90 * time.Minute},
+		{"10 s", 10 * time.Second},
+		{"3 ms", 3 * time.Millisecond},
+	}
+	for _, c := range cases {
+		got, err := ParseInterval(c.in)
+		if err != nil {
+			t.Errorf("ParseInterval(%q): %v", c.in, err)
+			continue
+		}
+		if got.Duration() != c.want {
+			t.Errorf("ParseInterval(%q) = %v, want %v", c.in, got.Duration(), c.want)
+		}
+	}
+	for _, bad := range []string{"", "fast", "5", "5 parsecs", "x minutes"} {
+		if _, err := ParseInterval(bad); err == nil {
+			t.Errorf("ParseInterval(%q) should error", bad)
+		}
+	}
+}
+
+func TestFormatIntervalRoundTrip(t *testing.T) {
+	for _, us := range []int64{0, 1, 1000, 1_000_000, 90_000_000, 3_600_000_000,
+		86_400_000_000, 7 * 86_400_000_000, 8*86_400_000_000 + 3_600_000_000, -60_000_000} {
+		s := FormatInterval(us)
+		got, err := ParseInterval(s)
+		if err != nil {
+			t.Fatalf("FormatInterval(%d) = %q did not re-parse: %v", us, s, err)
+		}
+		if got.IntervalMicros() != us {
+			t.Fatalf("round trip %d -> %q -> %d", us, s, got.IntervalMicros())
+		}
+	}
+}
+
+func TestParseTimestamp(t *testing.T) {
+	good := []string{
+		"2009-01-04",
+		"2009-01-04 09:30",
+		"2009-01-04 09:30:15",
+		"2009-01-04 09:30:15.123456",
+		"2009-01-04T09:30:15Z",
+	}
+	for _, s := range good {
+		if _, err := ParseTimestamp(s); err != nil {
+			t.Errorf("ParseTimestamp(%q): %v", s, err)
+		}
+	}
+	if _, err := ParseTimestamp("Jan 4 2009"); err == nil {
+		t.Error("bad timestamp should error")
+	}
+}
+
+func TestParseLiteral(t *testing.T) {
+	if d, err := ParseLiteral("42", TypeInt); err != nil || d.Int() != 42 {
+		t.Error("int literal")
+	}
+	if d, err := ParseLiteral("2.5", TypeFloat); err != nil || d.Float() != 2.5 {
+		t.Error("float literal")
+	}
+	if d, err := ParseLiteral("x", TypeString); err != nil || d.Str() != "x" {
+		t.Error("string literal")
+	}
+	if d, err := ParseLiteral("true", TypeBool); err != nil || !d.Bool() {
+		t.Error("bool literal")
+	}
+	if _, err := ParseLiteral("x", TypeUnknown); err == nil {
+		t.Error("unknown type should error")
+	}
+}

@@ -1,0 +1,314 @@
+// Package types implements the SQL value system shared by tables and
+// streams: typed datums, rows, schemas, and the time/interval arithmetic
+// that window processing is built on.
+//
+// The paper's central technical claim is that "streaming data and stored
+// data are not intrinsically different" (§2.3); a single value
+// representation used by every operator, whether its input arrives from a
+// heap page or a window close, is the foundation of that unification.
+package types
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Type identifies the SQL type of a Datum.
+type Type uint8
+
+// The supported SQL types. TypeNull is the type of the SQL NULL literal
+// before coercion; a typed column never has TypeNull.
+const (
+	TypeUnknown Type = iota
+	TypeNull
+	TypeBool
+	TypeInt       // 64-bit signed integer
+	TypeFloat     // 64-bit IEEE float
+	TypeString    // UTF-8 text
+	TypeTimestamp // microseconds since the Unix epoch, UTC
+	TypeInterval  // signed duration in microseconds
+)
+
+// String returns the SQL spelling of the type.
+func (t Type) String() string {
+	switch t {
+	case TypeNull:
+		return "NULL"
+	case TypeBool:
+		return "BOOLEAN"
+	case TypeInt:
+		return "BIGINT"
+	case TypeFloat:
+		return "DOUBLE"
+	case TypeString:
+		return "VARCHAR"
+	case TypeTimestamp:
+		return "TIMESTAMP"
+	case TypeInterval:
+		return "INTERVAL"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Numeric reports whether the type participates in numeric arithmetic.
+func (t Type) Numeric() bool { return t == TypeInt || t == TypeFloat }
+
+// Comparable reports whether two types can be compared with <, =, etc.
+func Comparable(a, b Type) bool {
+	if a == b {
+		return true
+	}
+	if a.Numeric() && b.Numeric() {
+		return true
+	}
+	if a == TypeNull || b == TypeNull {
+		return true
+	}
+	return false
+}
+
+// Datum is a single SQL value. The zero value is SQL NULL... almost: the
+// zero Type is TypeUnknown, so use Null (the package-level variable) or
+// NewNull for explicit NULLs. Datum is a value type and is never mutated
+// after construction.
+type Datum struct {
+	typ Type
+	i   int64 // TypeInt, TypeBool (0/1), TypeTimestamp, TypeInterval
+	f   float64
+	s   string
+}
+
+// Null is the SQL NULL value.
+var Null = Datum{typ: TypeNull}
+
+// True and False are the boolean constants.
+var (
+	True  = Datum{typ: TypeBool, i: 1}
+	False = Datum{typ: TypeBool, i: 0}
+)
+
+// NewNull returns the SQL NULL value.
+func NewNull() Datum { return Null }
+
+// NewBool returns a boolean datum.
+func NewBool(b bool) Datum {
+	if b {
+		return True
+	}
+	return False
+}
+
+// NewInt returns an integer datum.
+func NewInt(v int64) Datum { return Datum{typ: TypeInt, i: v} }
+
+// NewFloat returns a floating-point datum.
+func NewFloat(v float64) Datum { return Datum{typ: TypeFloat, f: v} }
+
+// NewString returns a string datum.
+func NewString(v string) Datum { return Datum{typ: TypeString, s: v} }
+
+// NewTimestamp returns a timestamp datum, truncated to microseconds.
+func NewTimestamp(t time.Time) Datum {
+	return Datum{typ: TypeTimestamp, i: t.UnixMicro()}
+}
+
+// NewTimestampMicros returns a timestamp datum from microseconds since the
+// Unix epoch.
+func NewTimestampMicros(us int64) Datum { return Datum{typ: TypeTimestamp, i: us} }
+
+// NewInterval returns an interval datum, truncated to microseconds.
+func NewInterval(d time.Duration) Datum {
+	return Datum{typ: TypeInterval, i: d.Microseconds()}
+}
+
+// NewIntervalMicros returns an interval datum from a microsecond count.
+func NewIntervalMicros(us int64) Datum { return Datum{typ: TypeInterval, i: us} }
+
+// Type returns the datum's type.
+func (d Datum) Type() Type { return d.typ }
+
+// IsNull reports whether the datum is SQL NULL (or the unknown zero value).
+func (d Datum) IsNull() bool { return d.typ == TypeNull || d.typ == TypeUnknown }
+
+// Bool returns the boolean value; it panics on other types.
+func (d Datum) Bool() bool {
+	d.mustBe(TypeBool)
+	return d.i != 0
+}
+
+// Int returns the integer value; it panics on other types.
+func (d Datum) Int() int64 {
+	d.mustBe(TypeInt)
+	return d.i
+}
+
+// Float returns the floating-point value; for TypeInt it widens.
+func (d Datum) Float() float64 {
+	switch d.typ {
+	case TypeFloat:
+		return d.f
+	case TypeInt:
+		return float64(d.i)
+	}
+	panic(fmt.Sprintf("types: Float on %s", d.typ))
+}
+
+// Str returns the string value; it panics on other types.
+func (d Datum) Str() string {
+	d.mustBe(TypeString)
+	return d.s
+}
+
+// TimestampMicros returns the timestamp in microseconds since the epoch.
+func (d Datum) TimestampMicros() int64 {
+	d.mustBe(TypeTimestamp)
+	return d.i
+}
+
+// Time returns the timestamp as a time.Time in UTC.
+func (d Datum) Time() time.Time {
+	d.mustBe(TypeTimestamp)
+	return time.UnixMicro(d.i).UTC()
+}
+
+// IntervalMicros returns the interval in microseconds.
+func (d Datum) IntervalMicros() int64 {
+	d.mustBe(TypeInterval)
+	return d.i
+}
+
+// Duration returns the interval as a time.Duration.
+func (d Datum) Duration() time.Duration {
+	d.mustBe(TypeInterval)
+	return time.Duration(d.i) * time.Microsecond
+}
+
+func (d Datum) mustBe(t Type) {
+	if d.typ != t {
+		panic(fmt.Sprintf("types: %s datum used as %s", d.typ, t))
+	}
+}
+
+// String renders the datum the way the REPL and test goldens print values.
+func (d Datum) String() string {
+	switch d.typ {
+	case TypeNull, TypeUnknown:
+		return "NULL"
+	case TypeBool:
+		if d.i != 0 {
+			return "true"
+		}
+		return "false"
+	case TypeInt:
+		return strconv.FormatInt(d.i, 10)
+	case TypeFloat:
+		return formatFloat(d.f)
+	case TypeString:
+		return d.s
+	case TypeTimestamp:
+		return time.UnixMicro(d.i).UTC().Format("2006-01-02 15:04:05.000000")
+	case TypeInterval:
+		return FormatInterval(d.i)
+	default:
+		return fmt.Sprintf("<%d>", d.typ)
+	}
+}
+
+func formatFloat(f float64) string {
+	if math.IsInf(f, 1) {
+		return "Infinity"
+	}
+	if math.IsInf(f, -1) {
+		return "-Infinity"
+	}
+	if math.IsNaN(f) {
+		return "NaN"
+	}
+	s := strconv.FormatFloat(f, 'g', -1, 64)
+	// Ensure floats always print with a decimal point or exponent so they
+	// are distinguishable from integers in goldens.
+	if !strings.ContainsAny(s, ".eE") && !strings.Contains(s, "Inf") {
+		s += ".0"
+	}
+	return s
+}
+
+// Compare returns -1, 0 or +1 ordering d before, equal to, or after e.
+// NULL sorts before every non-NULL value (Postgres NULLS FIRST for ASC is
+// configurable there; here the total order is fixed and documented).
+// Mixed int/float comparisons are exact for the magnitudes this engine
+// handles. Comparing incomparable types panics: the planner inserts casts
+// so executing plans never do that.
+func Compare(a, b Datum) int {
+	an, bn := a.IsNull(), b.IsNull()
+	if an || bn {
+		switch {
+		case an && bn:
+			return 0
+		case an:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if a.typ.Numeric() && b.typ.Numeric() {
+		if a.typ == TypeInt && b.typ == TypeInt {
+			return cmpInt(a.i, b.i)
+		}
+		return cmpFloat(a.Float(), b.Float())
+	}
+	if a.typ != b.typ {
+		panic(fmt.Sprintf("types: cannot compare %s with %s", a.typ, b.typ))
+	}
+	switch a.typ {
+	case TypeBool, TypeTimestamp, TypeInterval:
+		return cmpInt(a.i, b.i)
+	case TypeString:
+		return strings.Compare(a.s, b.s)
+	default:
+		panic(fmt.Sprintf("types: cannot compare %s", a.typ))
+	}
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	case a == b:
+		return 0
+	// NaN sorts after everything, NaN == NaN for ordering purposes.
+	case math.IsNaN(a) && math.IsNaN(b):
+		return 0
+	case math.IsNaN(a):
+		return 1
+	default:
+		return -1
+	}
+}
+
+// Equal reports SQL equality treating NULL = NULL as true; callers that
+// need three-valued logic use expr's comparison evaluation instead. This
+// is the definition GROUP BY and DISTINCT use.
+func Equal(a, b Datum) bool {
+	if !Comparable(a.typ, b.typ) {
+		return false
+	}
+	return Compare(a, b) == 0
+}

@@ -1,0 +1,85 @@
+package types
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// EncodeDatum appends a self-describing binary encoding of d to buf. The
+// encoding is used by the WAL and by the map/reduce baseline's spill files.
+func EncodeDatum(buf []byte, d Datum) []byte {
+	buf = append(buf, byte(d.typ))
+	switch d.typ {
+	case TypeNull, TypeUnknown:
+	case TypeBool, TypeInt, TypeTimestamp, TypeInterval:
+		buf = binary.AppendVarint(buf, d.i)
+	case TypeFloat:
+		buf = binary.AppendUvarint(buf, math.Float64bits(d.f))
+	case TypeString:
+		buf = binary.AppendUvarint(buf, uint64(len(d.s)))
+		buf = append(buf, d.s...)
+	}
+	return buf
+}
+
+// DecodeDatum decodes one datum from buf, returning it and the remaining
+// bytes.
+func DecodeDatum(buf []byte) (Datum, []byte, error) {
+	if len(buf) == 0 {
+		return Null, nil, fmt.Errorf("types: decode: empty buffer")
+	}
+	t := Type(buf[0])
+	buf = buf[1:]
+	switch t {
+	case TypeNull, TypeUnknown:
+		return Null, buf, nil
+	case TypeBool, TypeInt, TypeTimestamp, TypeInterval:
+		v, n := binary.Varint(buf)
+		if n <= 0 {
+			return Null, nil, fmt.Errorf("types: decode: bad varint")
+		}
+		return Datum{typ: t, i: v}, buf[n:], nil
+	case TypeFloat:
+		v, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return Null, nil, fmt.Errorf("types: decode: bad float")
+		}
+		return NewFloat(math.Float64frombits(v)), buf[n:], nil
+	case TypeString:
+		l, n := binary.Uvarint(buf)
+		if n <= 0 || uint64(len(buf[n:])) < l {
+			return Null, nil, fmt.Errorf("types: decode: bad string length")
+		}
+		s := string(buf[n : n+int(l)])
+		return NewString(s), buf[n+int(l):], nil
+	}
+	return Null, nil, fmt.Errorf("types: decode: unknown type tag %d", t)
+}
+
+// EncodeRow appends a length-prefixed encoding of the row to buf.
+func EncodeRow(buf []byte, r Row) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(r)))
+	for _, d := range r {
+		buf = EncodeDatum(buf, d)
+	}
+	return buf
+}
+
+// DecodeRow decodes one row from buf, returning it and the remaining bytes.
+func DecodeRow(buf []byte) (Row, []byte, error) {
+	n, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("types: decode row: bad length")
+	}
+	buf = buf[k:]
+	row := make(Row, n)
+	var err error
+	for i := range row {
+		row[i], buf, err = DecodeDatum(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return row, buf, nil
+}

@@ -1,0 +1,200 @@
+package types
+
+import (
+	"fmt"
+	"hash/maphash"
+	"math"
+	"strings"
+)
+
+// Column describes one attribute of a relation or stream schema.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered list of columns. Column names are compared
+// case-insensitively (SQL folds unquoted identifiers to lower case at parse
+// time, so in practice names here are already lower-cased).
+type Schema []Column
+
+// IndexOf returns the position of the named column, or -1.
+func (s Schema) IndexOf(name string) int {
+	for i, c := range s {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Names returns the column names in order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s))
+	for i, c := range s {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// String renders the schema as "(a BIGINT, b VARCHAR)".
+func (s Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", c.Name, c.Type)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Clone returns a copy of the schema.
+func (s Schema) Clone() Schema {
+	out := make(Schema, len(s))
+	copy(out, s)
+	return out
+}
+
+// Row is a tuple of datums positionally matching some schema.
+type Row []Datum
+
+// Clone returns a copy of the row. Datums are immutable, so a shallow copy
+// of the slice suffices.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// String renders the row for the REPL and tests: "a|b|c".
+func (r Row) String() string {
+	parts := make([]string, len(r))
+	for i, d := range r {
+		parts[i] = d.String()
+	}
+	return strings.Join(parts, "|")
+}
+
+// RowsEqual reports whether two rows are datum-wise Equal.
+func RowsEqual(a, b Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// CompareRows orders rows lexicographically by Compare on each column.
+func CompareRows(a, b Row) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	return cmpInt(int64(len(a)), int64(len(b)))
+}
+
+var hashSeed = maphash.MakeSeed()
+
+// HashDatum folds a datum into h for hash joins and hash aggregation.
+// Values that compare Equal hash equally: integral floats hash as their
+// integer value so INT 3 and FLOAT 3.0 collide as required.
+func HashDatum(h *maphash.Hash, d Datum) {
+	switch d.typ {
+	case TypeNull, TypeUnknown:
+		h.WriteByte(0)
+	case TypeBool:
+		h.WriteByte(1)
+		h.WriteByte(byte(d.i))
+	case TypeInt:
+		h.WriteByte(2)
+		writeUint64(h, uint64(d.i))
+	case TypeFloat:
+		if i := int64(d.f); float64(i) == d.f {
+			// Hash like the equal integer.
+			h.WriteByte(2)
+			writeUint64(h, uint64(i))
+		} else {
+			h.WriteByte(3)
+			writeUint64(h, math.Float64bits(d.f))
+		}
+	case TypeString:
+		h.WriteByte(4)
+		h.WriteString(d.s)
+	case TypeTimestamp:
+		h.WriteByte(5)
+		writeUint64(h, uint64(d.i))
+	case TypeInterval:
+		h.WriteByte(6)
+		writeUint64(h, uint64(d.i))
+	}
+}
+
+// HashRow returns a 64-bit hash of the row consistent with RowsEqual.
+func HashRow(r Row) uint64 {
+	var h maphash.Hash
+	h.SetSeed(hashSeed)
+	for _, d := range r {
+		HashDatum(&h, d)
+	}
+	return h.Sum64()
+}
+
+func writeUint64(h *maphash.Hash, v uint64) {
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+	h.Write(buf[:])
+}
+
+// Key renders a row as a string map key consistent with RowsEqual; used for
+// grouping where we need exact (not probabilistic) key identity.
+func (r Row) Key() string {
+	var b strings.Builder
+	for _, d := range r {
+		switch d.typ {
+		case TypeNull, TypeUnknown:
+			b.WriteByte(0)
+		case TypeBool:
+			b.WriteByte(1)
+			b.WriteByte(byte(d.i))
+		case TypeInt:
+			writeKeyInt(&b, 2, uint64(d.i))
+		case TypeFloat:
+			if i := int64(d.f); float64(i) == d.f {
+				writeKeyInt(&b, 2, uint64(i))
+			} else {
+				writeKeyInt(&b, 3, math.Float64bits(d.f))
+			}
+		case TypeString:
+			b.WriteByte(4)
+			// Length-prefix to keep keys unambiguous.
+			writeKeyInt(&b, 4, uint64(len(d.s)))
+			b.WriteString(d.s)
+		case TypeTimestamp:
+			writeKeyInt(&b, 5, uint64(d.i))
+		case TypeInterval:
+			writeKeyInt(&b, 6, uint64(d.i))
+		}
+	}
+	return b.String()
+}
+
+func writeKeyInt(b *strings.Builder, tag byte, v uint64) {
+	b.WriteByte(tag)
+	for i := 0; i < 8; i++ {
+		b.WriteByte(byte(v >> (8 * i)))
+	}
+}

@@ -1,0 +1,167 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"streamrel/internal/types"
+)
+
+func row(vs ...int64) types.Row {
+	r := make(types.Row, len(vs))
+	for i, v := range vs {
+		r[i] = types.NewInt(v)
+	}
+	return r
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := [][]Record{
+		{{Kind: RecDDL, SQL: "CREATE TABLE t (a bigint)"}},
+		{{Kind: RecInsert, Table: "t", Row: row(1)},
+			{Kind: RecInsert, Table: "t", Row: row(2)}},
+		{{Kind: RecDelete, Table: "t", RowID: 0}},
+	}
+	for _, b := range batches {
+		if err := l.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []Record
+	if err := Replay(path, func(r Record) error { got = append(got, r); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("replayed %d records, want 4", len(got))
+	}
+	if got[0].Kind != RecDDL || got[0].SQL != "CREATE TABLE t (a bigint)" {
+		t.Fatalf("record 0: %+v", got[0])
+	}
+	if got[1].Kind != RecInsert || got[1].Table != "t" || got[1].Row[0].Int() != 1 {
+		t.Fatalf("record 1: %+v", got[1])
+	}
+	if got[3].Kind != RecDelete || got[3].RowID != 0 {
+		t.Fatalf("record 3: %+v", got[3])
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	err := Replay(filepath.Join(t.TempDir(), "absent"), func(Record) error {
+		t.Fatal("should not be called")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTornTailDiscarded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _ := Open(path, Options{Sync: true})
+	l.Append([]Record{{Kind: RecInsert, Table: "t", Row: row(1)}})
+	l.Append([]Record{{Kind: RecInsert, Table: "t", Row: row(2)}})
+	l.Close()
+
+	// Truncate mid-way through the second batch to simulate a crash during
+	// the write.
+	data, _ := os.ReadFile(path)
+	for cut := len(data) - 1; cut > len(data)-10 && cut > 0; cut-- {
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var got []Record
+		if err := Replay(path, func(r Record) error { got = append(got, r); return nil }); err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		if len(got) != 1 || got[0].Row[0].Int() != 1 {
+			t.Fatalf("cut=%d: replayed %d records, want exactly the first batch", cut, len(got))
+		}
+	}
+}
+
+func TestCorruptBatchDiscarded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _ := Open(path, Options{})
+	l.Append([]Record{{Kind: RecInsert, Table: "t", Row: row(1)}})
+	l.Append([]Record{{Kind: RecInsert, Table: "t", Row: row(2)}})
+	l.Close()
+	data, _ := os.ReadFile(path)
+	// Flip a bit in the second batch's payload.
+	data[len(data)-1] ^= 0xFF
+	os.WriteFile(path, data, 0o644)
+	var got []Record
+	if err := Replay(path, func(r Record) error { got = append(got, r); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("replayed %d records past corruption, want 1", len(got))
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _ := Open(path, Options{})
+	l.Append([]Record{{Kind: RecInsert, Table: "t", Row: row(1)}})
+	if err := l.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	l.Append([]Record{{Kind: RecInsert, Table: "t", Row: row(9)}})
+	l.Close()
+	var got []Record
+	Replay(path, func(r Record) error { got = append(got, r); return nil })
+	if len(got) != 1 || got[0].Row[0].Int() != 9 {
+		t.Fatalf("after truncate: %+v", got)
+	}
+}
+
+func TestEmptyAppendIsNoop(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _ := Open(path, Options{})
+	if err := l.Append(nil); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	info, _ := os.Stat(path)
+	if info.Size() != 0 {
+		t.Fatal("empty append wrote bytes")
+	}
+}
+
+func TestAppendAfterCloseErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _ := Open(path, Options{})
+	l.Close()
+	if err := l.Append([]Record{{Kind: RecDDL, SQL: "x"}}); err == nil {
+		t.Fatal("append after close should error")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal("double close should be fine")
+	}
+}
+
+func TestMixedDatumTypesRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _ := Open(path, Options{})
+	in := types.Row{
+		types.NewInt(-5), types.NewFloat(2.5), types.NewString("héllo"),
+		types.True, types.Null, types.NewTimestampMicros(123456789),
+		types.NewIntervalMicros(-60_000_000),
+	}
+	l.Append([]Record{{Kind: RecInsert, Table: "t", Row: in}})
+	l.Close()
+	var got types.Row
+	Replay(path, func(r Record) error { got = r.Row; return nil })
+	if !types.RowsEqual(in, got) {
+		t.Fatalf("round trip: %v vs %v", in, got)
+	}
+}

@@ -1,0 +1,257 @@
+// Package workload generates the synthetic event feeds the experiments
+// run on. The paper's motivating applications are network-centric event
+// streams — web clickstreams (§1, the url_stream running example),
+// network-security logs (§4 case study), and ad-network impressions (§1.1)
+// — all additive, time-ordered, and skewed. Generators are deterministic
+// under a seed so experiments reproduce exactly.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"streamrel/internal/types"
+)
+
+// micros per second.
+const second = int64(1_000_000)
+
+// Clickstream produces url_stream events: (url, atime, client_ip).
+// URLs follow a Zipf distribution (a few hot pages dominate), clients are
+// uniform, and inter-arrival times are exponential around the configured
+// rate — the additive, time-ordered shape the paper exploits.
+type Clickstream struct {
+	rng     *rand.Rand
+	zipf    *rand.Zipf
+	urls    []string
+	clients int
+	ts      int64 // microseconds
+	gapMean float64
+}
+
+// ClickConfig configures a Clickstream.
+type ClickConfig struct {
+	Seed         int64
+	URLs         int       // distinct pages (default 100)
+	Clients      int       // distinct client IPs (default 1000)
+	Start        time.Time // first event time
+	EventsPerSec float64   // mean arrival rate (default 100)
+	Skew         float64   // Zipf s parameter (default 1.2)
+}
+
+// NewClickstream builds a generator.
+func NewClickstream(cfg ClickConfig) *Clickstream {
+	if cfg.URLs <= 0 {
+		cfg.URLs = 100
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1000
+	}
+	if cfg.EventsPerSec <= 0 {
+		cfg.EventsPerSec = 100
+	}
+	if cfg.Skew <= 1 {
+		cfg.Skew = 1.2
+	}
+	if cfg.Start.IsZero() {
+		cfg.Start = time.Date(2009, 1, 4, 0, 0, 0, 0, time.UTC)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	urls := make([]string, cfg.URLs)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("/page/%04d", i)
+	}
+	return &Clickstream{
+		rng:     rng,
+		zipf:    rand.NewZipf(rng, cfg.Skew, 1, uint64(cfg.URLs-1)),
+		urls:    urls,
+		clients: cfg.Clients,
+		ts:      cfg.Start.UnixMicro(),
+		gapMean: float64(second) / cfg.EventsPerSec,
+	}
+}
+
+// Schema returns the url_stream schema (CQTIME column is index 1).
+func (c *Clickstream) Schema() types.Schema {
+	return types.Schema{
+		{Name: "url", Type: types.TypeString},
+		{Name: "atime", Type: types.TypeTimestamp},
+		{Name: "client_ip", Type: types.TypeString},
+	}
+}
+
+// Next returns the next event row with a non-decreasing timestamp.
+func (c *Clickstream) Next() types.Row {
+	c.ts += int64(c.rng.ExpFloat64() * c.gapMean)
+	return types.Row{
+		types.NewString(c.urls[c.zipf.Uint64()]),
+		types.NewTimestampMicros(c.ts),
+		types.NewString(fmt.Sprintf("10.%d.%d.%d",
+			c.rng.Intn(4), c.rng.Intn(256), c.rng.Intn(c.clients%256+1))),
+	}
+}
+
+// Take returns the next n events.
+func (c *Clickstream) Take(n int) []types.Row {
+	out := make([]types.Row, n)
+	for i := range out {
+		out[i] = c.Next()
+	}
+	return out
+}
+
+// Now returns the generator's current stream time in microseconds.
+func (c *Clickstream) Now() int64 { return c.ts }
+
+// SecurityEvent mirrors the paper's §4 network-security reporting case
+// study: firewall log records.
+type SecurityEvents struct {
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	ts   int64
+	gap  float64
+}
+
+// SecurityConfig configures a SecurityEvents generator.
+type SecurityConfig struct {
+	Seed         int64
+	Start        time.Time
+	EventsPerSec float64
+}
+
+// NewSecurityEvents builds a generator of firewall events.
+func NewSecurityEvents(cfg SecurityConfig) *SecurityEvents {
+	if cfg.EventsPerSec <= 0 {
+		cfg.EventsPerSec = 500
+	}
+	if cfg.Start.IsZero() {
+		cfg.Start = time.Date(2009, 1, 4, 0, 0, 0, 0, time.UTC)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return &SecurityEvents{
+		rng:  rng,
+		zipf: rand.NewZipf(rng, 1.3, 1, 4095),
+		ts:   cfg.Start.UnixMicro(),
+		gap:  float64(second) / cfg.EventsPerSec,
+	}
+}
+
+// Schema returns the security event schema (CQTIME column is index 0):
+// (etime, src_ip, dst_port, action, bytes).
+func (s *SecurityEvents) Schema() types.Schema {
+	return types.Schema{
+		{Name: "etime", Type: types.TypeTimestamp},
+		{Name: "src_ip", Type: types.TypeString},
+		{Name: "dst_port", Type: types.TypeInt},
+		{Name: "action", Type: types.TypeString},
+		{Name: "bytes", Type: types.TypeInt},
+	}
+}
+
+// Next returns the next firewall event.
+func (s *SecurityEvents) Next() types.Row {
+	s.ts += int64(s.rng.ExpFloat64() * s.gap)
+	src := s.zipf.Uint64()
+	action := "allow"
+	// Hot sources are disproportionately scanners: deny more often.
+	if s.rng.Float64() < 0.05+0.3/float64(src+1) {
+		action = "deny"
+	}
+	ports := []int64{22, 23, 80, 443, 445, 3389, 8080}
+	return types.Row{
+		types.NewTimestampMicros(s.ts),
+		types.NewString(fmt.Sprintf("192.168.%d.%d", src/256, src%256)),
+		types.NewInt(ports[s.rng.Intn(len(ports))]),
+		types.NewString(action),
+		types.NewInt(int64(s.rng.Intn(64 * 1024))),
+	}
+}
+
+// Take returns the next n events.
+func (s *SecurityEvents) Take(n int) []types.Row {
+	out := make([]types.Row, n)
+	for i := range out {
+		out[i] = s.Next()
+	}
+	return out
+}
+
+// Now returns the generator's current stream time in microseconds.
+func (s *SecurityEvents) Now() int64 { return s.ts }
+
+// Impressions models an ad network's impression feed:
+// (itime, campaign, publisher, cost_micros).
+type Impressions struct {
+	rng       *rand.Rand
+	zipf      *rand.Zipf
+	campaigns int
+	ts        int64
+	gap       float64
+}
+
+// ImpressionConfig configures an Impressions generator.
+type ImpressionConfig struct {
+	Seed         int64
+	Campaigns    int
+	Publishers   int
+	Start        time.Time
+	EventsPerSec float64
+}
+
+// NewImpressions builds an ad-impression generator.
+func NewImpressions(cfg ImpressionConfig) *Impressions {
+	if cfg.Campaigns <= 0 {
+		cfg.Campaigns = 50
+	}
+	if cfg.Publishers <= 0 {
+		cfg.Publishers = 200
+	}
+	if cfg.EventsPerSec <= 0 {
+		cfg.EventsPerSec = 1000
+	}
+	if cfg.Start.IsZero() {
+		cfg.Start = time.Date(2009, 1, 4, 0, 0, 0, 0, time.UTC)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return &Impressions{
+		rng:       rng,
+		zipf:      rand.NewZipf(rng, 1.1, 1, uint64(cfg.Publishers-1)),
+		campaigns: cfg.Campaigns,
+		ts:        cfg.Start.UnixMicro(),
+		gap:       float64(second) / cfg.EventsPerSec,
+	}
+}
+
+// Schema returns the impression schema (CQTIME column is index 0).
+func (im *Impressions) Schema() types.Schema {
+	return types.Schema{
+		{Name: "itime", Type: types.TypeTimestamp},
+		{Name: "campaign", Type: types.TypeInt},
+		{Name: "publisher", Type: types.TypeInt},
+		{Name: "cost", Type: types.TypeInt}, // micro-dollars
+	}
+}
+
+// Next returns the next impression.
+func (im *Impressions) Next() types.Row {
+	im.ts += int64(im.rng.ExpFloat64() * im.gap)
+	return types.Row{
+		types.NewTimestampMicros(im.ts),
+		types.NewInt(int64(im.rng.Intn(im.campaigns))),
+		types.NewInt(int64(im.zipf.Uint64())),
+		types.NewInt(int64(100 + im.rng.Intn(5000))),
+	}
+}
+
+// Take returns the next n impressions.
+func (im *Impressions) Take(n int) []types.Row {
+	out := make([]types.Row, n)
+	for i := range out {
+		out[i] = im.Next()
+	}
+	return out
+}
+
+// Now returns the generator's current stream time in microseconds.
+func (im *Impressions) Now() int64 { return im.ts }

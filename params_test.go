@@ -1,0 +1,86 @@
+package streamrel
+
+import (
+	"testing"
+	"time"
+)
+
+func TestQueryArgs(t *testing.T) {
+	e := openMem(t)
+	mustExec(t, e, `CREATE TABLE t (a bigint, s varchar)`)
+	mustExec(t, e, `INSERT INTO t VALUES (1, 'one'), (2, 'two'), (3, 'three')`)
+
+	rows, err := e.QueryArgs(`SELECT s FROM t WHERE a = $1`, Int(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectData(t, rows, "two")
+
+	rows, err = e.QueryArgs(`SELECT a FROM t WHERE a BETWEEN $1 AND $2 ORDER BY a`, Int(2), Int(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectData(t, rows, "2", "3")
+
+	// Reuse of the same placeholder.
+	rows, err = e.QueryArgs(`SELECT count(*) FROM t WHERE a = $1 OR length(s) = $1`, Int(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectData(t, rows, "3") // a=3, plus 'one' and 'two' (length 3)
+}
+
+func TestExecArgs(t *testing.T) {
+	e := openMem(t)
+	mustExec(t, e, `CREATE TABLE t (a bigint, s varchar)`)
+	if _, err := e.ExecArgs(`INSERT INTO t VALUES ($1, $2), ($3, $4)`,
+		Int(1), String("x"), Int(2), String("y")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ExecArgs(`UPDATE t SET s = $1 WHERE a = $2`, String("z"), Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	expectData(t, mustQuery(t, e, `SELECT s FROM t ORDER BY a`), "z", "y")
+	res, err := e.ExecArgs(`DELETE FROM t WHERE a < $1`, Int(10))
+	if err != nil || res.RowsAffected != 2 {
+		t.Fatalf("delete: %v %v", res, err)
+	}
+}
+
+func TestSubscribeArgs(t *testing.T) {
+	e := openMem(t)
+	mustExec(t, e, `CREATE STREAM s (v bigint, at timestamp CQTIME USER)`)
+	cq, err := e.SubscribeArgs(`SELECT count(*) FROM s <ADVANCE '1 minute'> WHERE v >= $1`, Int(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cq.Close()
+	base := MustTimestamp("2009-01-04 00:00:00")
+	e.Append("s", Row{Int(5), Timestamp(base.Add(time.Second))})
+	e.Append("s", Row{Int(15), Timestamp(base.Add(2 * time.Second))})
+	e.AdvanceTime("s", base.Add(time.Minute))
+	b, ok := cq.TryNext()
+	if !ok || b.Rows[0][0].Int() != 1 {
+		t.Fatalf("batch: %+v ok=%v", b, ok)
+	}
+}
+
+func TestParamErrors(t *testing.T) {
+	e := openMem(t)
+	mustExec(t, e, `CREATE TABLE t (a bigint)`)
+	if _, err := e.QueryArgs(`SELECT * FROM t WHERE a = $2`, Int(1)); err == nil {
+		t.Fatal("out-of-range placeholder")
+	}
+	if _, err := e.QueryArgs(`SELECT * FROM t WHERE a = $1`, Int(1), Int(2)); err == nil {
+		t.Fatal("unused trailing argument")
+	}
+	if _, err := e.Query(`SELECT * FROM t WHERE a = $1`); err == nil {
+		t.Fatal("unbound parameter should error")
+	}
+	if _, err := e.Query(`SELECT $ FROM t`); err == nil {
+		t.Fatal("bare $ should fail to lex")
+	}
+	if _, err := e.ExecArgs(`CREATE TABLE u (a bigint)`, Int(1)); err == nil {
+		t.Fatal("DDL with args should error")
+	}
+}

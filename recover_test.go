@@ -1,0 +1,177 @@
+package streamrel
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func openDir(t *testing.T, dir string) *Engine {
+	t.Helper()
+	e, err := Open(Config{Dir: dir, SyncWAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestRecoveryTablesAndData(t *testing.T) {
+	dir := t.TempDir()
+	e := openDir(t, dir)
+	mustExec(t, e, `CREATE TABLE t (a bigint, b varchar)`)
+	mustExec(t, e, `INSERT INTO t VALUES (1, 'x'), (2, 'y')`)
+	mustExec(t, e, `DELETE FROM t WHERE a = 1`)
+	mustExec(t, e, `UPDATE t SET b = 'z' WHERE a = 2`)
+	e.Close()
+
+	e2 := openDir(t, dir)
+	defer e2.Close()
+	expectData(t, mustQuery(t, e2, `SELECT a, b FROM t`), "2|z")
+}
+
+func TestRecoveryDDLObjects(t *testing.T) {
+	dir := t.TempDir()
+	e := openDir(t, dir)
+	err := e.ExecScript(`
+		CREATE STREAM s (v bigint, at timestamp CQTIME USER);
+		CREATE STREAM d AS SELECT sum(v), cq_close(*) FROM s <ADVANCE '1 minute'>;
+		CREATE TABLE arch (total bigint, stime timestamp);
+		CREATE CHANNEL ch FROM d INTO arch;
+		CREATE VIEW v_arch AS SELECT total FROM arch;
+		CREATE INDEX arch_stime ON arch (stime);
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := MustTimestamp("2009-01-04 00:00:00")
+	e.Append("s", Row{Int(5), Timestamp(base.Add(time.Second))})
+	e.AdvanceTime("s", base.Add(time.Minute))
+	e.Close()
+
+	e2 := openDir(t, dir)
+	defer e2.Close()
+	// All objects exist after recovery.
+	expectData(t, mustExec(t, e2, `SHOW STREAMS`).Rows, "d", "s")
+	expectData(t, mustExec(t, e2, `SHOW CHANNELS`).Rows, "ch")
+	expectData(t, mustExec(t, e2, `SHOW VIEWS`).Rows, "v_arch")
+	// Archived window survived.
+	expectData(t, mustQuery(t, e2, `SELECT total FROM arch`), "5")
+	// The index works after recovery.
+	expectData(t, mustQuery(t, e2, `SELECT total FROM arch WHERE stime = timestamp '2009-01-04 00:01:00'`), "5")
+	// The CQ keeps running from where it left off.
+	e2.Append("s", Row{Int(7), Timestamp(base.Add(61 * time.Second))})
+	e2.AdvanceTime("s", base.Add(2*time.Minute))
+	expectData(t, mustQuery(t, e2, `SELECT total FROM arch ORDER BY stime`), "5", "7")
+}
+
+// TestRecoveryResumesFromActiveTable checks the paper-§4 mechanism: after
+// restart the CQ resumes from the Active Table's newest window instead of
+// re-emitting archived windows.
+func TestRecoveryResumesFromActiveTable(t *testing.T) {
+	dir := t.TempDir()
+	e := openDir(t, dir)
+	e.ExecScript(`
+		CREATE STREAM s (v bigint, at timestamp CQTIME USER);
+		CREATE STREAM d AS SELECT count(*), cq_close(*) FROM s <ADVANCE '1 minute'>;
+		CREATE TABLE arch (n bigint, stime timestamp);
+		CREATE CHANNEL ch FROM d INTO arch;
+	`)
+	base := MustTimestamp("2009-01-04 00:00:00")
+	for m := 0; m < 3; m++ {
+		e.Append("s", Row{Int(1), Timestamp(base.Add(time.Duration(m)*time.Minute + time.Second))})
+	}
+	e.AdvanceTime("s", base.Add(3*time.Minute))
+	expectData(t, mustQuery(t, e, `SELECT count(*) FROM arch`), "3")
+	e.Close()
+
+	e2 := openDir(t, dir)
+	defer e2.Close()
+	// Heartbeats covering already-archived boundaries must not duplicate.
+	e2.AdvanceTime("s", base.Add(3*time.Minute))
+	expectData(t, mustQuery(t, e2, `SELECT count(*) FROM arch`), "3")
+	// The next genuine window appends exactly one row.
+	e2.Append("s", Row{Int(1), Timestamp(base.Add(3*time.Minute + time.Second))})
+	e2.AdvanceTime("s", base.Add(4*time.Minute))
+	expectData(t, mustQuery(t, e2, `SELECT count(*) FROM arch`), "4")
+	expectData(t, mustQuery(t, e2, `SELECT n, stime FROM arch ORDER BY stime DESC LIMIT 1`),
+		"1|2009-01-04 00:04:00.000000")
+}
+
+func TestCheckpointAndWALTruncate(t *testing.T) {
+	dir := t.TempDir()
+	e := openDir(t, dir)
+	mustExec(t, e, `CREATE TABLE t (a bigint)`)
+	for i := 0; i < 50; i++ {
+		mustExec(t, e, `INSERT INTO t VALUES (1)`)
+	}
+	mustExec(t, e, `DELETE FROM t WHERE a = 1`)
+	mustExec(t, e, `INSERT INTO t VALUES (42)`)
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// WAL is now empty; more writes follow the checkpoint.
+	info, err := os.Stat(filepath.Join(dir, "wal.log"))
+	if err != nil || info.Size() != 0 {
+		t.Fatalf("wal after checkpoint: %v size=%d", err, info.Size())
+	}
+	mustExec(t, e, `INSERT INTO t VALUES (43)`)
+	mustExec(t, e, `DELETE FROM t WHERE a = 42`)
+	e.Close()
+
+	e2 := openDir(t, dir)
+	defer e2.Close()
+	expectData(t, mustQuery(t, e2, `SELECT a FROM t ORDER BY a`), "43")
+}
+
+func TestCheckpointWithIndexes(t *testing.T) {
+	dir := t.TempDir()
+	e := openDir(t, dir)
+	mustExec(t, e, `CREATE TABLE t (a bigint)`)
+	mustExec(t, e, `CREATE INDEX ix ON t (a)`)
+	for i := 0; i < 20; i++ {
+		mustExec(t, e, `INSERT INTO t VALUES (7)`)
+	}
+	mustExec(t, e, `DELETE FROM t WHERE a = 7`)
+	mustExec(t, e, `INSERT INTO t VALUES (9)`)
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint rowids must align for replayed deletes.
+	mustExec(t, e, `DELETE FROM t WHERE a = 9`)
+	mustExec(t, e, `INSERT INTO t VALUES (11)`)
+	e.Close()
+
+	e2 := openDir(t, dir)
+	defer e2.Close()
+	expectData(t, mustQuery(t, e2, `SELECT a FROM t WHERE a >= 0 ORDER BY a`), "11")
+}
+
+// TestTornWALTailIgnored simulates a crash mid-commit: the torn trailing
+// batch is discarded and everything before it survives.
+func TestTornWALTailIgnored(t *testing.T) {
+	dir := t.TempDir()
+	e := openDir(t, dir)
+	mustExec(t, e, `CREATE TABLE t (a bigint)`)
+	mustExec(t, e, `INSERT INTO t VALUES (1)`)
+	mustExec(t, e, `INSERT INTO t VALUES (2)`)
+	e.Close()
+
+	walPath := filepath.Join(dir, "wal.log")
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e2 := openDir(t, dir)
+	defer e2.Close()
+	expectData(t, mustQuery(t, e2, `SELECT a FROM t`), "1")
+}
+
+func TestFreshDirIsEmpty(t *testing.T) {
+	e := openDir(t, t.TempDir())
+	defer e.Close()
+	expectData(t, mustExec(t, e, `SHOW TABLES`).Rows)
+}

@@ -1,0 +1,382 @@
+// Package streamrel is a stream-relational database engine: a from-scratch
+// Go reproduction of the system described in "Continuous Analytics:
+// Rethinking Query Processing in a Network-Effect World" (Franklin,
+// Krishnamurthy, Conway, Li, Russakovsky, Thombre — CIDR 2009).
+//
+// The engine runs SQL over tables, streams, and combinations of the two.
+// Streams are ordered unbounded relations declared with CREATE STREAM;
+// window clauses (<VISIBLE '5 minutes' ADVANCE '1 minute'>) turn queries
+// over them into continuous queries that evaluate incrementally as data
+// arrives — before it is stored. Derived streams (CREATE STREAM … AS) run
+// always-on; channels (CREATE CHANNEL … FROM … INTO …) archive their
+// results into ordinary SQL tables, which become continuously maintained
+// Active Tables that snapshot queries read with ordinary SELECTs.
+//
+// Quick start:
+//
+//	eng, _ := streamrel.Open(streamrel.Config{})
+//	defer eng.Close()
+//	eng.Exec(`CREATE STREAM url_stream (
+//	            url varchar, atime timestamp CQTIME USER, client_ip varchar)`)
+//	cq, _ := eng.Subscribe(`SELECT url, count(*) FROM url_stream
+//	                        <VISIBLE '5 minutes' ADVANCE '1 minute'>
+//	                        GROUP BY url`)
+//	eng.Exec(`INSERT INTO url_stream VALUES ('/home', timestamp '2009-01-04 09:00:30', '10.0.0.1')`)
+//	eng.AdvanceTime("url_stream", mustTS("2009-01-04 09:06:00"))
+//	batch, _ := cq.TryNext() // the first window's rows
+package streamrel
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"streamrel/internal/catalog"
+	"streamrel/internal/plan"
+	"streamrel/internal/sql"
+	"streamrel/internal/stream"
+	"streamrel/internal/txn"
+	"streamrel/internal/types"
+	"streamrel/internal/wal"
+)
+
+// Re-exported value types so callers never import internal packages.
+type (
+	// Value is a single SQL value.
+	Value = types.Datum
+	// Row is a tuple of values.
+	Row = types.Row
+	// Column describes one output or schema column.
+	Column = types.Column
+	// Schema is an ordered column list.
+	Schema = types.Schema
+)
+
+// Value constructors.
+var (
+	// Null is the SQL NULL value.
+	Null = types.Null
+)
+
+// Int returns an integer value.
+func Int(v int64) Value { return types.NewInt(v) }
+
+// Float returns a floating-point value.
+func Float(v float64) Value { return types.NewFloat(v) }
+
+// String returns a string value.
+func String(v string) Value { return types.NewString(v) }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value { return types.NewBool(v) }
+
+// Timestamp returns a timestamp value.
+func Timestamp(t time.Time) Value { return types.NewTimestamp(t) }
+
+// Interval returns an interval value.
+func Interval(d time.Duration) Value { return types.NewInterval(d) }
+
+// LateRowPolicy mirrors the runtime's disorder policies.
+type LateRowPolicy uint8
+
+// Late-row policies for Config.LateRows.
+const (
+	// LateReject returns an error on out-of-order input (default).
+	LateReject LateRowPolicy = iota
+	// LateDrop silently discards late rows (counted in Stats).
+	LateDrop
+	// LateClamp advances late rows to the stream's high-water mark.
+	LateClamp
+)
+
+// Config controls engine behaviour.
+type Config struct {
+	// Dir is the data directory for the write-ahead log and checkpoints.
+	// Empty means fully in-memory (no durability) — convenient for tests
+	// and benchmarks.
+	Dir string
+	// SyncWAL fsyncs every committed batch. Off by default; crash-safety
+	// tests and production deployments turn it on.
+	SyncWAL bool
+	// DisableSharing turns off shared slice aggregation across continuous
+	// queries; experiment E3 measures its benefit.
+	DisableSharing bool
+	// LateRows chooses what happens to out-of-order stream input:
+	// reject (default), drop, or clamp to the high-water mark.
+	LateRows LateRowPolicy
+	// Now overrides the wall clock (for now() and tests).
+	Now func() time.Time
+}
+
+// Engine is a stream-relational database instance.
+type Engine struct {
+	// mu serializes writers against checkpoints; readers take RLock.
+	mu sync.RWMutex
+
+	cfg     Config
+	cat     *catalog.Catalog
+	mgr     *txn.Manager
+	rt      *stream.Runtime
+	planner *plan.Planner
+	log     *wal.Log // nil when in-memory
+
+	// ddlLog records successful DDL statements in order; checkpoints
+	// serialize it so objects are recreated in dependency order.
+	ddlLog []string
+	// derivedPipes maps derived stream name → its always-on pipeline.
+	derivedPipes map[string]*stream.Pipeline
+	// channelTaps maps channel name → detach function.
+	channelTaps map[string]func()
+
+	// sysClock tracks the last arrival timestamp stamped per CQTIME
+	// SYSTEM stream, guaranteeing monotonicity.
+	sysMu    sync.Mutex
+	sysClock map[string]int64
+
+	recovering bool
+	closed     bool
+}
+
+// Open creates or recovers an engine.
+func Open(cfg Config) (*Engine, error) {
+	e := &Engine{
+		cfg:          cfg,
+		cat:          catalog.New(),
+		mgr:          txn.NewManager(),
+		derivedPipes: make(map[string]*stream.Pipeline),
+		channelTaps:  make(map[string]func()),
+		sysClock:     make(map[string]int64),
+	}
+	e.rt = stream.NewRuntime(e.mgr, !cfg.DisableSharing)
+	e.rt.Late = stream.LatePolicy(cfg.LateRows)
+	e.planner = &plan.Planner{Cat: e.cat}
+
+	if cfg.Dir != "" {
+		if err := e.recover(); err != nil {
+			return nil, err
+		}
+		log, err := wal.Open(e.walPath(), wal.Options{Sync: cfg.SyncWAL})
+		if err != nil {
+			return nil, err
+		}
+		e.log = log
+	}
+	return e, nil
+}
+
+func (e *Engine) walPath() string        { return filepath.Join(e.cfg.Dir, "wal.log") }
+func (e *Engine) checkpointPath() string { return filepath.Join(e.cfg.Dir, "checkpoint") }
+
+// Close shuts the engine down. In-flight continuous queries stop receiving
+// batches.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	if e.log != nil {
+		return e.log.Close()
+	}
+	return nil
+}
+
+// Result reports the effect of Exec.
+type Result struct {
+	// RowsAffected counts rows inserted, updated or deleted.
+	RowsAffected int
+	// Rows holds output for statements that return data (SHOW, EXPLAIN).
+	Rows *Rows
+}
+
+// Rows is a fully materialized query result.
+type Rows struct {
+	Columns Schema
+	Data    []Row
+}
+
+// Exec parses and executes one statement: DDL, INSERT/UPDATE/DELETE, SHOW
+// or EXPLAIN. SELECT goes through Query (snapshot) or Subscribe
+// (continuous) instead.
+func (e *Engine) Exec(sqlText string) (*Result, error) {
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	return e.execStmt(stmt, sqlText)
+}
+
+// ExecScript executes a semicolon-separated script, stopping at the first
+// error.
+func (e *Engine) ExecScript(script string) error {
+	stmts, err := sql.ParseScript(script)
+	if err != nil {
+		return err
+	}
+	for _, s := range stmts {
+		if _, err := e.execStmt(s.Stmt, s.Text); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Engine) execStmt(stmt sql.Statement, sqlText string) (*Result, error) {
+	switch s := stmt.(type) {
+	case *sql.CreateTable, *sql.CreateStream, *sql.CreateDerivedStream,
+		*sql.CreateView, *sql.CreateChannel, *sql.CreateIndex, *sql.Drop:
+		return e.execDDL(stmt, sqlText)
+	case *sql.Insert:
+		return e.execInsert(s)
+	case *sql.Update:
+		return e.execUpdate(s)
+	case *sql.Delete:
+		return e.execDelete(s)
+	case *sql.Truncate:
+		return e.execTruncate(s)
+	case *sql.Show:
+		names := e.cat.Names(s.What)
+		rows := make([]Row, len(names))
+		for i, n := range names {
+			rows[i] = Row{types.NewString(n)}
+		}
+		return &Result{Rows: &Rows{
+			Columns: Schema{{Name: s.What, Type: types.TypeString}},
+			Data:    rows,
+		}}, nil
+	case *sql.Explain:
+		return e.execExplain(s)
+	case *sql.Select:
+		return nil, fmt.Errorf("streamrel: use Query for snapshot queries or Subscribe for continuous queries")
+	}
+	return nil, fmt.Errorf("streamrel: unsupported statement %T", stmt)
+}
+
+// Query runs a snapshot query (SQ): a SELECT over tables and views only.
+// It executes against a fresh MVCC snapshot and terminates (paper §3.1).
+func (e *Engine) Query(sqlText string) (*Rows, error) {
+	return e.QueryArgs(sqlText)
+}
+
+// QueryArgs runs a snapshot query with $1, $2, … placeholders bound to
+// args.
+func (e *Engine) QueryArgs(sqlText string, args ...Value) (*Rows, error) {
+	stmt, err := e.parseWithArgs(sqlText, args)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sql.Select)
+	if !ok {
+		return nil, fmt.Errorf("streamrel: Query takes a SELECT")
+	}
+	return e.querySelect(sel)
+}
+
+// ExecArgs executes a DML statement with $1, $2, … placeholders bound to
+// args. (DDL does not take parameters.)
+func (e *Engine) ExecArgs(sqlText string, args ...Value) (*Result, error) {
+	stmt, err := e.parseWithArgs(sqlText, args)
+	if err != nil {
+		return nil, err
+	}
+	return e.execStmt(stmt, sqlText)
+}
+
+// parseWithArgs parses and binds positional parameters.
+func (e *Engine) parseWithArgs(sqlText string, args []Value) (sql.Statement, error) {
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	if len(args) == 0 {
+		return stmt, nil
+	}
+	return sql.BindParams(stmt, args)
+}
+
+func (e *Engine) querySelect(sel *sql.Select) (*Rows, error) {
+	p, err := e.planner.BuildSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	if p.Stream != nil {
+		return nil, fmt.Errorf("streamrel: query over stream %q never terminates; use Subscribe", p.Stream.Name)
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	ctx := e.execCtx()
+	rows, err := execDrain(ctx, p, plan.Input{})
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{Columns: p.Columns, Data: rows}, nil
+}
+
+// AdvanceTime delivers a heartbeat: the stream's clock moves to ts,
+// closing any due windows even without new data.
+func (e *Engine) AdvanceTime(streamName string, ts time.Time) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.rt.Advance(streamName, ts.UnixMicro())
+}
+
+// Append pushes rows into a stream — the fast ingestion path equivalent to
+// INSERT INTO stream VALUES …. Rows must match the stream schema with
+// non-decreasing CQTIME; on CQTIME SYSTEM streams the engine stamps
+// arrival time itself.
+func (e *Engine) Append(streamName string, rows ...Row) error {
+	if st, ok := e.cat.Stream(streamName); ok && st.SystemTime {
+		e.stampSystemTime(st, rows)
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.rt.PushBatch(streamName, rows)
+}
+
+// stampSystemTime overwrites the CQTIME column of each row with a
+// monotonically non-decreasing arrival timestamp from the engine clock
+// ("CQTIME SYSTEM" semantics).
+func (e *Engine) stampSystemTime(st *catalog.Stream, rows []Row) {
+	if !st.SystemTime {
+		return
+	}
+	now := time.Now
+	if e.cfg.Now != nil {
+		now = e.cfg.Now
+	}
+	e.sysMu.Lock()
+	defer e.sysMu.Unlock()
+	for i := range rows {
+		ts := now().UnixMicro()
+		if last := e.sysClock[st.Name]; ts < last {
+			ts = last
+		}
+		e.sysClock[st.Name] = ts
+		rows[i] = rows[i].Clone()
+		rows[i][st.CQTimeCol] = types.NewTimestampMicros(ts)
+	}
+}
+
+// Checkpoint compacts heaps, writes a checkpoint file, and truncates the
+// WAL. No-op for in-memory engines.
+func (e *Engine) Checkpoint() error {
+	if e.log == nil {
+		return nil
+	}
+	return e.checkpoint()
+}
+
+// MustTimestamp parses a timestamp literal or panics; a convenience for
+// examples and tests.
+func MustTimestamp(s string) time.Time {
+	d, err := types.ParseTimestamp(s)
+	if err != nil {
+		panic(err)
+	}
+	return d.Time()
+}
+
+// usToTime converts microseconds since the epoch to a UTC time.
+func usToTime(us int64) time.Time { return time.UnixMicro(us).UTC() }
