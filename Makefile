@@ -1,0 +1,27 @@
+# Development targets. `make check` is what CI should run.
+
+GO ?= go
+
+.PHONY: all build test race vet bench check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+check: build vet test race
+
+# bench regenerates the fan-out scaling numbers (experiment E9) into
+# BENCH_fanout.json so the throughput trajectory is tracked across PRs.
+# Use `go test -bench .` for the full microbenchmark suite.
+bench:
+	$(GO) run ./cmd/srbench -scale 0.2 -only E9 -json BENCH_fanout.json

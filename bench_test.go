@@ -6,6 +6,7 @@ package streamrel
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -494,5 +495,132 @@ func BenchmarkTableInsert(b *testing.B) {
 		if _, err := e.Exec(`INSERT INTO t VALUES (1, 'x')`); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --------------------------------------------------------- parallel fan-out
+
+// benchFanout measures aggregate ingest throughput with k continuous
+// queries subscribed to one stream: b.N events flow through every CQ.
+// Serial mode runs all k pipelines on the producer; parallel mode runs
+// each on its own worker, so on a multicore machine the parallel/serial
+// ratio approaches min(k, cores).
+func benchFanout(b *testing.B, cqs, parallel int) {
+	e := mustOpen(b, Config{DisableSharing: true, ParallelCQ: parallel})
+	mustScript(b, e, `CREATE STREAM hits (url varchar, atime timestamp CQTIME USER, client_ip varchar)`)
+	for i := 0; i < cqs; i++ {
+		// Distinct predicates keep the plans unshareable and the per-CQ
+		// work honest.
+		cq, err := e.Subscribe(fmt.Sprintf(
+			`SELECT client_ip, count(*) FROM hits <VISIBLE 2000 ROWS ADVANCE 500 ROWS> WHERE url <> '/none%d' GROUP BY client_ip`, i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cq.Close()
+	}
+	rows := workload.NewClickstream(workload.ClickConfig{Seed: 3, EventsPerSec: 5000}).Take(b.N)
+	b.ResetTimer()
+	for off := 0; off < len(rows); off += 256 {
+		end := off + 256
+		if end > len(rows) {
+			end = len(rows)
+		}
+		if err := e.Append("hits", rows[off:end]...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := e.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+}
+
+// BenchmarkFanoutSerial: k CQs on one stream, synchronous engine.
+func BenchmarkFanoutSerial(b *testing.B) {
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("cqs=%d", k), func(b *testing.B) { benchFanout(b, k, 0) })
+	}
+}
+
+// BenchmarkFanoutParallel: the same fan-out with per-pipeline workers.
+// Compare against BenchmarkFanoutSerial at GOMAXPROCS ≥ 4.
+func BenchmarkFanoutParallel(b *testing.B) {
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("cqs=%d", k), func(b *testing.B) { benchFanout(b, k, 4) })
+	}
+}
+
+// benchFanoutMultiProducer drives b.RunParallel producers, each feeding
+// its own stream+CQ: with sharded source locking, producers to distinct
+// streams never contend on a global mutex.
+func benchFanoutMultiProducer(b *testing.B, parallel int) {
+	const streams = 8
+	e := mustOpen(b, Config{DisableSharing: true, ParallelCQ: parallel, LateRows: LateClamp})
+	for i := 0; i < streams; i++ {
+		mustScript(b, e, fmt.Sprintf(
+			`CREATE STREAM p%d (url varchar, atime timestamp CQTIME USER, client_ip varchar)`, i))
+		cq, err := e.Subscribe(fmt.Sprintf(
+			`SELECT url, count(*) FROM p%d <VISIBLE 2000 ROWS ADVANCE 500 ROWS> GROUP BY url`, i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cq.Close()
+	}
+	var nextID atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		name := fmt.Sprintf("p%d", int(nextID.Add(1)-1)%streams)
+		buf := make([]Row, 0, 256)
+		ts := int64(0)
+		flush := func() {
+			if len(buf) == 0 {
+				return
+			}
+			if err := e.Append(name, buf...); err != nil {
+				b.Error(err)
+			}
+			buf = buf[:0]
+		}
+		for pb.Next() {
+			ts += 1000
+			buf = append(buf, Row{String("/a"), Timestamp(time.UnixMicro(ts)), String("ip")})
+			if len(buf) == cap(buf) {
+				flush()
+			}
+		}
+		flush()
+	})
+	if err := e.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+}
+
+func BenchmarkFanoutMultiProducerSerial(b *testing.B)   { benchFanoutMultiProducer(b, 0) }
+func BenchmarkFanoutMultiProducerParallel(b *testing.B) { benchFanoutMultiProducer(b, 4) }
+
+// BenchmarkAppendBatch: PushBatch cost by batch size with no subscribers —
+// the regression benchmark for hoisting per-batch invariants (source
+// resolution, schema arity, timestamp validation) out of the row loop.
+func BenchmarkAppendBatch(b *testing.B) {
+	for _, size := range []int{1, 64, 1024} {
+		b.Run(fmt.Sprintf("rows=%d", size), func(b *testing.B) {
+			e := mustOpen(b, Config{})
+			mustScript(b, e, `CREATE STREAM s (v bigint, at timestamp CQTIME USER)`)
+			rows := make([]Row, b.N)
+			for i := range rows {
+				rows[i] = Row{Int(int64(i)), Timestamp(time.UnixMicro(int64(i) * 1000))}
+			}
+			b.ResetTimer()
+			for off := 0; off < len(rows); off += size {
+				end := off + size
+				if end > len(rows) {
+					end = len(rows)
+				}
+				if err := e.Append("s", rows[off:end]...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -1,5 +1,6 @@
 // Command srbench regenerates the paper's evaluation: every figure and
-// quantified claim mapped to an experiment in DESIGN.md §4 (F1, E1–E8).
+// quantified claim mapped to an experiment in DESIGN.md §4 (F1, E1–E8),
+// plus the engine's own scaling experiments (E9).
 //
 // Usage:
 //
@@ -7,12 +8,15 @@
 //	srbench -scale 0.1      # quicker pass
 //	srbench -only E1,E3     # a subset
 //	srbench -list           # show the experiment index
+//	srbench -only E9 -json BENCH_fanout.json   # machine-readable results
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -29,12 +33,27 @@ var index = []struct{ id, what string }{
 	{"E6", "§4 recovery: rebuild from Active Tables vs recompute from raw archive"},
 	{"E7", "§5 map/reduce comparison: successive refreshes over a growing log"},
 	{"E8", "§1.2 result-availability delay: batch period vs 1-minute windows"},
+	{"E9", "parallel CQ fan-out: k CQs serial vs per-pipeline workers (Config.ParallelCQ)"},
+}
+
+// jsonReport is the machine-readable output format for -json: enough
+// context (host, scale, date) for future PRs to track the throughput
+// trajectory across runs.
+type jsonReport struct {
+	Suite      string               `json:"suite"`
+	Scale      float64              `json:"scale"`
+	GOMAXPROCS int                  `json:"gomaxprocs"`
+	Started    time.Time            `json:"started"`
+	ElapsedMS  int64                `json:"elapsed_ms"`
+	Tables     []*experiments.Table `json:"tables"`
+	Durations  map[string]int64     `json:"experiment_ms"`
 }
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "experiment size multiplier (1.0 = full laptop scale)")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	jsonPath := flag.String("json", "", "also write results as JSON to this file")
 	flag.Parse()
 
 	if *list {
@@ -55,10 +74,18 @@ func main() {
 		"F1": experiments.F1, "E1": experiments.E1, "E2": experiments.E2,
 		"E3": experiments.E3, "E4": experiments.E4, "E5": experiments.E5,
 		"E6": experiments.E6, "E7": experiments.E7, "E8": experiments.E8,
+		"E9": experiments.E9,
 	}
 
 	fmt.Printf("streamrel experiment suite (scale %.2g)\n", *scale)
 	fmt.Printf("reproducing: Franklin et al., \"Continuous Analytics\", CIDR 2009\n\n")
+	report := &jsonReport{
+		Suite:      "streamrel",
+		Scale:      *scale,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Started:    time.Now().UTC(),
+		Durations:  map[string]int64{},
+	}
 	start := time.Now()
 	for _, e := range index {
 		if len(want) > 0 && !want[e.id] {
@@ -74,8 +101,25 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
 			os.Exit(1)
 		}
+		took := time.Since(t0)
 		fmt.Println(table.String())
-		fmt.Printf("(%s took %s)\n\n", e.id, time.Since(t0).Round(time.Millisecond))
+		fmt.Printf("(%s took %s)\n\n", e.id, took.Round(time.Millisecond))
+		report.Tables = append(report.Tables, table)
+		report.Durations[e.id] = took.Milliseconds()
 	}
+	report.ElapsedMS = time.Since(start).Milliseconds()
 	fmt.Printf("total: %s\n", time.Since(start).Round(time.Millisecond))
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
 }

@@ -19,9 +19,12 @@ type Batch struct {
 }
 
 // CQ is a handle on a running continuous query. Results queue internally;
-// read them with Next (blocking) or TryNext (non-blocking). Because the
-// engine processes stream input synchronously, every batch produced by an
-// Append or AdvanceTime call is already queued when that call returns.
+// read them with Next (blocking) or TryNext (non-blocking). In the default
+// synchronous mode every batch produced by an Append or AdvanceTime call
+// is already queued when that call returns. With Config.ParallelCQ the
+// query runs on its own worker goroutine: batches arrive in the same order
+// with the same contents, but asynchronously — call Engine.Flush (or read
+// with Next) to wait for them.
 type CQ struct {
 	// Columns names and types the result rows.
 	Columns Schema

@@ -236,8 +236,9 @@ func (e *Engine) createChannel(s *sql.CreateChannel) (bool, error) {
 
 // channelWrite applies one derived-stream emission to the channel's table
 // in a transaction: REPLACE clears the visible contents first, APPEND just
-// adds. Runs inside the runtime lock (synchronous with the window close),
-// so the Active Table is updated atomically at the window boundary.
+// adds. The write transaction makes the update atomic at the window
+// boundary; in parallel mode it runs on the producing pipeline's worker
+// goroutine (heap, index and WAL are internally locked).
 func (e *Engine) channelWrite(ch *catalog.Channel, rows []types.Row) error {
 	t, ok := e.cat.Table(ch.Into)
 	if !ok {

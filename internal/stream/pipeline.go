@@ -2,6 +2,8 @@ package stream
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"streamrel/internal/exec"
 	"streamrel/internal/plan"
@@ -45,8 +47,19 @@ type Pipeline struct {
 	// sets it from the Active Table's high-water mark (paper §4).
 	resumeAfter int64
 
-	windowsFired int64
-	rowsSeen     int64
+	// Worker execution (parallel mode only; tasks == nil means the
+	// pipeline runs synchronously on the producer). The single worker
+	// applies tasks in queue order, so per-pipeline results match the
+	// synchronous engine exactly.
+	tasks      chan task
+	workerDone chan struct{}
+	stopOnce   sync.Once
+	enqueued   atomic.Int64
+	failed     atomic.Bool // failErr is written before the Store, read after the Load
+	failErr    error
+
+	windowsFired atomic.Int64
+	rowsSeen     atomic.Int64
 }
 
 type emission struct {
@@ -109,9 +122,25 @@ func (p *Pipeline) ResumeAfter(ts int64) {
 	}
 }
 
+// processBatch applies one prepared micro-batch: each row first proves
+// every earlier window boundary complete, then lands in the buffer — the
+// same interleaving row-at-a-time delivery produced, amortized to one call
+// per batch per pipeline.
+func (p *Pipeline) processBatch(batch []tsRow) error {
+	for _, tr := range batch {
+		if err := p.advanceTo(tr.ts); err != nil {
+			return err
+		}
+		if err := p.push(tr.row, tr.ts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // push buffers one row (already proven in-order by the source).
 func (p *Pipeline) push(row types.Row, ts int64) error {
-	p.rowsSeen++
+	p.rowsSeen.Add(1)
 	switch p.win.Kind {
 	case sql.WindowTime:
 		if !p.started {
@@ -261,7 +290,7 @@ func (p *Pipeline) run(c int64, rows []types.Row) error {
 	if err != nil {
 		return fmt.Errorf("stream: window close at %d: %w", c, err)
 	}
-	p.windowsFired++
+	p.windowsFired.Add(1)
 	return p.sink(c, out)
 }
 
@@ -273,6 +302,6 @@ func (p *Pipeline) runPost(c int64, aggRows []types.Row) error {
 	if err != nil {
 		return fmt.Errorf("stream: window close at %d: %w", c, err)
 	}
-	p.windowsFired++
+	p.windowsFired.Add(1)
 	return p.sink(c, out)
 }

@@ -149,15 +149,12 @@ func TestEmissionBufferBounded(t *testing.T) {
 	// Plan a slices CQ by hand through the catalog.
 	e.cat.CreateDerivedStream(mustDerived("d", schema))
 	pipe, _ := e.subscribe(t, `SELECT count(*) FROM d <SLICES 3 WINDOWS>`)
-	e.rt.mu.Lock()
 	for i := 0; i < 20; i++ {
 		rows := []types.Row{{types.NewInt(int64(i))}}
 		if err := e.rt.emitDerived("d", int64(i+1)*minute, rows); err != nil {
-			e.rt.mu.Unlock()
 			t.Fatal(err)
 		}
 	}
-	e.rt.mu.Unlock()
 	if len(pipe.emissions) > 3 {
 		t.Fatalf("emission buffer grew to %d", len(pipe.emissions))
 	}

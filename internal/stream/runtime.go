@@ -8,13 +8,25 @@
 // time reaches a window boundary, the window's rows are materialized as a
 // relation and the query plan — the same iterator operators used by
 // snapshot queries — runs over it under a fresh MVCC snapshot (window
-// consistency, paper §4). All processing is synchronous on the pushing
-// goroutine, which makes results deterministic.
+// consistency, paper §4).
+//
+// Concurrency: the runtime keeps a read-mostly source registry behind an
+// RWMutex, and each source carries its own mutex, so pushes to distinct
+// streams never contend. Within one source, delivery has two modes. In the
+// default synchronous mode every subscribed pipeline runs on the pushing
+// goroutine in subscription order, which makes whole-engine execution
+// deterministic. With SetParallel, each non-shared pipeline instead runs on
+// its own worker goroutine fed by a bounded queue of micro-batches with
+// blocking backpressure: rows for a given pipeline are still applied in
+// arrival order, so per-CQ results are identical to the synchronous mode,
+// while fan-out to N continuous queries uses N cores instead of one.
 package stream
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"streamrel/internal/exec"
@@ -24,7 +36,8 @@ import (
 )
 
 // Sink receives the rows produced by one window close of a continuous
-// query.
+// query. In parallel mode a sink runs on its pipeline's worker goroutine;
+// it must not call back into the pipeline's own stream.
 type Sink func(closeTS int64, rows []types.Row) error
 
 // LatePolicy decides what happens to a row whose timestamp precedes the
@@ -46,18 +59,30 @@ const (
 )
 
 // Runtime owns every stream source and continuous query.
+//
+// Locking order: Runtime.mu (registry) is never held while a source mutex
+// is taken for delivery; source mutexes are acquired one at a time except
+// through derived-stream emission, where the producer-side lock of the
+// derived source is taken while an upstream source's lock (or worker) is
+// active. Derived streams form a DAG, so that ordering is acyclic.
 type Runtime struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex // guards sources map and closed flag
 	sources map[string]*source
-	mgr     *txn.Manager
+	closed  bool
+
+	mgr *txn.Manager
 	// Sharing enables shared slice aggregation across CQs with identical
 	// fingerprints (the paper's "Jellybean" shared processing). It can be
 	// disabled to measure its benefit (experiment E3).
 	sharing bool
-	now     func() time.Time
-	// Late is the disorder policy applied to all sources.
+	// parallel is the per-pipeline worker queue depth in micro-batches;
+	// 0 keeps the fully synchronous engine.
+	parallel int
+	now      func() time.Time
+	// Late is the disorder policy applied to all sources. Set before
+	// pushing begins.
 	Late        LatePolicy
-	lateDropped int64
+	lateDropped atomic.Int64
 }
 
 // NewRuntime creates a runtime bound to the transaction manager (window
@@ -71,16 +96,38 @@ func NewRuntime(mgr *txn.Manager, sharing bool) *Runtime {
 	}
 }
 
-// source is the fan-out point for one stream (base or derived).
+// SetParallel switches the runtime into parallel continuous-query mode:
+// every subsequently subscribed non-shared pipeline runs on a dedicated
+// worker goroutine fed by a bounded queue of depth micro-batch tasks
+// (blocking backpressure). Pipelines that join a shared slice aggregation
+// keep running synchronously on the producer — the shared state is the
+// point of sharing. Call once, before subscribing.
+func (r *Runtime) SetParallel(depth int) {
+	if depth < 1 {
+		depth = 0
+	}
+	r.parallel = depth
+}
+
+// Parallel reports whether parallel continuous-query mode is enabled.
+func (r *Runtime) Parallel() bool { return r.parallel > 0 }
+
+// source is the fan-out point for one stream (base or derived). Its mutex
+// serializes pushes, heartbeats, subscription changes and tap changes for
+// this stream only.
 type source struct {
 	name      string
 	schema    types.Schema
 	cqtimeCol int // -1: timestamps supplied by the pusher (derived streams)
-	lastTS    int64
-	hasTS     bool
-	pipes     []*Pipeline
-	taps      []*Sink
-	shared    map[string]*sharedAgg // key: fingerprint + advance
+
+	mu      sync.Mutex
+	lastTS  int64
+	hasTS   bool
+	pipes   []*Pipeline
+	workers int // number of pipes with a worker goroutine
+	taps    []*Sink
+	shared  map[string]*sharedAgg // key: fingerprint + advance
+	scratch []tsRow               // batch buffer reused when no workers hold refs
 }
 
 // RegisterSource declares a stream. cqtimeCol is the index of the CQTIME
@@ -100,19 +147,53 @@ func (r *Runtime) RegisterSource(name string, schema types.Schema, cqtimeCol int
 	return nil
 }
 
-// DropSource removes a stream and detaches its subscribers.
+// DropSource removes a stream, detaches its subscribers and stops their
+// workers.
 func (r *Runtime) DropSource(name string) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	src := r.sources[name]
 	delete(r.sources, name)
+	r.mu.Unlock()
+	if src == nil {
+		return
+	}
+	src.mu.Lock()
+	pipes := src.pipes
+	src.pipes, src.workers = nil, 0
+	src.mu.Unlock()
+	for _, pipe := range pipes {
+		pipe.stop()
+	}
 }
 
 // HasSource reports whether name is a registered stream.
 func (r *Runtime) HasSource(name string) bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	_, ok := r.sources[name]
 	return ok
+}
+
+// lookup resolves a source name under the registry read lock.
+func (r *Runtime) lookup(stream string) (*source, error) {
+	r.mu.RLock()
+	src, ok := r.sources[stream]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("stream: unknown stream %q", stream)
+	}
+	return src, nil
+}
+
+// snapshotSources copies the registry contents under the read lock.
+func (r *Runtime) snapshotSources() []*source {
+	r.mu.RLock()
+	out := make([]*source, 0, len(r.sources))
+	for _, s := range r.sources {
+		out = append(out, s)
+	}
+	r.mu.RUnlock()
+	return out
 }
 
 // Subscribe attaches a compiled continuous query to its stream and returns
@@ -125,128 +206,257 @@ func (r *Runtime) HasSource(name string) bool {
 // members. Queries needing exact history replay it from an archive table
 // instead (INSERT INTO stream SELECT … ORDER BY ts).
 func (r *Runtime) Subscribe(p *plan.Plan, sink Sink) (*Pipeline, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	if p.Stream == nil {
 		return nil, fmt.Errorf("stream: plan is not a continuous query")
 	}
+	r.mu.RLock()
 	src, ok := r.sources[p.Stream.Name]
+	closed := r.closed
+	r.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("stream: unknown stream %q", p.Stream.Name)
 	}
+	if closed {
+		return nil, fmt.Errorf("stream: runtime is closed")
+	}
+	src.mu.Lock()
+	defer src.mu.Unlock()
 	pipe, err := newPipeline(r, src, p, sink)
 	if err != nil {
 		return nil, err
+	}
+	if r.parallel > 0 && pipe.shared == nil {
+		pipe.startWorker(r.parallel)
+		src.workers++
 	}
 	src.pipes = append(src.pipes, pipe)
 	return pipe, nil
 }
 
-// Unsubscribe detaches a pipeline.
+// Unsubscribe detaches a pipeline and stops its worker, discarding any
+// queued but unprocessed input.
 func (r *Runtime) Unsubscribe(pipe *Pipeline) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	src := pipe.src
-	for i, p := range src.pipes {
+	src.mu.Lock()
+	src.detachLocked(pipe)
+	src.mu.Unlock()
+	pipe.stop()
+}
+
+// detachLocked removes a pipeline from the fan-out lists. Callers hold
+// s.mu.
+func (s *source) detachLocked(pipe *Pipeline) {
+	for i, p := range s.pipes {
 		if p == pipe {
-			src.pipes = append(src.pipes[:i], src.pipes[i+1:]...)
+			s.pipes = append(s.pipes[:i], s.pipes[i+1:]...)
+			if pipe.tasks != nil {
+				s.workers--
+			}
 			break
 		}
 	}
 	if pipe.shared != nil {
 		pipe.shared.detach(pipe)
 		if len(pipe.shared.members) == 0 {
-			delete(src.shared, pipe.shared.key)
+			delete(s.shared, pipe.shared.key)
 		}
 	}
+}
+
+// sweepFailedLocked detaches pipelines whose workers failed asynchronously
+// and returns their errors, so a failing sink surfaces on the next
+// Push/Advance instead of poisoning the producer forever. Callers hold
+// s.mu.
+func (s *source) sweepFailedLocked() error {
+	var errs []error
+	for i := 0; i < len(s.pipes); {
+		p := s.pipes[i]
+		if p.tasks != nil && p.failed.Load() {
+			s.detachLocked(p)
+			p.stop() // failed workers only drain, so this returns promptly
+			if err := p.takeErr(); err != nil {
+				errs = append(errs, err)
+			}
+			continue
+		}
+		i++
+	}
+	return errors.Join(errs...)
+}
+
+// failLocked detaches a synchronously failing pipeline and propagates the
+// error to the producer. Callers hold s.mu.
+func (s *source) failLocked(pipe *Pipeline, err error) error {
+	s.detachLocked(pipe)
+	return err
 }
 
 // Push appends one row to a base stream. The row's CQTIME column supplies
 // its timestamp; timestamps must be non-decreasing (the paper's streams
 // are "ordered on an attribute").
 func (r *Runtime) Push(stream string, row types.Row) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.pushLocked(stream, row, 0, false)
+	src, err := r.lookup(stream)
+	if err != nil {
+		return err
+	}
+	one := [1]types.Row{row}
+	src.mu.Lock()
+	defer src.mu.Unlock()
+	return src.deliver(r, one[:], 0, false)
 }
 
-// PushBatch appends rows in order; one lock acquisition for the batch.
+// PushBatch appends rows in order. Per-batch invariants — source
+// resolution, schema arity, timestamp extraction and the late policy — are
+// validated in one pre-pass, so an invalid row rejects the whole batch
+// before anything is delivered; window advance and delivery then happen
+// once per batch per pipeline instead of once per row.
 func (r *Runtime) PushBatch(stream string, rows []types.Row) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	src, err := r.lookup(stream)
+	if err != nil {
+		return err
+	}
+	src.mu.Lock()
+	defer src.mu.Unlock()
+	return src.deliver(r, rows, 0, false)
+}
+
+// prepare validates a batch and stamps each row with its timestamp,
+// applying the late policy against a running high-water mark. On success
+// the source clock advances; on error nothing is delivered and the clock
+// is untouched. Callers hold s.mu.
+func (s *source) prepare(r *Runtime, rows []types.Row, explicitTS int64, explicit bool) ([]tsRow, error) {
+	var batch []tsRow
+	if s.workers > 0 {
+		// Workers hold references to the batch after deliver returns, so
+		// it cannot be reused.
+		batch = make([]tsRow, 0, len(rows))
+	} else {
+		if cap(s.scratch) < len(rows) {
+			s.scratch = make([]tsRow, 0, len(rows))
+		}
+		batch = s.scratch[:0]
+	}
+	arity := len(s.schema)
+	hwm, has := s.lastTS, s.hasTS
 	for _, row := range rows {
-		if err := r.pushLocked(stream, row, 0, false); err != nil {
-			return err
+		if len(row) != arity {
+			return nil, fmt.Errorf("stream: %s: row has %d columns, schema has %d",
+				s.name, len(row), arity)
+		}
+		var ts int64
+		switch {
+		case explicit:
+			ts = explicitTS
+		case s.cqtimeCol >= 0:
+			d := row[s.cqtimeCol]
+			if d.Type() != types.TypeTimestamp {
+				return nil, fmt.Errorf("stream: %s: CQTIME column is %s, want TIMESTAMP", s.name, d.Type())
+			}
+			ts = d.TimestampMicros()
+		default:
+			return nil, fmt.Errorf("stream: %s: no CQTIME column and no explicit timestamp", s.name)
+		}
+		if has && ts < hwm {
+			switch r.Late {
+			case LateDrop:
+				r.lateDropped.Add(1)
+				continue
+			case LateClamp:
+				ts = hwm
+			default:
+				return nil, fmt.Errorf("stream: %s: out-of-order timestamp %d < %d (streams are ordered on CQTIME)",
+					s.name, ts, hwm)
+			}
+		}
+		hwm, has = ts, true
+		batch = append(batch, tsRow{ts, row})
+	}
+	s.lastTS, s.hasTS = hwm, has
+	if s.workers == 0 {
+		s.scratch = batch
+	}
+	return batch, nil
+}
+
+// deliver fans one validated batch out to every subscriber. A row at ts
+// proves every window closing at or before ts complete, so each pipeline
+// fires those closes before buffering the row — per pipeline, rows and
+// closes interleave exactly as in row-at-a-time delivery. Callers hold
+// s.mu.
+func (s *source) deliver(r *Runtime, rows []types.Row, explicitTS int64, explicit bool) error {
+	if err := s.sweepFailedLocked(); err != nil {
+		return err
+	}
+	batch, err := s.prepare(r, rows, explicitTS, explicit)
+	if err != nil || len(batch) == 0 {
+		return err
+	}
+	// Hand the batch to worker pipelines first so they chew on it while
+	// the producer walks the synchronous subscribers.
+	for _, pipe := range s.pipes {
+		if pipe.tasks != nil {
+			pipe.enqueue(task{kind: taskBatch, batch: batch})
+		}
+	}
+	// Shared aggregation members and taps keep exact per-row interleaving
+	// with the shared slice state.
+	if len(s.shared) > 0 || len(s.taps) > 0 {
+		tapRows := !explicit && s.cqtimeCol >= 0
+		for _, tr := range batch {
+			if err := s.stepSharedLocked(tr); err != nil {
+				return err
+			}
+			// Base-stream taps archive raw rows as they arrive
+			// (derived-stream taps fire per emission in emitDerived
+			// instead).
+			if tapRows {
+				for _, tap := range s.taps {
+					if err := (*tap)(tr.ts, []types.Row{tr.row}); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	// Synchronous non-shared pipelines: the whole batch, one pipeline at a
+	// time.
+	for _, pipe := range s.pipes {
+		if pipe.tasks != nil || pipe.shared != nil {
+			continue
+		}
+		if err := pipe.processBatch(batch); err != nil {
+			return s.failLocked(pipe, err)
 		}
 	}
 	return nil
 }
 
-// pushLocked delivers one row. explicitTS is used for derived-stream
-// emissions (cqtimeCol == -1). Callers hold r.mu.
-func (r *Runtime) pushLocked(stream string, row types.Row, explicitTS int64, explicit bool) error {
-	src, ok := r.sources[stream]
-	if !ok {
-		return fmt.Errorf("stream: unknown stream %q", stream)
-	}
-	if len(row) != len(src.schema) {
-		return fmt.Errorf("stream: %s: row has %d columns, schema has %d",
-			stream, len(row), len(src.schema))
-	}
-	var ts int64
-	switch {
-	case explicit:
-		ts = explicitTS
-	case src.cqtimeCol >= 0:
-		d := row[src.cqtimeCol]
-		if d.Type() != types.TypeTimestamp {
-			return fmt.Errorf("stream: %s: CQTIME column is %s, want TIMESTAMP", stream, d.Type())
+// stepSharedLocked applies one row to the shared slice aggregations and
+// their member pipelines in the order row-at-a-time delivery used: member
+// closes fire against the slice state before the row is folded in.
+func (s *source) stepSharedLocked(tr tsRow) error {
+	for _, pipe := range s.pipes {
+		if pipe.shared == nil {
+			continue
 		}
-		ts = d.TimestampMicros()
-	default:
-		return fmt.Errorf("stream: %s: no CQTIME column and no explicit timestamp", stream)
-	}
-	if src.hasTS && ts < src.lastTS {
-		switch r.Late {
-		case LateDrop:
-			r.lateDropped++
-			return nil
-		case LateClamp:
-			ts = src.lastTS
-		default:
-			return fmt.Errorf("stream: %s: out-of-order timestamp %d < %d (streams are ordered on CQTIME)",
-				stream, ts, src.lastTS)
+		if err := pipe.advanceTo(tr.ts); err != nil {
+			return s.failLocked(pipe, err)
 		}
 	}
-	src.lastTS, src.hasTS = ts, true
-
-	// A row at ts proves every window closing at or before ts is complete:
-	// fire those closes first, then buffer the row.
-	for _, pipe := range src.pipes {
-		if err := pipe.advanceTo(ts); err != nil {
+	for _, agg := range s.shared {
+		agg.advanceTo(tr.ts)
+	}
+	for _, pipe := range s.pipes {
+		if pipe.shared == nil {
+			continue
+		}
+		if err := pipe.push(tr.row, tr.ts); err != nil {
+			return s.failLocked(pipe, err)
+		}
+	}
+	for _, agg := range s.shared {
+		if err := agg.push(tr.row, tr.ts); err != nil {
 			return err
-		}
-	}
-	for _, agg := range src.shared {
-		agg.advanceTo(ts)
-	}
-	for _, pipe := range src.pipes {
-		if err := pipe.push(row, ts); err != nil {
-			return err
-		}
-	}
-	for _, agg := range src.shared {
-		if err := agg.push(row, ts); err != nil {
-			return err
-		}
-	}
-	// Base-stream taps archive raw rows as they arrive (derived-stream
-	// taps fire per emission in emitDerived instead).
-	if !explicit && src.cqtimeCol >= 0 {
-		for _, tap := range src.taps {
-			if err := (*tap)(ts, []types.Row{row}); err != nil {
-				return err
-			}
 		}
 	}
 	return nil
@@ -255,26 +465,33 @@ func (r *Runtime) pushLocked(stream string, row types.Row, explicitTS int64, exp
 // Advance moves a stream's clock to ts (a heartbeat), closing any windows
 // whose boundary has been reached even if no data arrived.
 func (r *Runtime) Advance(stream string, ts int64) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.advanceLocked(stream, ts)
+	src, err := r.lookup(stream)
+	if err != nil {
+		return err
+	}
+	src.mu.Lock()
+	defer src.mu.Unlock()
+	return src.advanceLocked(r, ts)
 }
 
-func (r *Runtime) advanceLocked(stream string, ts int64) error {
-	src, ok := r.sources[stream]
-	if !ok {
-		return fmt.Errorf("stream: unknown stream %q", stream)
+func (s *source) advanceLocked(r *Runtime, ts int64) error {
+	if err := s.sweepFailedLocked(); err != nil {
+		return err
 	}
-	if src.hasTS && ts < src.lastTS {
+	if s.hasTS && ts < s.lastTS {
 		return nil // stale heartbeat: ignore
 	}
-	src.lastTS, src.hasTS = ts, true
-	for _, pipe := range src.pipes {
+	s.lastTS, s.hasTS = ts, true
+	for _, pipe := range s.pipes {
+		if pipe.tasks != nil {
+			pipe.enqueue(task{kind: taskAdvance, ts: ts})
+			continue
+		}
 		if err := pipe.advanceTo(ts); err != nil {
-			return err
+			return s.failLocked(pipe, err)
 		}
 	}
-	for _, agg := range src.shared {
+	for _, agg := range s.shared {
 		agg.advanceTo(ts)
 	}
 	return nil
@@ -286,17 +503,17 @@ func (r *Runtime) advanceLocked(stream string, ts int64) error {
 // tables (paper §3.3); a base-stream channel archives the raw feed. The
 // returned function detaches the tap.
 func (r *Runtime) Tap(stream string, sink Sink) (func(), error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	src, ok := r.sources[stream]
-	if !ok {
-		return nil, fmt.Errorf("stream: unknown stream %q", stream)
+	src, err := r.lookup(stream)
+	if err != nil {
+		return nil, err
 	}
+	src.mu.Lock()
+	defer src.mu.Unlock()
 	src.taps = append(src.taps, &sink)
 	handle := &sink
 	return func() {
-		r.mu.Lock()
-		defer r.mu.Unlock()
+		src.mu.Lock()
+		defer src.mu.Unlock()
 		for i, t := range src.taps {
 			if t == handle {
 				src.taps = append(src.taps[:i], src.taps[i+1:]...)
@@ -307,9 +524,10 @@ func (r *Runtime) Tap(stream string, sink Sink) (func(), error) {
 }
 
 // DerivedSink returns the sink that feeds a derived stream's source. The
-// engine wires it as the sink of the derived stream's always-on pipeline;
-// it must only be invoked from within pipeline sinks (the runtime lock is
-// already held there).
+// engine wires it as the sink of the derived stream's always-on pipeline.
+// Emission takes the derived source's own lock, so the sink may run on any
+// goroutine — the producer in synchronous mode, the upstream pipeline's
+// worker in parallel mode.
 func (r *Runtime) DerivedSink(stream string) Sink {
 	return func(closeTS int64, rows []types.Row) error {
 		return r.emitDerived(stream, closeTS, rows)
@@ -320,19 +538,46 @@ func (r *Runtime) DerivedSink(stream string) Sink {
 // all rows share the emission timestamp closeTS, and the emission boundary
 // itself is signalled for SLICES-window consumers.
 func (r *Runtime) emitDerived(stream string, closeTS int64, rows []types.Row) error {
+	r.mu.RLock()
 	src, ok := r.sources[stream]
+	r.mu.RUnlock()
 	if !ok {
 		// The derived stream has been dropped; discard silently.
 		return nil
 	}
-	for _, row := range rows {
-		if err := r.pushLocked(stream, row, closeTS, true); err != nil {
+	src.mu.Lock()
+	defer src.mu.Unlock()
+	if err := src.sweepFailedLocked(); err != nil {
+		return err
+	}
+	batch, err := src.prepare(r, rows, closeTS, true)
+	if err != nil {
+		return err
+	}
+	for _, pipe := range src.pipes {
+		if pipe.tasks != nil {
+			pipe.enqueue(task{kind: taskEmission, batch: batch, ts: closeTS, emRows: len(rows)})
+		}
+	}
+	for _, tr := range batch {
+		if err := src.stepSharedLocked(tr); err != nil {
 			return err
 		}
 	}
 	for _, pipe := range src.pipes {
+		if pipe.tasks != nil || pipe.shared != nil {
+			continue
+		}
+		if err := pipe.processBatch(batch); err != nil {
+			return src.failLocked(pipe, err)
+		}
+	}
+	for _, pipe := range src.pipes {
+		if pipe.tasks != nil {
+			continue
+		}
 		if err := pipe.endEmission(closeTS, len(rows)); err != nil {
-			return err
+			return src.failLocked(pipe, err)
 		}
 	}
 	for _, tap := range src.taps {
@@ -341,6 +586,108 @@ func (r *Runtime) emitDerived(stream string, closeTS int64, rows []types.Row) er
 		}
 	}
 	return nil
+}
+
+// Quiesce blocks until every pipeline worker has drained all input
+// enqueued before the call — including work that cascades through derived
+// streams — then reports any asynchronous pipeline failures, detaching the
+// failed pipelines. With no workers it only sweeps for failures. Quiesce
+// does not prevent concurrent producers; callers wanting a true barrier
+// stop pushing first.
+func (r *Runtime) Quiesce() error {
+	for {
+		before := r.tasksEnqueued()
+		r.flushWorkers()
+		if r.tasksEnqueued() == before {
+			break
+		}
+	}
+	var errs []error
+	for _, src := range r.snapshotSources() {
+		src.mu.Lock()
+		if err := src.sweepFailedLocked(); err != nil {
+			errs = append(errs, err)
+		}
+		src.mu.Unlock()
+	}
+	return errors.Join(errs...)
+}
+
+// tasksEnqueued sums the lifetime task counts of every worker pipeline;
+// Quiesce uses it to detect cascaded work between flush passes.
+func (r *Runtime) tasksEnqueued() int64 {
+	var n int64
+	for _, src := range r.snapshotSources() {
+		src.mu.Lock()
+		for _, p := range src.pipes {
+			if p.tasks != nil {
+				n += p.enqueued.Load()
+			}
+		}
+		src.mu.Unlock()
+	}
+	return n
+}
+
+// flushWorkers pushes one barrier through every worker queue and waits for
+// all of them.
+func (r *Runtime) flushWorkers() {
+	for _, src := range r.snapshotSources() {
+		var dones []chan struct{}
+		src.mu.Lock()
+		for _, p := range src.pipes {
+			if p.tasks == nil {
+				continue
+			}
+			done := make(chan struct{})
+			p.enqueue(task{kind: taskFlush, done: done})
+			dones = append(dones, done)
+		}
+		src.mu.Unlock()
+		for _, done := range dones {
+			<-done
+		}
+	}
+}
+
+// Close drains every pipeline worker, stops them, detaches all pipelines
+// and returns any asynchronous failures that had not yet been surfaced.
+// Producers must have stopped; pushing after Close returns an error for
+// unknown streams only if the source registry was also torn down, so the
+// engine gates Close behind its own writer lock.
+func (r *Runtime) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	r.mu.Unlock()
+
+	// Graceful drain first, so cascaded emissions still find their
+	// consumers attached.
+	for {
+		before := r.tasksEnqueued()
+		r.flushWorkers()
+		if r.tasksEnqueued() == before {
+			break
+		}
+	}
+	var errs []error
+	var pipes []*Pipeline
+	for _, src := range r.snapshotSources() {
+		src.mu.Lock()
+		pipes = append(pipes, src.pipes...)
+		src.pipes, src.workers = nil, 0
+		src.mu.Unlock()
+	}
+	for _, pipe := range pipes {
+		pipe.stop()
+		if err := pipe.takeErr(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // snapshotCtx builds the per-window execution context: a fresh snapshot at
@@ -366,22 +713,26 @@ type Stats struct {
 	LateDropped    int64
 }
 
-// Stats returns a snapshot of runtime counters.
+// Stats returns a snapshot of runtime counters. Per-pipeline counters are
+// atomics, so this only takes each source's lock long enough to copy its
+// subscriber list — it never stops delivery across the whole runtime.
 func (r *Runtime) Stats() Stats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	var s Stats
-	s.Sources = len(r.sources)
-	s.LateDropped = r.lateDropped
-	for _, src := range r.sources {
+	s.LateDropped = r.lateDropped.Load()
+	sources := r.snapshotSources()
+	s.Sources = len(sources)
+	for _, src := range sources {
+		src.mu.Lock()
 		s.Pipelines += len(src.pipes)
 		s.SharedAggs += len(src.shared)
 		for _, agg := range src.shared {
 			s.SharedMembers += len(agg.members)
 		}
-		for _, pipe := range src.pipes {
-			s.WindowsFired += pipe.windowsFired
-			s.RowsProcessed += pipe.rowsSeen
+		pipes := append([]*Pipeline(nil), src.pipes...)
+		src.mu.Unlock()
+		for _, pipe := range pipes {
+			s.WindowsFired += pipe.windowsFired.Load()
+			s.RowsProcessed += pipe.rowsSeen.Load()
 		}
 	}
 	return s

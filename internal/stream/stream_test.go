@@ -339,8 +339,8 @@ func TestSlicesWindowOverDerived(t *testing.T) {
 				types.NewString(fmt.Sprintf("/u%d", i)), types.NewInt(n), types.NewTimestampMicros(c),
 			})
 		}
-		e.rt.mu.Lock()
-		defer e.rt.mu.Unlock()
+		// emitDerived locks the derived source itself, so it may be
+		// called from any goroutine.
 		if err := e.rt.emitDerived("urls_now", c, rows); err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,109 @@
+package stream
+
+// Worker execution for parallel continuous-query mode. Each non-shared
+// pipeline gets one dedicated goroutine fed by a bounded task queue; a
+// single worker per pipeline means tasks — and therefore rows and window
+// closes — are applied in exactly the order the producer enqueued them,
+// so per-pipeline results are identical to the synchronous engine. The
+// bounded queue gives blocking backpressure: a producer outrunning a slow
+// CQ parks on that CQ's queue instead of growing memory without bound.
+
+type taskKind uint8
+
+const (
+	// taskBatch applies a prepared micro-batch of stream rows.
+	taskBatch taskKind = iota
+	// taskAdvance is a heartbeat: close windows up to ts.
+	taskAdvance
+	// taskEmission is one derived-stream emission: the batch plus the
+	// emission boundary for SLICES-window consumers.
+	taskEmission
+	// taskFlush is a barrier: the worker closes done once everything
+	// enqueued before it has been applied.
+	taskFlush
+)
+
+type task struct {
+	kind   taskKind
+	batch  []tsRow
+	ts     int64
+	emRows int // taskEmission: row count of the emission
+	done   chan struct{}
+}
+
+// startWorker switches the pipeline into worker mode with a queue of the
+// given depth. Called under the source lock before the pipeline is added
+// to the fan-out list, so no task can precede it.
+func (p *Pipeline) startWorker(depth int) {
+	p.tasks = make(chan task, depth)
+	p.workerDone = make(chan struct{})
+	go p.workerLoop()
+}
+
+// enqueue hands a task to the worker, blocking when the queue is full
+// (backpressure). Callers hold the source lock; a failed worker keeps
+// draining its queue until stopped, so this cannot deadlock.
+func (p *Pipeline) enqueue(t task) {
+	if t.kind != taskFlush {
+		p.enqueued.Add(1)
+	}
+	p.tasks <- t
+}
+
+// stop closes the queue and waits for the worker to exit. Safe to call
+// multiple times and on synchronous pipelines (no-op).
+func (p *Pipeline) stop() {
+	if p.tasks == nil {
+		return
+	}
+	p.stopOnce.Do(func() {
+		close(p.tasks)
+		<-p.workerDone
+	})
+}
+
+// takeErr returns the worker's failure, if any, consuming it.
+func (p *Pipeline) takeErr() error {
+	if !p.failed.Load() {
+		return nil
+	}
+	err := p.failErr
+	p.failErr = nil
+	p.failed.Store(false)
+	return err
+}
+
+// workerLoop applies tasks in order until the queue is closed. After a
+// failure the worker keeps draining (dropping work) so producers never
+// block forever on a poisoned queue; the source sweeps the pipeline out
+// and surfaces the error on the next Push/Advance/Quiesce/Close.
+func (p *Pipeline) workerLoop() {
+	defer close(p.workerDone)
+	for t := range p.tasks {
+		if t.kind == taskFlush {
+			close(t.done)
+			continue
+		}
+		if !p.failed.Load() {
+			if err := p.apply(t); err != nil {
+				p.failErr = err
+				p.failed.Store(true)
+			}
+		}
+	}
+}
+
+func (p *Pipeline) apply(t task) error {
+	switch t.kind {
+	case taskBatch:
+		return p.processBatch(t.batch)
+	case taskAdvance:
+		return p.advanceTo(t.ts)
+	case taskEmission:
+		if err := p.processBatch(t.batch); err != nil {
+			return err
+		}
+		return p.endEmission(t.ts, t.emRows)
+	}
+	return nil
+}

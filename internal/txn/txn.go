@@ -60,10 +60,16 @@ func (m *Manager) Begin() *Txn {
 	id := m.next
 	m.next++
 	m.inProgress[id] = struct{}{}
-	inFlight := make(map[ID]struct{}, len(m.inProgress))
-	for x := range m.inProgress {
-		if x != id {
-			inFlight[x] = struct{}{}
+	// Snapshot.sees treats a nil map as empty, so skip the allocation when
+	// this is the only transaction in flight — the common case on the CQ
+	// hot path.
+	var inFlight map[ID]struct{}
+	if len(m.inProgress) > 1 {
+		inFlight = make(map[ID]struct{}, len(m.inProgress)-1)
+		for x := range m.inProgress {
+			if x != id {
+				inFlight[x] = struct{}{}
+			}
 		}
 	}
 	aborted := m.copyAbortedLocked()
@@ -99,9 +105,14 @@ func (m *Manager) copyAbortedLocked() map[ID]struct{} {
 // close; pure SELECTs use them too.
 func (m *Manager) SnapshotNow() Snapshot {
 	m.mu.RLock()
-	inFlight := make(map[ID]struct{}, len(m.inProgress))
-	for x := range m.inProgress {
-		inFlight[x] = struct{}{}
+	// Every window close takes a snapshot; with no writers in flight (the
+	// steady state for pure streaming workloads) it is just two word reads.
+	var inFlight map[ID]struct{}
+	if len(m.inProgress) > 0 {
+		inFlight = make(map[ID]struct{}, len(m.inProgress))
+		for x := range m.inProgress {
+			inFlight[x] = struct{}{}
+		}
 	}
 	xmax := m.next
 	aborted := m.copyAbortedLocked()

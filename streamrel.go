@@ -105,6 +105,14 @@ type Config struct {
 	// LateRows chooses what happens to out-of-order stream input:
 	// reject (default), drop, or clamp to the high-water mark.
 	LateRows LateRowPolicy
+	// ParallelCQ > 0 runs each non-shared continuous query on its own
+	// worker goroutine fed by a bounded queue of that many micro-batches
+	// (blocking backpressure), so fan-out to N CQs scales across cores.
+	// Per-CQ results are identical to the default synchronous mode; see
+	// DESIGN.md "Execution model & parallelism" for the cross-CQ ordering
+	// relaxations this implies. 0 (default) keeps the fully synchronous,
+	// deterministic engine.
+	ParallelCQ int
 	// Now overrides the wall clock (for now() and tests).
 	Now func() time.Time
 }
@@ -150,6 +158,7 @@ func Open(cfg Config) (*Engine, error) {
 	}
 	e.rt = stream.NewRuntime(e.mgr, !cfg.DisableSharing)
 	e.rt.Late = stream.LatePolicy(cfg.LateRows)
+	e.rt.SetParallel(cfg.ParallelCQ)
 	e.planner = &plan.Planner{Cat: e.cat}
 
 	if cfg.Dir != "" {
@@ -168,8 +177,10 @@ func Open(cfg Config) (*Engine, error) {
 func (e *Engine) walPath() string        { return filepath.Join(e.cfg.Dir, "wal.log") }
 func (e *Engine) checkpointPath() string { return filepath.Join(e.cfg.Dir, "checkpoint") }
 
-// Close shuts the engine down. In-flight continuous queries stop receiving
-// batches.
+// Close shuts the engine down: pipeline workers drain and stop (their
+// channel writes still reach the WAL), then the log closes. In-flight
+// continuous queries stop receiving batches. Close returns any
+// asynchronous CQ failure that had not yet surfaced.
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -177,10 +188,24 @@ func (e *Engine) Close() error {
 		return nil
 	}
 	e.closed = true
+	rtErr := e.rt.Close()
 	if e.log != nil {
-		return e.log.Close()
+		if err := e.log.Close(); err != nil {
+			return err
+		}
 	}
-	return nil
+	return rtErr
+}
+
+// Flush blocks until every parallel CQ worker has processed all stream
+// input appended before the call, then reports (and clears) any
+// asynchronous pipeline failures. In synchronous mode processing happens
+// inside Append itself, so Flush only sweeps for failures. Call it before
+// reading Active Tables or CQ queues that must reflect all pushed data.
+func (e *Engine) Flush() error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.rt.Quiesce()
 }
 
 // Result reports the effect of Exec.
