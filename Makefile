@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench check
+.PHONY: all build test race vet fmt cover bench check
 
 all: build
 
@@ -18,7 +18,16 @@ race:
 vet:
 	$(GO) vet ./...
 
-check: build vet test race
+# fmt fails (and lists the offenders) if any file is not gofmt-clean.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+check: build fmt vet test race
 
 # bench regenerates the fan-out scaling numbers (experiment E9) into
 # BENCH_fanout.json so the throughput trajectory is tracked across PRs.

@@ -262,3 +262,14 @@ func (c *Client) Ping() error {
 	_, err := c.roundTrip(&server.Request{Op: "ping"})
 	return err
 }
+
+// Stats returns the server's metrics as (metric, value) rows: counters
+// and gauges one row each, histograms flattened into _count, _sum and
+// _p50/_p95/_p99 quantile rows.
+func (c *Client) Stats() (*Rows, error) {
+	resp, err := c.roundTrip(&server.Request{Op: "stats"})
+	if err != nil {
+		return nil, err
+	}
+	return decodeRows(resp)
+}

@@ -229,3 +229,55 @@ func TestClientQueryArgs(t *testing.T) {
 		t.Fatal("bad placeholder should error over the wire")
 	}
 }
+
+// TestClientStats drives traffic through the server, then checks that
+// the STATS op reflects it: non-zero stream row counters and server
+// command-latency histogram series flattened to (metric, value) rows.
+func TestClientStats(t *testing.T) {
+	c := startServer(t)
+	if _, err := c.Exec(`CREATE STREAM s (v bigint, at timestamp CQTIME USER)`); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := c.Subscribe(`SELECT count(*) FROM s <ADVANCE '1 minute'>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	base := streamrel.MustTimestamp("2009-01-04 00:00:00")
+	for i := 0; i < 10; i++ {
+		if err := c.Append("s", client.Row{types.NewInt(int64(i)), types.NewTimestamp(base.Add(time.Duration(i) * time.Second))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Advance("s", base.Add(2*time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	<-sub.C // window fired, so fire metrics exist too
+
+	rows, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Columns) != 2 || rows.Columns[0].Name != "metric" || rows.Columns[1].Name != "value" {
+		t.Fatalf("columns: %v", rows.Columns)
+	}
+	vals := make(map[string]float64, len(rows.Data))
+	for _, r := range rows.Data {
+		vals[r[0].Str()] = r[1].Float()
+	}
+	for metric, min := range map[string]float64{
+		`streamrel_stream_rows_total{stream="s"}`:               10,
+		`streamrel_server_connections`:                          1,
+		`streamrel_server_command_seconds{op="append"}_count`:   10,
+		`streamrel_server_command_seconds{op="append"}_p50`:     0,
+		`streamrel_pipeline_windows_total{pipe="1",stream="s"}`: 1,
+		`streamrel_sources`:                                     1,
+	} {
+		got, ok := vals[metric]
+		if !ok {
+			t.Errorf("STATS missing %s (have %d rows)", metric, len(rows.Data))
+		} else if got < min {
+			t.Errorf("%s = %v, want >= %v", metric, got, min)
+		}
+	}
+}

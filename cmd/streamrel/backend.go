@@ -147,7 +147,17 @@ func (b *remoteBackend) watch(sqlText string) (*watcher, error) {
 	}, nil
 }
 
-func (b *remoteBackend) stats() string { return "(stats are local-only; connect to the server host)" }
+func (b *remoteBackend) stats() string {
+	rows, err := b.c.Stats()
+	if err != nil {
+		return fmt.Sprintf("stats: %v", err)
+	}
+	lines := make([]string, len(rows.Data))
+	for i, r := range rows.Data {
+		lines[i] = r.String()
+	}
+	return strings.Join(lines, "\n")
+}
 
 func (b *remoteBackend) close() { b.c.Close() }
 

@@ -4,18 +4,21 @@
 //
 // Usage:
 //
-//	streamreld -addr 127.0.0.1:7475 -dir data/ [-init schema.sql]
+//	streamreld -addr 127.0.0.1:7475 -dir data/ [-init schema.sql] [-metrics-addr 127.0.0.1:9090]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"streamrel"
+	"streamrel/internal/metrics"
 	"streamrel/internal/server"
 )
 
@@ -24,6 +27,7 @@ func main() {
 	dir := flag.String("dir", "", "data directory (empty = in-memory)")
 	initScript := flag.String("init", "", "SQL script to execute at startup")
 	syncWAL := flag.Bool("sync", false, "fsync every commit")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics on this address (empty = disabled)")
 	flag.Parse()
 
 	eng, err := streamrel.Open(streamrel.Config{Dir: *dir, SyncWAL: *syncWAL})
@@ -49,6 +53,21 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("streamreld listening on %s (dir=%q)\n", bound, *dir)
+
+	if *metricsAddr != "" {
+		mlis, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", metrics.Handler(eng.Metrics()))
+		fmt.Printf("metrics on http://%s/metrics\n", mlis.Addr())
+		go func() {
+			if err := http.Serve(mlis, mux); err != nil {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

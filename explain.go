@@ -2,7 +2,11 @@ package streamrel
 
 import (
 	"fmt"
+	"strings"
+	"time"
 
+	"streamrel/internal/exec"
+	"streamrel/internal/plan"
 	"streamrel/internal/sql"
 	"streamrel/internal/types"
 )
@@ -21,6 +25,9 @@ func (e *Engine) execExplain(s *sql.Explain) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if s.Analyze {
+		return e.execExplainAnalyze(p)
+	}
 	var lines []string
 	if p.Stream == nil {
 		lines = append(lines, "Snapshot Query (SQ): runs once over an MVCC snapshot")
@@ -38,6 +45,40 @@ func (e *Engine) execExplain(s *sql.Explain) (*Result, error) {
 		}
 	}
 	lines = append(lines, "  output: "+p.Columns.String())
+	rows := make([]Row, len(lines))
+	for i, l := range lines {
+		rows[i] = Row{types.NewString(l)}
+	}
+	return &Result{Rows: &Rows{
+		Columns: Schema{{Name: "plan", Type: types.TypeString}},
+		Data:    rows,
+	}}, nil
+}
+
+// execExplainAnalyze executes a snapshot query with every operator
+// instrumented and reports the tree with per-operator row counts and
+// inclusive wall times — the executor-level observability that per-window
+// CQ metrics (streamrel_window_fire_seconds) aggregate over time.
+func (e *Engine) execExplainAnalyze(p *plan.Plan) (*Result, error) {
+	if p.Stream != nil {
+		return nil, fmt.Errorf("streamrel: EXPLAIN ANALYZE runs the query once, so it supports snapshot queries; continuous queries report per-window metrics instead (STATS, /metrics)")
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	ctx := e.execCtx()
+	start := time.Now()
+	root, stats := exec.Instrument(p.Build(plan.Input{}))
+	out, err := exec.Drain(ctx, root)
+	if err != nil {
+		return nil, err
+	}
+	total := time.Since(start)
+	lines := []string{"Snapshot Query (SQ): executed"}
+	for _, st := range stats {
+		lines = append(lines, fmt.Sprintf("%s%s  (rows=%d, time=%s)",
+			strings.Repeat("  ", st.Depth+1), st.Name, st.Rows, st.Elapsed.Round(time.Microsecond)))
+	}
+	lines = append(lines, fmt.Sprintf("  output: %d rows in %s", len(out), total.Round(time.Microsecond)))
 	rows := make([]Row, len(lines))
 	for i, l := range lines {
 		rows[i] = Row{types.NewString(l)}

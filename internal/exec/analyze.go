@@ -1,0 +1,149 @@
+package exec
+
+import (
+	"time"
+
+	"streamrel/internal/types"
+)
+
+// OpStat is one operator's execution statistics, filled in as the
+// instrumented tree runs. Elapsed is inclusive of children (they run
+// inside the parent's Open/Next), which matches EXPLAIN ANALYZE "actual
+// time" reporting elsewhere.
+type OpStat struct {
+	// Name is the operator kind (SeqScan, HashJoin, …).
+	Name string
+	// Depth is the operator's depth in the plan tree (root = 0).
+	Depth int
+	// Rows counts rows the operator emitted from Next.
+	Rows int64
+	// Elapsed is wall time spent inside Open+Next, children included.
+	Elapsed time.Duration
+}
+
+// Instrument wraps every operator in the tree with a row/time counter and
+// returns the wrapped root plus the per-operator stats in pre-order
+// (parent before children). The tree must not be shared with another
+// execution: children are re-linked to their wrapped forms in place.
+func Instrument(op Operator) (Operator, []*OpStat) {
+	var stats []*OpStat
+	root := instrument(op, &stats, 0)
+	return root, stats
+}
+
+func instrument(op Operator, stats *[]*OpStat, depth int) Operator {
+	if op == nil {
+		return nil
+	}
+	st := &OpStat{Name: opName(op), Depth: depth}
+	*stats = append(*stats, st)
+	switch o := op.(type) {
+	case *Filter:
+		o.Child = instrument(o.Child, stats, depth+1)
+	case *Project:
+		o.Child = instrument(o.Child, stats, depth+1)
+	case *Limit:
+		o.Child = instrument(o.Child, stats, depth+1)
+	case *Sort:
+		o.Child = instrument(o.Child, stats, depth+1)
+	case *Distinct:
+		o.Child = instrument(o.Child, stats, depth+1)
+	case *HashAgg:
+		o.Child = instrument(o.Child, stats, depth+1)
+	case *SetOp:
+		o.Left = instrument(o.Left, stats, depth+1)
+		o.Right = instrument(o.Right, stats, depth+1)
+	case *HashJoin:
+		o.Left = instrument(o.Left, stats, depth+1)
+		o.Right = instrument(o.Right, stats, depth+1)
+	case *NestedLoopJoin:
+		o.Left = instrument(o.Left, stats, depth+1)
+		o.Right = instrument(o.Right, stats, depth+1)
+	}
+	return &counted{op: op, stat: st}
+}
+
+// opName names an operator kind for ANALYZE output.
+func opName(op Operator) string {
+	switch o := op.(type) {
+	case *Filter:
+		return "Filter"
+	case *Project:
+		return "Project"
+	case *Limit:
+		return "Limit"
+	case *Sort:
+		return "Sort"
+	case *Distinct:
+		return "Distinct"
+	case *HashAgg:
+		return "HashAgg"
+	case *SetOp:
+		switch o.Kind {
+		case SetUnion:
+			return "Union"
+		case SetExcept:
+			return "Except"
+		case SetIntersect:
+			return "Intersect"
+		}
+		return "SetOp"
+	case *HashJoin:
+		return "HashJoin" + joinSuffix(o.Type)
+	case *NestedLoopJoin:
+		return "NestedLoopJoin" + joinSuffix(o.Type)
+	case *SeqScan:
+		return "SeqScan"
+	case *IndexScan:
+		return "IndexScan"
+	case *Values:
+		return "Values"
+	case *Relation:
+		return "Relation"
+	case *counted:
+		return o.stat.Name
+	}
+	return "Operator"
+}
+
+func joinSuffix(t JoinType) string {
+	switch t {
+	case JoinLeft:
+		return " (left)"
+	case JoinRight:
+		return " (right)"
+	case JoinFull:
+		return " (full)"
+	case JoinCross:
+		return " (cross)"
+	}
+	return ""
+}
+
+// counted decorates one operator, counting emitted rows and wall time.
+type counted struct {
+	op   Operator
+	stat *OpStat
+}
+
+// Open implements Operator.
+func (c *counted) Open(ctx *Ctx) error {
+	start := time.Now()
+	err := c.op.Open(ctx)
+	c.stat.Elapsed += time.Since(start)
+	return err
+}
+
+// Next implements Operator.
+func (c *counted) Next() (types.Row, error) {
+	start := time.Now()
+	row, err := c.op.Next()
+	c.stat.Elapsed += time.Since(start)
+	if row != nil && err == nil {
+		c.stat.Rows++
+	}
+	return row, err
+}
+
+// Close implements Operator.
+func (c *counted) Close() error { return c.op.Close() }

@@ -6,8 +6,23 @@ import (
 	"time"
 
 	"streamrel"
+	"streamrel/internal/metrics"
 	"streamrel/internal/workload"
 )
+
+// fireQuantiles pulls the streamrel_window_fire_seconds histogram out of
+// a run's registry and returns its p50/p95/p99 in seconds. These measure
+// push-to-fire latency: the clock starts when a window-close task begins
+// on the pushing (or worker) goroutine and stops when the batch reaches
+// the subscriber.
+func fireQuantiles(reg *metrics.Registry) (p50, p95, p99 float64, ok bool) {
+	for _, s := range reg.Gather() {
+		if s.Name == "streamrel_window_fire_seconds" && s.Count > 0 {
+			return s.Quantile(0.50), s.Quantile(0.95), s.Quantile(0.99), true
+		}
+	}
+	return 0, 0, 0, false
+}
 
 // E9 measures parallel CQ fan-out: k distinct continuous queries over one
 // stream, ingested by the synchronous engine (every pipeline runs on the
@@ -27,8 +42,10 @@ func E9(s Scale) (*Table, error) {
 		Header: []string{"k CQs", "serial ingest", "serial rate", "parallel ingest",
 			"parallel rate", "speedup"},
 	}
-	run := func(k, parallel int) (time.Duration, error) {
-		eng, err := streamrel.Open(streamrel.Config{DisableSharing: true, ParallelCQ: parallel})
+	t.Metrics = map[string]float64{}
+	run := func(k, parallel int, mode string) (time.Duration, error) {
+		reg := metrics.NewRegistry()
+		eng, err := streamrel.Open(streamrel.Config{DisableSharing: true, ParallelCQ: parallel, Metrics: reg})
 		if err != nil {
 			return 0, err
 		}
@@ -65,14 +82,19 @@ func E9(s Scale) (*Table, error) {
 		for _, cq := range cqs {
 			cq.Close()
 		}
+		if p50, p95, p99, ok := fireQuantiles(reg); ok {
+			t.Metrics[fmt.Sprintf("%s_k%d_push_to_fire_p50_s", mode, k)] = p50
+			t.Metrics[fmt.Sprintf("%s_k%d_push_to_fire_p95_s", mode, k)] = p95
+			t.Metrics[fmt.Sprintf("%s_k%d_push_to_fire_p99_s", mode, k)] = p99
+		}
 		return elapsed, nil
 	}
 	for _, k := range ks {
-		serial, err := run(k, 0)
+		serial, err := run(k, 0, "serial")
 		if err != nil {
 			return nil, err
 		}
-		parallel, err := run(k, 4)
+		parallel, err := run(k, 4, "parallel")
 		if err != nil {
 			return nil, err
 		}

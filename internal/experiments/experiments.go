@@ -12,6 +12,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 )
@@ -24,6 +25,9 @@ type Table struct {
 	Header []string
 	Rows   [][]string
 	Notes  []string
+	// Metrics carries machine-readable scalars (latency quantiles and
+	// the like) into the -json report alongside the formatted rows.
+	Metrics map[string]float64 `json:"Metrics,omitempty"`
 }
 
 // String renders the table with aligned columns.
@@ -62,6 +66,16 @@ func (t *Table) String() string {
 	}
 	for _, n := range t.Notes {
 		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	if len(t.Metrics) > 0 {
+		keys := make([]string, 0, len(t.Metrics))
+		for k := range t.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "metric: %s = %g\n", k, t.Metrics[k])
+		}
 	}
 	return b.String()
 }

@@ -1,0 +1,333 @@
+// Package metrics is the engine's observability backbone: a stdlib-only
+// registry of named counters, gauges, and fixed-bucket histograms.
+//
+// Design constraints, in order:
+//
+//  1. The hot path (Observe/Add/Inc on a handle the caller already holds)
+//     is lock-free: plain atomic adds, plus one CAS loop for histogram
+//     sums. No map lookups, no allocation, no locks.
+//  2. Reads are snapshot-on-read: Gather copies every atomic into a plain
+//     Sample slice, so exposition never blocks writers.
+//  3. Instrumentation is optional: every method is nil-receiver safe, so
+//     code paths constructed without a registry (internal tests, ad-hoc
+//     tools) carry nil handles at the cost of one branch.
+//
+// Metric identity is name plus a sorted label set, Prometheus-style
+// (`streamrel_pipeline_rows_total{pipe="3",stream="url_stream"}`).
+// Registration is get-or-create: asking for the same identity returns the
+// same handle, so restarts of a component keep accumulating into its
+// series.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one name=value dimension of a metric series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Kind discriminates metric types in snapshots and exposition.
+type Kind uint8
+
+// Metric kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String returns the Prometheus TYPE name.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Counter is a monotonically increasing integer. The zero value is ready
+// to use; registry-issued counters share one instance per identity.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one. Nil-safe.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds delta (which must be non-negative to keep the counter
+// monotonic; this is not enforced on the hot path). Nil-safe.
+func (c *Counter) Add(delta int64) {
+	if c != nil {
+		c.v.Add(delta)
+	}
+}
+
+// Value returns the current count; 0 on a nil counter.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that can go up and down (queue depths, connection
+// counts, last-recovery duration).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v. Nil-safe.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds delta with a CAS loop. Nil-safe.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value; 0 on a nil gauge.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets (upper bounds, sorted
+// ascending, implicit +Inf last) and tracks their sum. Observe is
+// lock-free: one atomic add for the bucket, one atomic add for the count,
+// one CAS loop for the float sum.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// Observe records one value. Nil-safe.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Latency buckets are few (~20) and mostly hit the low end, so a
+	// linear scan beats binary search in practice and stays branch-simple.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed time since start, in seconds.
+// Nil-safe.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h != nil {
+		h.Observe(time.Since(start).Seconds())
+	}
+}
+
+// Count returns the number of observations; 0 on nil.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// DefLatencyBuckets covers 10µs to 10s exponentially — wide enough for
+// in-memory window fires (microseconds) and fsync stalls (milliseconds to
+// seconds) with one shared scale, so dashboards can overlay them.
+var DefLatencyBuckets = []float64{
+	10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+	1, 2.5, 5, 10,
+}
+
+// series is one registered metric instance.
+type series struct {
+	name    string
+	labels  []Label // sorted by key
+	kind    Kind
+	counter *Counter
+	gauge   *Gauge
+	gaugeFn func() float64 // non-nil for callback gauges
+	hist    *Histogram
+}
+
+// Registry holds named metrics. All registration methods are
+// get-or-create and safe for concurrent use; handles returned are shared.
+// A nil *Registry is valid and returns nil handles, disabling
+// instrumentation for the code path that holds it.
+type Registry struct {
+	mu   sync.Mutex
+	help map[string]string  // family name -> help text
+	kind map[string]Kind    // family name -> kind (mismatches panic)
+	byID map[string]*series // name + rendered labels -> series
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		help: make(map[string]string),
+		kind: make(map[string]Kind),
+		byID: make(map[string]*series),
+	}
+}
+
+// Counter returns the counter for name+labels, creating it if needed.
+// Nil-safe: a nil registry returns a nil (no-op) handle.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	s := r.lookup(name, help, KindCounter, labels)
+	if s.counter == nil {
+		s.counter = &Counter{}
+	}
+	return s.counter
+}
+
+// Gauge returns the gauge for name+labels, creating it if needed.
+// Nil-safe.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	s := r.lookup(name, help, KindGauge, labels)
+	if s.gauge == nil && s.gaugeFn == nil {
+		s.gauge = &Gauge{}
+	}
+	return s.gauge
+}
+
+// GaugeFunc registers a callback gauge evaluated at Gather time (e.g. a
+// queue depth read with len(ch)). It returns an unregister function for
+// components with bounded lifetimes. Nil-safe: a nil registry returns a
+// no-op unregister.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) func() {
+	if r == nil {
+		return func() {}
+	}
+	s := r.lookup(name, help, KindGauge, labels)
+	s.gauge, s.gaugeFn = nil, fn
+	id := seriesID(name, s.labels)
+	return func() { r.unregister(id) }
+}
+
+// Histogram returns the histogram for name+labels, creating it with the
+// given bucket upper bounds (nil means DefLatencyBuckets). Buckets are
+// fixed at first registration. Nil-safe.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	s := r.lookup(name, help, KindHistogram, labels)
+	if s.hist == nil {
+		if buckets == nil {
+			buckets = DefLatencyBuckets
+		}
+		bounds := append([]float64(nil), buckets...)
+		sort.Float64s(bounds)
+		s.hist = &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	}
+	return s.hist
+}
+
+// lookup finds or creates the series, enforcing one kind per family name.
+func (r *Registry) lookup(name, help string, kind Kind, labels []Label) *series {
+	sorted := append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	id := seriesID(name, sorted)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if k, ok := r.kind[name]; ok && k != kind {
+		panic(fmt.Sprintf("metrics: %s re-registered as %s, was %s", name, kind, k))
+	}
+	r.kind[name] = kind
+	if help != "" && r.help[name] == "" {
+		r.help[name] = help
+	}
+	s, ok := r.byID[id]
+	if !ok {
+		s = &series{name: name, labels: sorted, kind: kind}
+		r.byID[id] = s
+	}
+	return s
+}
+
+// unregister removes one series (help/kind for the family remain).
+func (r *Registry) unregister(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.byID, id)
+}
+
+// seriesID renders the unique identity of one series.
+func seriesID(name string, sorted []Label) string {
+	if len(sorted) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}

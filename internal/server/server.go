@@ -7,12 +7,19 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net"
 	"sync"
 	"time"
 
 	"streamrel"
+	"streamrel/internal/metrics"
+	"streamrel/internal/types"
 )
+
+// ops is the protocol command set; per-op latency histograms are
+// pre-created so dispatch never takes the registry lock.
+var ops = []string{"exec", "query", "append", "advance", "subscribe", "unsubscribe", "ping", "stats"}
 
 // Server serves one engine over TCP.
 type Server struct {
@@ -25,11 +32,32 @@ type Server struct {
 
 	// Log receives connection errors; nil silences them.
 	Log *log.Logger
+
+	// Metric handles, registered in the engine's registry.
+	connGauge *metrics.Gauge
+	cmdHist   map[string]*metrics.Histogram
+	cmdErrs   map[string]*metrics.Counter
 }
 
-// New creates a server for the engine.
+// New creates a server for the engine; its metrics register in the
+// engine's registry so one /metrics endpoint serves both.
 func New(eng *streamrel.Engine) *Server {
-	return &Server{eng: eng, conns: make(map[net.Conn]struct{})}
+	s := &Server{
+		eng:     eng,
+		conns:   make(map[net.Conn]struct{}),
+		cmdHist: make(map[string]*metrics.Histogram),
+		cmdErrs: make(map[string]*metrics.Counter),
+	}
+	reg := eng.Metrics()
+	s.connGauge = reg.Gauge("streamrel_server_connections", "open client connections")
+	for _, op := range ops {
+		s.cmdHist[op] = reg.Histogram("streamrel_server_command_seconds",
+			"latency of protocol commands, dispatch to response encode", nil,
+			metrics.L("op", op))
+		s.cmdErrs[op] = reg.Counter("streamrel_server_command_errors_total",
+			"protocol commands that returned an error", metrics.L("op", op))
+	}
+	return s
 }
 
 // Listen binds to addr (e.g. "127.0.0.1:7475") and returns the bound
@@ -102,6 +130,7 @@ func (s *Server) handle(conn net.Conn) {
 		cqs:  make(map[int64]*streamrel.CQ),
 		done: make(chan struct{}),
 	}
+	s.connGauge.Add(1)
 	defer func() {
 		close(sess.done)
 		for _, cq := range sess.cqs {
@@ -111,6 +140,7 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
+		s.connGauge.Add(-1)
 	}()
 
 	rd := bufio.NewReaderSize(conn, 1<<20)
@@ -123,7 +153,14 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			return
 		}
+		start := time.Now()
 		resp := sess.dispatch(&req)
+		if h := s.cmdHist[req.Op]; h != nil {
+			h.ObserveSince(start)
+		}
+		if resp.Error != "" {
+			s.cmdErrs[req.Op].Inc() // nil-safe for unknown ops
+		}
 		resp.ID = req.ID
 		if err := sess.write(resp); err != nil {
 			return
@@ -233,6 +270,43 @@ func (sess *session) dispatch(req *Request) *Response {
 
 	case "ping":
 		return &Response{OK: true}
+
+	case "stats":
+		return sess.srv.statsResponse()
 	}
 	return fail(fmt.Errorf("server: unknown op %q", req.Op))
+}
+
+// statsResponse flattens the engine's metrics registry into
+// (metric, value) rows: counters and gauges become one row each;
+// histograms become _count, _sum, _p50, _p95 and _p99 rows.
+func (s *Server) statsResponse() *Response {
+	samples := s.eng.Metrics().Gather()
+	schema := types.Schema{
+		{Name: "metric", Type: types.TypeString},
+		{Name: "value", Type: types.TypeFloat},
+	}
+	out := &Response{OK: true, Columns: EncodeSchema(schema)}
+	add := func(name string, v float64) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return
+		}
+		out.Rows = append(out.Rows, EncodeRow(types.Row{types.NewString(name), types.NewFloat(v)}))
+	}
+	for _, smp := range samples {
+		id := smp.ID()
+		if smp.Kind == metrics.KindHistogram {
+			add(id+"_count", float64(smp.Count))
+			add(id+"_sum", smp.Sum)
+			for _, q := range []struct {
+				tag string
+				q   float64
+			}{{"_p50", 0.50}, {"_p95", 0.95}, {"_p99", 0.99}} {
+				add(id+q.tag, smp.Quantile(q.q))
+			}
+			continue
+		}
+		add(id, smp.Value)
+	}
+	return out
 }

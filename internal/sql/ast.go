@@ -158,8 +158,12 @@ type Truncate struct{ Table string }
 // Show is SHOW TABLES|STREAMS|VIEWS|CHANNELS.
 type Show struct{ What string }
 
-// Explain wraps a statement for plan display.
-type Explain struct{ Stmt Statement }
+// Explain wraps a statement for plan display. With Analyze the statement
+// is executed and per-operator row counts and timings are reported.
+type Explain struct {
+	Stmt    Statement
+	Analyze bool
+}
 
 func (*CreateTable) stmtNode()         {}
 func (*CreateStream) stmtNode()        {}

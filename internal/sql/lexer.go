@@ -51,7 +51,8 @@ var keywords = map[string]bool{
 	"rows": true, "cqtime": true, "user": true, "system": true,
 	"append": true, "replace": true, "if": true, "exists": true,
 	"interval": true, "timestamp": true, "show": true, "explain": true,
-	"tables": true, "streams": true, "views": true, "channels": true,
+	"analyze": true,
+	"tables":  true, "streams": true, "views": true, "channels": true,
 	"begin": true, "commit": true, "rollback": true, "truncate": true,
 	"nulls": true, "first": true, "last": true, "primary": true, "key": true,
 }

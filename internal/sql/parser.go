@@ -226,11 +226,12 @@ func (p *Parser) parseStatement() (Statement, error) {
 		return nil, p.errf("expected TABLES, STREAMS, VIEWS or CHANNELS")
 	case "explain":
 		p.pos++
+		analyze := p.acceptKeyword("analyze")
 		inner, err := p.parseStatement()
 		if err != nil {
 			return nil, err
 		}
-		return &Explain{Stmt: inner}, nil
+		return &Explain{Stmt: inner, Analyze: analyze}, nil
 	}
 	return nil, p.errf("unsupported statement %q", t.Text)
 }

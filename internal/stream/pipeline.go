@@ -2,10 +2,13 @@ package stream
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"streamrel/internal/exec"
+	"streamrel/internal/metrics"
 	"streamrel/internal/plan"
 	"streamrel/internal/sql"
 	"streamrel/internal/types"
@@ -58,8 +61,18 @@ type Pipeline struct {
 	failed     atomic.Bool // failErr is written before the Store, read after the Load
 	failErr    error
 
-	windowsFired atomic.Int64
-	rowsSeen     atomic.Int64
+	// id labels this pipeline in metric series and Stats.PerPipeline.
+	id int64
+	// windowsFired and rowsSeen are always non-nil; with a registry they
+	// are the registered streamrel_pipeline_{windows,rows}_total series,
+	// so Stats and /metrics read the same counters.
+	windowsFired *metrics.Counter
+	rowsSeen     *metrics.Counter
+	// fireHist observes window-fire latency (plan execution + sink
+	// delivery); nil without a registry.
+	fireHist *metrics.Histogram
+	// unregQueueGauge detaches the queue-depth gauge on stop.
+	unregQueueGauge func()
 }
 
 type emission struct {
@@ -72,6 +85,22 @@ type emission struct {
 func newPipeline(rt *Runtime, src *source, p *plan.Plan, sink Sink) (*Pipeline, error) {
 	w := p.Stream.Window
 	pipe := &Pipeline{rt: rt, src: src, plan: p, win: w, sink: sink, resumeAfter: -1 << 62}
+	pipe.id = rt.nextPipeID.Add(1)
+	if rt.reg != nil {
+		labels := []metrics.Label{
+			metrics.L("stream", src.name),
+			metrics.L("pipe", strconv.FormatInt(pipe.id, 10)),
+		}
+		pipe.rowsSeen = rt.reg.Counter("streamrel_pipeline_rows_total",
+			"rows delivered to a continuous-query pipeline", labels...)
+		pipe.windowsFired = rt.reg.Counter("streamrel_pipeline_windows_total",
+			"window closes evaluated by a continuous-query pipeline", labels...)
+		pipe.fireHist = rt.reg.Histogram("streamrel_window_fire_seconds",
+			"window-fire latency: plan execution plus sink delivery", nil,
+			metrics.L("stream", src.name))
+	} else {
+		pipe.rowsSeen, pipe.windowsFired = &metrics.Counter{}, &metrics.Counter{}
+	}
 	switch w.Kind {
 	case sql.WindowTime:
 		if w.Visible <= 0 || w.Advance <= 0 {
@@ -140,7 +169,7 @@ func (p *Pipeline) processBatch(batch []tsRow) error {
 
 // push buffers one row (already proven in-order by the source).
 func (p *Pipeline) push(row types.Row, ts int64) error {
-	p.rowsSeen.Add(1)
+	p.rowsSeen.Inc()
 	switch p.win.Kind {
 	case sql.WindowTime:
 		if !p.started {
@@ -285,23 +314,39 @@ func (p *Pipeline) endEmission(ts int64, rowCount int) error {
 
 // run executes the full plan over the window's rows and emits the result.
 func (p *Pipeline) run(c int64, rows []types.Row) error {
+	var start time.Time
+	if p.fireHist != nil {
+		start = time.Now()
+	}
 	ctx := p.rt.snapshotCtx(c)
 	out, err := exec.Drain(ctx, p.plan.Build(plan.Input{WindowRows: rows}))
 	if err != nil {
 		return fmt.Errorf("stream: window close at %d: %w", c, err)
 	}
-	p.windowsFired.Add(1)
-	return p.sink(c, out)
+	p.windowsFired.Inc()
+	err = p.sink(c, out)
+	if p.fireHist != nil {
+		p.fireHist.ObserveSince(start)
+	}
+	return err
 }
 
 // runPost executes only the post-aggregation stage over merged shared
 // slice results.
 func (p *Pipeline) runPost(c int64, aggRows []types.Row) error {
+	var start time.Time
+	if p.fireHist != nil {
+		start = time.Now()
+	}
 	ctx := p.rt.snapshotCtx(c)
 	out, err := exec.Drain(ctx, p.plan.StreamAgg.PostBuild(aggRows))
 	if err != nil {
 		return fmt.Errorf("stream: window close at %d: %w", c, err)
 	}
-	p.windowsFired.Add(1)
-	return p.sink(c, out)
+	p.windowsFired.Inc()
+	err = p.sink(c, out)
+	if p.fireHist != nil {
+		p.fireHist.ObserveSince(start)
+	}
+	return err
 }

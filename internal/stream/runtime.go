@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"streamrel/internal/exec"
+	"streamrel/internal/metrics"
 	"streamrel/internal/plan"
 	"streamrel/internal/txn"
 	"streamrel/internal/types"
@@ -81,19 +82,56 @@ type Runtime struct {
 	now      func() time.Time
 	// Late is the disorder policy applied to all sources. Set before
 	// pushing begins.
-	Late        LatePolicy
-	lateDropped atomic.Int64
+	Late LatePolicy
+
+	// reg is the metrics registry; nil disables registration (standalone
+	// handles keep counting for Stats). Set before sources register.
+	reg *metrics.Registry
+	// lateDropped counts rows discarded by LateDrop. It doubles as the
+	// streamrel_stream_late_dropped_total series when a registry is set.
+	lateDropped *metrics.Counter
+	// nextPipeID labels pipelines in per-pipeline metric series.
+	nextPipeID atomic.Int64
 }
 
 // NewRuntime creates a runtime bound to the transaction manager (window
 // consistency takes its snapshots there).
 func NewRuntime(mgr *txn.Manager, sharing bool) *Runtime {
 	return &Runtime{
-		sources: make(map[string]*source),
-		mgr:     mgr,
-		sharing: sharing,
-		now:     time.Now,
+		sources:     make(map[string]*source),
+		mgr:         mgr,
+		sharing:     sharing,
+		now:         time.Now,
+		lateDropped: &metrics.Counter{},
 	}
+}
+
+// SetMetrics binds the runtime to a metrics registry so stream, pipeline
+// and window-fire series register there. Call once, before sources are
+// registered; a nil registry keeps instrumentation local (Stats still
+// works, nothing is exported).
+func (r *Runtime) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	r.reg = reg
+	r.lateDropped = reg.Counter("streamrel_stream_late_dropped_total",
+		"rows discarded by the LateDrop disorder policy")
+	reg.GaugeFunc("streamrel_sources", "registered stream sources", func() float64 {
+		r.mu.RLock()
+		n := len(r.sources)
+		r.mu.RUnlock()
+		return float64(n)
+	})
+	reg.GaugeFunc("streamrel_pipelines", "live continuous-query pipelines", func() float64 {
+		n := 0
+		for _, src := range r.snapshotSources() {
+			src.mu.Lock()
+			n += len(src.pipes)
+			src.mu.Unlock()
+		}
+		return float64(n)
+	})
 }
 
 // SetParallel switches the runtime into parallel continuous-query mode:
@@ -128,6 +166,10 @@ type source struct {
 	taps    []*Sink
 	shared  map[string]*sharedAgg // key: fingerprint + advance
 	scratch []tsRow               // batch buffer reused when no workers hold refs
+
+	// rows counts validated rows accepted into this stream
+	// (streamrel_stream_rows_total{stream=…}; nil without a registry).
+	rows *metrics.Counter
 }
 
 // RegisterSource declares a stream. cqtimeCol is the index of the CQTIME
@@ -143,6 +185,8 @@ func (r *Runtime) RegisterSource(name string, schema types.Schema, cqtimeCol int
 		schema:    schema,
 		cqtimeCol: cqtimeCol,
 		shared:    make(map[string]*sharedAgg),
+		rows: r.reg.Counter("streamrel_stream_rows_total",
+			"rows accepted into a stream after validation", metrics.L("stream", name)),
 	}
 	return nil
 }
@@ -359,7 +403,7 @@ func (s *source) prepare(r *Runtime, rows []types.Row, explicitTS int64, explici
 		if has && ts < hwm {
 			switch r.Late {
 			case LateDrop:
-				r.lateDropped.Add(1)
+				r.lateDropped.Inc()
 				continue
 			case LateClamp:
 				ts = hwm
@@ -391,6 +435,7 @@ func (s *source) deliver(r *Runtime, rows []types.Row, explicitTS int64, explici
 	if err != nil || len(batch) == 0 {
 		return err
 	}
+	s.rows.Add(int64(len(batch)))
 	// Hand the batch to worker pipelines first so they chew on it while
 	// the producer walks the synchronous subscribers.
 	for _, pipe := range s.pipes {
@@ -554,6 +599,7 @@ func (r *Runtime) emitDerived(stream string, closeTS int64, rows []types.Row) er
 	if err != nil {
 		return err
 	}
+	src.rows.Add(int64(len(batch)))
 	for _, pipe := range src.pipes {
 		if pipe.tasks != nil {
 			pipe.enqueue(task{kind: taskEmission, batch: batch, ts: closeTS, emRows: len(rows)})
@@ -711,6 +757,43 @@ type Stats struct {
 	RowsProcessed  int64
 	SliceHitShares int64
 	LateDropped    int64
+	// PerPipeline lists one consistent counter snapshot per live
+	// pipeline; the totals above are sums over it.
+	PerPipeline []PipelineStats
+}
+
+// PipelineStats is one pipeline's counter snapshot. The pair
+// (WindowsFired, RowsSeen) is read in an order that preserves the
+// producer-side invariant — rows are counted before the window fire they
+// contribute to — so for a row window with ADVANCE a,
+// WindowsFired*a <= RowsSeen holds in every snapshot.
+type PipelineStats struct {
+	Stream       string
+	ID           int64
+	WindowsFired int64
+	RowsSeen     int64
+	// QueueDepth is the number of queued micro-batch tasks (parallel
+	// mode); 0 for synchronous pipelines.
+	QueueDepth int
+	Shared     bool
+}
+
+// statsSnapshot reads this pipeline's counters as one consistent pass.
+// Load order matters: the producer increments rowsSeen before any fire
+// those rows prove, so loading windowsFired first guarantees the returned
+// pair never shows more fires than its rows justify.
+func (p *Pipeline) statsSnapshot() PipelineStats {
+	ps := PipelineStats{
+		Stream: p.src.name,
+		ID:     p.id,
+		Shared: p.shared != nil,
+	}
+	ps.WindowsFired = p.windowsFired.Value()
+	ps.RowsSeen = p.rowsSeen.Value()
+	if p.tasks != nil {
+		ps.QueueDepth = len(p.tasks)
+	}
+	return ps
 }
 
 // Stats returns a snapshot of runtime counters. Per-pipeline counters are
@@ -718,7 +801,7 @@ type Stats struct {
 // subscriber list — it never stops delivery across the whole runtime.
 func (r *Runtime) Stats() Stats {
 	var s Stats
-	s.LateDropped = r.lateDropped.Load()
+	s.LateDropped = r.lateDropped.Value()
 	sources := r.snapshotSources()
 	s.Sources = len(sources)
 	for _, src := range sources {
@@ -731,8 +814,10 @@ func (r *Runtime) Stats() Stats {
 		pipes := append([]*Pipeline(nil), src.pipes...)
 		src.mu.Unlock()
 		for _, pipe := range pipes {
-			s.WindowsFired += pipe.windowsFired.Load()
-			s.RowsProcessed += pipe.rowsSeen.Load()
+			ps := pipe.statsSnapshot()
+			s.WindowsFired += ps.WindowsFired
+			s.RowsProcessed += ps.RowsSeen
+			s.PerPipeline = append(s.PerPipeline, ps)
 		}
 	}
 	return s

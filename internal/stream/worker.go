@@ -1,5 +1,11 @@
 package stream
 
+import (
+	"strconv"
+
+	"streamrel/internal/metrics"
+)
+
 // Worker execution for parallel continuous-query mode. Each non-shared
 // pipeline gets one dedicated goroutine fed by a bounded task queue; a
 // single worker per pipeline means tasks — and therefore rows and window
@@ -37,6 +43,14 @@ type task struct {
 func (p *Pipeline) startWorker(depth int) {
 	p.tasks = make(chan task, depth)
 	p.workerDone = make(chan struct{})
+	if p.rt.reg != nil {
+		tasks := p.tasks // capture: gauge must not chase a nil field after stop
+		p.unregQueueGauge = p.rt.reg.GaugeFunc("streamrel_pipeline_queue_depth",
+			"micro-batch tasks queued for a pipeline worker",
+			func() float64 { return float64(len(tasks)) },
+			metrics.L("stream", p.src.name),
+			metrics.L("pipe", strconv.FormatInt(p.id, 10)))
+	}
 	go p.workerLoop()
 }
 
@@ -59,6 +73,9 @@ func (p *Pipeline) stop() {
 	p.stopOnce.Do(func() {
 		close(p.tasks)
 		<-p.workerDone
+		if p.unregQueueGauge != nil {
+			p.unregQueueGauge()
+		}
 	})
 }
 

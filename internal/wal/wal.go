@@ -21,7 +21,9 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
+	"streamrel/internal/metrics"
 	"streamrel/internal/types"
 )
 
@@ -53,6 +55,11 @@ type Log struct {
 	f    *os.File
 	path string
 	sync bool // fsync every batch
+
+	// Metric handles; nil (no-op) without a registry in Options.
+	appends     *metrics.Counter
+	appendBytes *metrics.Counter
+	fsyncHist   *metrics.Histogram
 }
 
 // Options configures log behaviour.
@@ -61,6 +68,9 @@ type Options struct {
 	// the experiments in the paper concern CPU-path efficiency, and fsync
 	// noise would dominate micro-benchmarks. Crash tests turn it on.
 	Sync bool
+	// Metrics registers append/fsync series in this registry; nil
+	// disables WAL instrumentation.
+	Metrics *metrics.Registry
 }
 
 // Open opens (creating if needed) the log at path.
@@ -72,7 +82,17 @@ func Open(path string, opts Options) (*Log, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	return &Log{f: f, path: path, sync: opts.Sync}, nil
+	return &Log{
+		f:    f,
+		path: path,
+		sync: opts.Sync,
+		appends: opts.Metrics.Counter("streamrel_wal_appends_total",
+			"committed batches appended to the write-ahead log"),
+		appendBytes: opts.Metrics.Counter("streamrel_wal_append_bytes_total",
+			"payload bytes appended to the write-ahead log"),
+		fsyncHist: opts.Metrics.Histogram("streamrel_wal_fsync_seconds",
+			"latency of the fsync after each committed batch", nil),
+	}, nil
 }
 
 // Append atomically writes one committed batch of records.
@@ -96,10 +116,14 @@ func (l *Log) Append(recs []Record) error {
 		return fmt.Errorf("wal: %w", err)
 	}
 	if l.sync {
+		start := time.Now()
 		if err := l.f.Sync(); err != nil {
 			return fmt.Errorf("wal: %w", err)
 		}
+		l.fsyncHist.ObserveSince(start)
 	}
+	l.appends.Inc()
+	l.appendBytes.Add(int64(len(hdr) + len(payload)))
 	return nil
 }
 

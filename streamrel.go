@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"streamrel/internal/catalog"
+	"streamrel/internal/metrics"
 	"streamrel/internal/plan"
 	"streamrel/internal/sql"
 	"streamrel/internal/stream"
@@ -113,9 +114,18 @@ type Config struct {
 	// relaxations this implies. 0 (default) keeps the fully synchronous,
 	// deterministic engine.
 	ParallelCQ int
+	// Metrics is the registry engine subsystems (stream runtime, WAL,
+	// checkpoints) register their series in. Nil creates a private
+	// registry, reachable via Engine.Metrics() — share one registry
+	// across engines (or with a server) by setting it here.
+	Metrics *MetricsRegistry
 	// Now overrides the wall clock (for now() and tests).
 	Now func() time.Time
 }
+
+// MetricsRegistry aliases the engine's metrics registry so callers can
+// gather snapshots or serve /metrics without importing internal packages.
+type MetricsRegistry = metrics.Registry
 
 // Engine is a stream-relational database instance.
 type Engine struct {
@@ -128,6 +138,10 @@ type Engine struct {
 	rt      *stream.Runtime
 	planner *plan.Planner
 	log     *wal.Log // nil when in-memory
+	reg     *metrics.Registry
+
+	// checkpointHist observes Checkpoint durations.
+	checkpointHist *metrics.Histogram
 
 	// ddlLog records successful DDL statements in order; checkpoints
 	// serialize it so objects are recreated in dependency order.
@@ -156,16 +170,27 @@ func Open(cfg Config) (*Engine, error) {
 		channelTaps:  make(map[string]func()),
 		sysClock:     make(map[string]int64),
 	}
+	e.reg = cfg.Metrics
+	if e.reg == nil {
+		e.reg = metrics.NewRegistry()
+	}
 	e.rt = stream.NewRuntime(e.mgr, !cfg.DisableSharing)
+	e.rt.SetMetrics(e.reg)
 	e.rt.Late = stream.LatePolicy(cfg.LateRows)
 	e.rt.SetParallel(cfg.ParallelCQ)
 	e.planner = &plan.Planner{Cat: e.cat}
+	e.checkpointHist = e.reg.Histogram("streamrel_checkpoint_seconds",
+		"duration of checkpoints (heap compaction + file write + WAL truncate)", nil)
 
 	if cfg.Dir != "" {
+		start := time.Now()
 		if err := e.recover(); err != nil {
 			return nil, err
 		}
-		log, err := wal.Open(e.walPath(), wal.Options{Sync: cfg.SyncWAL})
+		e.reg.Gauge("streamrel_recovery_replay_seconds",
+			"duration of the last checkpoint+WAL replay and CQ resume").
+			Set(time.Since(start).Seconds())
+		log, err := wal.Open(e.walPath(), wal.Options{Sync: cfg.SyncWAL, Metrics: e.reg})
 		if err != nil {
 			return nil, err
 		}
@@ -173,6 +198,11 @@ func Open(cfg Config) (*Engine, error) {
 	}
 	return e, nil
 }
+
+// Metrics returns the engine's metrics registry: every subsystem's
+// counters, gauges and latency histograms, gatherable as samples or
+// renderable in the Prometheus text format.
+func (e *Engine) Metrics() *MetricsRegistry { return e.reg }
 
 func (e *Engine) walPath() string        { return filepath.Join(e.cfg.Dir, "wal.log") }
 func (e *Engine) checkpointPath() string { return filepath.Join(e.cfg.Dir, "checkpoint") }
@@ -390,7 +420,12 @@ func (e *Engine) Checkpoint() error {
 	if e.log == nil {
 		return nil
 	}
-	return e.checkpoint()
+	start := time.Now()
+	if err := e.checkpoint(); err != nil {
+		return err
+	}
+	e.checkpointHist.ObserveSince(start)
+	return nil
 }
 
 // MustTimestamp parses a timestamp literal or panics; a convenience for
