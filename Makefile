@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt cover bench check
+.PHONY: all build test race vet fmt cover bench check fuzz repl-smoke
 
 all: build
 
@@ -34,3 +34,16 @@ check: build fmt vet test race
 # Use `go test -bench .` for the full microbenchmark suite.
 bench:
 	$(GO) run ./cmd/srbench -scale 0.2 -only E9 -json BENCH_fanout.json
+
+# fuzz exercises the binary decoders (WAL batches, replication frames)
+# that parse untrusted bytes off disk and off the wire.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzDecodeRecords -fuzztime=$(FUZZTIME) ./internal/wal
+	$(GO) test -run=^$$ -fuzz=FuzzDecodeEvent -fuzztime=$(FUZZTIME) ./internal/repl
+
+# repl-smoke boots a primary and a replica streamreld as separate
+# processes, ingests through the primary, and asserts the replica
+# converges with settled lag metrics.
+repl-smoke:
+	$(GO) run ./cmd/replsmoke

@@ -60,10 +60,28 @@ func (s *Subscription) Close() error {
 	return err
 }
 
+// Options configures connection and per-request timeouts.
+type Options struct {
+	// DialTimeout bounds connection establishment (net.Dialer.Timeout);
+	// 0 means DefaultDialTimeout.
+	DialTimeout time.Duration
+	// RPCTimeout bounds each request: the write gets a deadline and the
+	// response wait a timer, so a hung server fails the call instead of
+	// blocking forever. It does not apply to subscription batches (which
+	// arrive whenever windows close) or to replication streams (which set
+	// their own read deadlines). 0 disables it.
+	RPCTimeout time.Duration
+}
+
+// DefaultDialTimeout bounds Dial when Options.DialTimeout is zero.
+const DefaultDialTimeout = 10 * time.Second
+
 // Client is a connection to a streamrel server. Safe for concurrent use.
 type Client struct {
 	conn net.Conn
 	enc  *json.Encoder
+	addr string
+	opts Options
 
 	mu      sync.Mutex
 	nextID  int64
@@ -73,20 +91,36 @@ type Client struct {
 	readErr error
 }
 
-// Dial connects to a server.
+// Dial connects to a server with default timeouts.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialOptions(addr, Options{})
+}
+
+// DialOptions connects to a server with explicit timeouts.
+func DialOptions(addr string, opts Options) (*Client, error) {
+	conn, err := dialRaw(addr, opts)
 	if err != nil {
 		return nil, err
 	}
 	c := &Client{
 		conn:    conn,
 		enc:     json.NewEncoder(conn),
+		addr:    addr,
+		opts:    opts,
 		pending: make(map[int64]chan *server.Response),
 		subs:    make(map[int64]*Subscription),
 	}
 	go c.readLoop()
 	return c, nil
+}
+
+func dialRaw(addr string, opts Options) (net.Conn, error) {
+	dt := opts.DialTimeout
+	if dt <= 0 {
+		dt = DefaultDialTimeout
+	}
+	d := net.Dialer{Timeout: dt}
+	return d.Dial("tcp", addr)
 }
 
 // Close terminates the connection; outstanding calls fail.
@@ -166,20 +200,41 @@ func (c *Client) roundTrip(req *server.Request) (*server.Response, error) {
 	req.ID = c.nextID
 	ch := make(chan *server.Response, 1)
 	c.pending[req.ID] = ch
-	if err := c.enc.Encode(req); err != nil {
+	if c.opts.RPCTimeout > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(c.opts.RPCTimeout))
+	}
+	err := c.enc.Encode(req)
+	if c.opts.RPCTimeout > 0 {
+		c.conn.SetWriteDeadline(time.Time{})
+	}
+	if err != nil {
 		delete(c.pending, req.ID)
 		c.mu.Unlock()
 		return nil, err
 	}
 	c.mu.Unlock()
-	resp, ok := <-ch
-	if !ok {
-		return nil, fmt.Errorf("client: connection closed")
+
+	var timeout <-chan time.Time
+	if c.opts.RPCTimeout > 0 {
+		t := time.NewTimer(c.opts.RPCTimeout)
+		defer t.Stop()
+		timeout = t.C
 	}
-	if resp.Error != "" {
-		return nil, fmt.Errorf("%s", resp.Error)
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, fmt.Errorf("client: connection closed")
+		}
+		if resp.Error != "" {
+			return nil, fmt.Errorf("%s", resp.Error)
+		}
+		return resp, nil
+	case <-timeout:
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("client: request timed out after %v", c.opts.RPCTimeout)
 	}
-	return resp, nil
 }
 
 // Exec runs a DDL/DML statement with optional $n parameters and returns
@@ -261,6 +316,59 @@ func (c *Client) Subscribe(sql string, args ...Value) (*Subscription, error) {
 func (c *Client) Ping() error {
 	_, err := c.roundTrip(&server.Request{Op: "ping"})
 	return err
+}
+
+// Promote asks a replica server to promote itself to primary; subsequent
+// writes against it succeed.
+func (c *Client) Promote() error {
+	_, err := c.roundTrip(&server.Request{Op: "promote"})
+	return err
+}
+
+// ReplStream is an open replication stream: after the JSON handshake the
+// connection carries binary frames (internal/repl's format). Conn and R
+// are exposed for the frame reader; the caller owns Close.
+type ReplStream struct {
+	Conn net.Conn
+	R    *bufio.Reader
+}
+
+// Close terminates the stream.
+func (s *ReplStream) Close() error { return s.Conn.Close() }
+
+// Replicate opens a replication stream on a dedicated connection,
+// resuming after fromLSN under primary run ID runID ("" and 0 for a
+// fresh replica — the primary then starts with a full snapshot).
+func (c *Client) Replicate(fromLSN uint64, runID string) (*ReplStream, error) {
+	conn, err := dialRaw(c.addr, c.opts)
+	if err != nil {
+		return nil, err
+	}
+	if c.opts.RPCTimeout > 0 {
+		conn.SetDeadline(time.Now().Add(c.opts.RPCTimeout))
+	}
+	req := &server.Request{ID: 1, Op: "replicate", LSN: fromLSN, Run: runID}
+	if err := json.NewEncoder(conn).Encode(req); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	br := bufio.NewReaderSize(conn, 1<<20)
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	var resp server.Response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if resp.Error != "" {
+		conn.Close()
+		return nil, fmt.Errorf("%s", resp.Error)
+	}
+	conn.SetDeadline(time.Time{})
+	return &ReplStream{Conn: conn, R: br}, nil
 }
 
 // Stats returns the server's metrics as (metric, value) rows: counters

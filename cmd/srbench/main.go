@@ -34,6 +34,7 @@ var index = []struct{ id, what string }{
 	{"E7", "§5 map/reduce comparison: successive refreshes over a growing log"},
 	{"E8", "§1.2 result-availability delay: batch period vs 1-minute windows"},
 	{"E9", "parallel CQ fan-out: k CQs serial vs per-pipeline workers (Config.ParallelCQ)"},
+	{"E10", "replication: replica apply-lag quantiles under live ingest (log shipping over loopback TCP)"},
 }
 
 // jsonReport is the machine-readable output format for -json: enough
@@ -74,7 +75,7 @@ func main() {
 		"F1": experiments.F1, "E1": experiments.E1, "E2": experiments.E2,
 		"E3": experiments.E3, "E4": experiments.E4, "E5": experiments.E5,
 		"E6": experiments.E6, "E7": experiments.E7, "E8": experiments.E8,
-		"E9": experiments.E9,
+		"E9": experiments.E9, "E10": experiments.E10,
 	}
 
 	fmt.Printf("streamrel experiment suite (scale %.2g)\n", *scale)

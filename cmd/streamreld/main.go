@@ -5,6 +5,12 @@
 // Usage:
 //
 //	streamreld -addr 127.0.0.1:7475 -dir data/ [-init schema.sql] [-metrics-addr 127.0.0.1:9090]
+//	streamreld -addr 127.0.0.1:7476 -dir rep/ -replica-of 127.0.0.1:7475
+//
+// With -replica-of the node follows the given primary: it applies the
+// primary's replication stream (tables, streams and DDL), runs its own
+// continuous queries, serves read-only queries, and can be promoted to
+// primary with the client's "promote" op.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"streamrel"
 	"streamrel/internal/metrics"
 	"streamrel/internal/server"
+	"streamrel/replica"
 )
 
 func main() {
@@ -28,15 +35,21 @@ func main() {
 	initScript := flag.String("init", "", "SQL script to execute at startup")
 	syncWAL := flag.Bool("sync", false, "fsync every commit")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics on this address (empty = disabled)")
+	replicaOf := flag.String("replica-of", "", "follow this primary address as a read replica")
 	flag.Parse()
 
-	eng, err := streamrel.Open(streamrel.Config{Dir: *dir, SyncWAL: *syncWAL})
+	// Replication is always enabled so any node can serve replicas —
+	// including a promoted one.
+	eng, err := streamrel.Open(streamrel.Config{Dir: *dir, SyncWAL: *syncWAL, Replicate: true})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer eng.Close()
 
 	if *initScript != "" {
+		if *replicaOf != "" {
+			log.Fatal("streamreld: -init and -replica-of are mutually exclusive (schema arrives from the primary)")
+		}
 		data, err := os.ReadFile(*initScript)
 		if err != nil {
 			log.Fatal(err)
@@ -48,11 +61,35 @@ func main() {
 
 	srv := server.New(eng)
 	srv.Log = log.Default()
+	if hub := eng.Repl(); hub != nil {
+		srv.Replicate = hub.ServeConn
+	}
+
+	var rep *replica.Replica
+	if *replicaOf != "" {
+		rep, err = replica.New(replica.Options{
+			Addr:   *replicaOf,
+			Engine: eng,
+			Dir:    *dir,
+			Logf:   log.Printf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv.Promote = rep.Promote
+		rep.Start()
+		defer rep.Stop()
+	}
+
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("streamreld listening on %s (dir=%q)\n", bound, *dir)
+	if *replicaOf != "" {
+		fmt.Printf("streamreld listening on %s (dir=%q, replica of %s)\n", bound, *dir, *replicaOf)
+	} else {
+		fmt.Printf("streamreld listening on %s (dir=%q)\n", bound, *dir)
+	}
 
 	if *metricsAddr != "" {
 		mlis, err := net.Listen("tcp", *metricsAddr)

@@ -32,6 +32,9 @@ func (e *Engine) execDDL(stmt sql.Statement, sqlText string) (*Result, error) {
 				return nil, err
 			}
 		}
+		if e.hub != nil {
+			e.hub.PublishWAL([]wal.Record{{Kind: wal.RecDDL, SQL: sqlText}})
+		}
 	}
 	return &Result{}, nil
 }
@@ -240,6 +243,12 @@ func (e *Engine) createChannel(s *sql.CreateChannel) (bool, error) {
 // boundary; in parallel mode it runs on the producing pipeline's worker
 // goroutine (heap, index and WAL are internally locked).
 func (e *Engine) channelWrite(ch *catalog.Channel, rows []types.Row) error {
+	if e.replicaMode.Load() {
+		// A replica's channels stay quiet: the primary's channel writes
+		// arrive through the replicated WAL, so writing here would apply
+		// every emission twice. Promote re-enables local channel writes.
+		return nil
+	}
 	t, ok := e.cat.Table(ch.Into)
 	if !ok {
 		return fmt.Errorf("streamrel: channel %q: table %q vanished", ch.Name, ch.Into)
@@ -337,7 +346,7 @@ func (w *writeTxn) insertRow(t *catalog.Table, row types.Row) error {
 	for _, ix := range t.Indexes {
 		ix.Tree.Insert(ix.KeyOf(row), rid)
 	}
-	w.recs = append(w.recs, wal.Record{Kind: wal.RecInsert, Table: t.Name, Row: row})
+	w.recs = append(w.recs, wal.Record{Kind: wal.RecInsert, Table: t.Name, RowID: uint64(rid), Row: row})
 	w.n++
 	return nil
 }
@@ -359,6 +368,11 @@ func (w *writeTxn) commit() error {
 		if err := w.e.log.Append(w.recs); err != nil {
 			return w.fail(err)
 		}
+	}
+	if w.e.hub != nil && len(w.recs) > 0 {
+		// The hub commits the transaction inside its own critical section,
+		// so the published LSN order matches commit order engine-wide.
+		return w.e.hub.PublishTxn(w.recs, w.tx.Commit)
 	}
 	return w.tx.Commit()
 }

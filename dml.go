@@ -285,6 +285,9 @@ func tableScope(t *catalog.Table) expr.Binder {
 // MVCC) without per-row SQL parsing. It is the loader used by the
 // store-first baseline and by srload.
 func (e *Engine) BulkInsert(table string, rows []Row) error {
+	if err := e.writeGate(); err != nil {
+		return err
+	}
 	t, ok := e.cat.Table(table)
 	if !ok {
 		return fmt.Errorf("streamrel: table %q does not exist", table)

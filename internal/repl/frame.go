@@ -1,0 +1,240 @@
+// Package repl implements log-shipping replication for streamrel.
+//
+// The primary assigns a monotonic log sequence number (LSN) to every
+// committed WAL batch and every stream ingest/advance event, keeps the
+// most recent events in a bounded in-memory ring, and streams them to
+// replicas as length-prefixed CRC-guarded binary frames over a connection
+// hijacked from the JSON wire protocol (the "replicate" op). A replica
+// that is too far behind the ring receives a logical snapshot of the
+// primary's durable state first (DDL + table rows with explicit RowIDs),
+// then the live tail. Replication epochs are identified by a random run
+// ID: a replica presenting an LSN from a different run is resynced from a
+// fresh snapshot.
+//
+// Event ordering is the primary's commit order: stream events are
+// published under each source's delivery lock, and WAL events are
+// published while the transaction commits, so a replica applying events
+// in frame order reconstructs an exact prefix of the primary's history.
+package repl
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"streamrel/internal/types"
+	"streamrel/internal/wal"
+)
+
+// Kind tags one replication event.
+type Kind uint8
+
+// Event kinds.
+const (
+	// KindWAL carries one committed WAL batch (DDL, inserts, deletes).
+	// During a snapshot the LSN is 0 (state, not history).
+	KindWAL Kind = iota + 1
+	// KindAppend carries rows accepted into a base stream.
+	KindAppend
+	// KindAdvance carries an effective heartbeat on a base stream.
+	KindAdvance
+	// KindCheckpoint tells the replica the primary compacted its heaps;
+	// the replica runs the same deterministic compaction so RowID
+	// numbering stays aligned.
+	KindCheckpoint
+	// KindSnapBegin opens a logical snapshot; Run is the primary's run ID.
+	// The replica discards local state when it had any.
+	KindSnapBegin
+	// KindSnapEnd closes a snapshot; LSN is the boundary — live events
+	// follow from LSN+1.
+	KindSnapEnd
+	// KindResume confirms an incremental catch-up from the replica's LSN;
+	// Run is the primary's run ID.
+	KindResume
+	// KindPing is a keepalive carrying the primary's current LSN and wall
+	// clock, letting an idle replica compute lag.
+	KindPing
+	// KindTableNext, inside a snapshot, sets a table's next RowID so the
+	// replica reproduces trailing gaps left by aborted transactions.
+	KindTableNext
+)
+
+// Event is one replication frame's logical content.
+type Event struct {
+	Kind Kind
+	// LSN is the event's sequence number (0 for snapshot state frames).
+	LSN uint64
+	// Wall is the primary's clock at publish time, unix microseconds;
+	// replicas subtract it from their clock for the seconds-lag gauge.
+	Wall int64
+
+	Recs   []wal.Record // KindWAL
+	Stream string       // KindAppend, KindAdvance
+	Rows   []types.Row  // KindAppend
+	TS     int64        // KindAdvance
+	Run    string       // KindSnapBegin, KindResume
+	Table  string       // KindTableNext
+	Next   uint64       // KindTableNext
+}
+
+// maxFramePayload bounds a frame payload so a corrupt length prefix
+// cannot provoke a huge allocation on either end.
+const maxFramePayload = 256 << 20
+
+// AppendFrame appends the wire encoding of ev to dst:
+// [len u32][crc32 u32][payload], payload = [kind u8][lsn uvarint]
+// [wall varint][kind-specific body].
+func AppendFrame(dst []byte, ev *Event) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // length + crc placeholders
+	dst = append(dst, byte(ev.Kind))
+	dst = binary.AppendUvarint(dst, ev.LSN)
+	dst = binary.AppendVarint(dst, ev.Wall)
+	switch ev.Kind {
+	case KindWAL:
+		dst = append(dst, wal.EncodeRecords(ev.Recs)...)
+	case KindAppend:
+		dst = appendString(dst, ev.Stream)
+		dst = binary.AppendUvarint(dst, uint64(len(ev.Rows)))
+		for _, r := range ev.Rows {
+			dst = types.EncodeRow(dst, r)
+		}
+	case KindAdvance:
+		dst = appendString(dst, ev.Stream)
+		dst = binary.AppendVarint(dst, ev.TS)
+	case KindSnapBegin, KindResume:
+		dst = appendString(dst, ev.Run)
+	case KindTableNext:
+		dst = appendString(dst, ev.Table)
+		dst = binary.AppendUvarint(dst, ev.Next)
+	case KindCheckpoint, KindSnapEnd, KindPing:
+		// header only
+	}
+	payload := dst[start+8:]
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.ChecksumIEEE(payload))
+	return dst
+}
+
+// ReadEvent reads one frame from r, verifying length and CRC. It returns
+// io.EOF (or io.ErrUnexpectedEOF) when the stream ends; any malformed
+// frame is an error, never a panic.
+func ReadEvent(r *bufio.Reader) (*Event, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:])
+	crc := binary.LittleEndian.Uint32(hdr[4:])
+	if n > maxFramePayload {
+		return nil, fmt.Errorf("repl: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, errors.New("repl: frame CRC mismatch")
+	}
+	return DecodeEvent(payload)
+}
+
+// DecodeEvent parses a frame payload (the bytes covered by the CRC).
+// Arbitrary input yields an error, never a panic or unbounded allocation.
+func DecodeEvent(payload []byte) (*Event, error) {
+	if len(payload) == 0 {
+		return nil, errors.New("repl: empty frame")
+	}
+	ev := &Event{Kind: Kind(payload[0])}
+	buf := payload[1:]
+	var err error
+	if ev.LSN, buf, err = readUvarint(buf); err != nil {
+		return nil, err
+	}
+	if ev.Wall, buf, err = readVarint(buf); err != nil {
+		return nil, err
+	}
+	switch ev.Kind {
+	case KindWAL:
+		if ev.Recs, err = wal.DecodeRecords(buf); err != nil {
+			return nil, err
+		}
+	case KindAppend:
+		if ev.Stream, buf, err = readString(buf); err != nil {
+			return nil, err
+		}
+		var n uint64
+		if n, buf, err = readUvarint(buf); err != nil {
+			return nil, err
+		}
+		if n > uint64(len(buf)) {
+			return nil, errors.New("repl: row count exceeds payload")
+		}
+		ev.Rows = make([]types.Row, 0, n)
+		for i := uint64(0); i < n; i++ {
+			var row types.Row
+			if row, buf, err = types.DecodeRow(buf); err != nil {
+				return nil, err
+			}
+			ev.Rows = append(ev.Rows, row)
+		}
+		if len(buf) != 0 {
+			return nil, errors.New("repl: trailing bytes in append frame")
+		}
+	case KindAdvance:
+		if ev.Stream, buf, err = readString(buf); err != nil {
+			return nil, err
+		}
+		if ev.TS, _, err = readVarint(buf); err != nil {
+			return nil, err
+		}
+	case KindSnapBegin, KindResume:
+		if ev.Run, _, err = readString(buf); err != nil {
+			return nil, err
+		}
+	case KindTableNext:
+		if ev.Table, buf, err = readString(buf); err != nil {
+			return nil, err
+		}
+		if ev.Next, _, err = readUvarint(buf); err != nil {
+			return nil, err
+		}
+	case KindCheckpoint, KindSnapEnd, KindPing:
+		// header only
+	default:
+		return nil, fmt.Errorf("repl: unknown frame kind %d", ev.Kind)
+	}
+	return ev, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readString(buf []byte) (string, []byte, error) {
+	n, k := binary.Uvarint(buf)
+	if k <= 0 || uint64(len(buf[k:])) < n {
+		return "", nil, errors.New("repl: bad string")
+	}
+	return string(buf[k : k+int(n)]), buf[k+int(n):], nil
+}
+
+func readUvarint(buf []byte) (uint64, []byte, error) {
+	v, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return 0, nil, errors.New("repl: bad uvarint")
+	}
+	return v, buf[k:], nil
+}
+
+func readVarint(buf []byte) (int64, []byte, error) {
+	v, k := binary.Varint(buf)
+	if k <= 0 {
+		return 0, nil, errors.New("repl: bad varint")
+	}
+	return v, buf[k:], nil
+}

@@ -1,0 +1,388 @@
+package repl
+
+import (
+	"bufio"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"streamrel/internal/metrics"
+	"streamrel/internal/types"
+	"streamrel/internal/wal"
+)
+
+// SnapshotFunc produces a logical snapshot of the engine's durable state
+// by emitting events (KindWAL with LSN 0, KindTableNext). The engine sets
+// it on the Primary at startup; it runs with the engine's exclusive lock
+// held so the snapshot is a consistent cut.
+type SnapshotFunc func(emit func(Event) error) error
+
+// Config configures a Primary.
+type Config struct {
+	// Metrics registers replication series; nil disables them.
+	Metrics *metrics.Registry
+	// RingSize is how many recent events the replication ring retains for
+	// incremental catch-up; 0 means DefaultRingSize.
+	RingSize int
+	// SubBuffer is each subscriber's channel depth; 0 means
+	// DefaultSubBuffer. A subscriber that falls this far behind is
+	// dropped back to ring catch-up (and to a disconnect if the ring has
+	// moved on), so a slow replica never stalls ingest.
+	SubBuffer int
+	// PingEvery is the live-tail keepalive interval; 0 means one second.
+	PingEvery time.Duration
+}
+
+// Default sizing for the replication ring and subscriber queues.
+const (
+	DefaultRingSize  = 8192
+	DefaultSubBuffer = 1024
+)
+
+type subscriber struct {
+	ch chan Event
+}
+
+// Primary assigns LSNs, retains the event ring, and fans events out to
+// connected replicas. Publish methods block only on the (short) critical
+// section; subscriber channels are never sent to while full — an
+// overflowing subscriber is dropped instead, which is the backpressure
+// contract that keeps ingest independent of replica speed.
+type Primary struct {
+	// Snapshot is the engine's snapshot producer; set once at startup
+	// before the server accepts replicate requests.
+	Snapshot SnapshotFunc
+
+	mu   sync.Mutex
+	lsn  uint64
+	run  string
+	ring []Event // circular buffer, capacity ringSize
+	head int     // index of the oldest retained event
+	subs map[*subscriber]struct{}
+
+	subBuf    int
+	pingEvery time.Duration
+
+	connected *metrics.Gauge
+	frames    *metrics.Counter
+	events    *metrics.Counter
+	snaps     *metrics.Counter
+	overflows *metrics.Counter
+}
+
+// NewPrimary creates a replication hub with a fresh random run ID.
+func NewPrimary(cfg Config) *Primary {
+	ringSize := cfg.RingSize
+	if ringSize <= 0 {
+		ringSize = DefaultRingSize
+	}
+	subBuf := cfg.SubBuffer
+	if subBuf <= 0 {
+		subBuf = DefaultSubBuffer
+	}
+	pingEvery := cfg.PingEvery
+	if pingEvery <= 0 {
+		pingEvery = time.Second
+	}
+	p := &Primary{
+		run:       newRunID(),
+		ring:      make([]Event, 0, ringSize),
+		subs:      make(map[*subscriber]struct{}),
+		subBuf:    subBuf,
+		pingEvery: pingEvery,
+		connected: cfg.Metrics.Gauge("streamrel_repl_connected_replicas",
+			"replicas currently streaming from this primary"),
+		frames: cfg.Metrics.Counter("streamrel_repl_frames_sent_total",
+			"replication frames written to replicas"),
+		events: cfg.Metrics.Counter("streamrel_repl_events_total",
+			"replication events published (committed batches + stream events)"),
+		snaps: cfg.Metrics.Counter("streamrel_repl_snapshots_served_total",
+			"full logical snapshots streamed to replicas"),
+		overflows: cfg.Metrics.Counter("streamrel_repl_subscriber_overflows_total",
+			"replicas dropped back to catch-up because their queue overflowed"),
+	}
+	cfg.Metrics.GaugeFunc("streamrel_repl_lsn",
+		"latest log sequence number assigned by this primary",
+		func() float64 { return float64(p.LSN()) })
+	return p
+}
+
+func newRunID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unrecoverable for uniqueness; fall back
+		// to a constant that still forces resync against other runs.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// RunID returns this primary's replication epoch identifier.
+func (p *Primary) RunID() string { return p.run }
+
+// LSN returns the most recently assigned sequence number.
+func (p *Primary) LSN() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lsn
+}
+
+// PublishTxn commits a transaction and publishes its WAL batch as one
+// event, atomically with respect to LSN order: the hub lock is held
+// across commit and sequence assignment, so no later event can carry an
+// earlier LSN than a transaction it depends on.
+func (p *Primary) PublishTxn(recs []wal.Record, commit func() error) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if commit != nil {
+		if err := commit(); err != nil {
+			return err
+		}
+	}
+	p.publishLocked(Event{Kind: KindWAL, Recs: recs})
+	return nil
+}
+
+// PublishWAL publishes an already-committed WAL batch (DDL).
+func (p *Primary) PublishWAL(recs []wal.Record) {
+	p.mu.Lock()
+	p.publishLocked(Event{Kind: KindWAL, Recs: recs})
+	p.mu.Unlock()
+}
+
+// PublishAppend publishes rows accepted into a base stream. Called under
+// the source's delivery lock, which fixes the per-stream event order.
+func (p *Primary) PublishAppend(stream string, rows []types.Row) {
+	p.mu.Lock()
+	p.publishLocked(Event{Kind: KindAppend, Stream: stream, Rows: rows})
+	p.mu.Unlock()
+}
+
+// PublishAdvance publishes an effective heartbeat.
+func (p *Primary) PublishAdvance(stream string, ts int64) {
+	p.mu.Lock()
+	p.publishLocked(Event{Kind: KindAdvance, Stream: stream, TS: ts})
+	p.mu.Unlock()
+}
+
+// PublishCheckpoint publishes a checkpoint marker; replicas compact their
+// heaps at the same point in the event order so RowIDs stay aligned.
+func (p *Primary) PublishCheckpoint() {
+	p.mu.Lock()
+	p.publishLocked(Event{Kind: KindCheckpoint})
+	p.mu.Unlock()
+}
+
+func (p *Primary) publishLocked(ev Event) {
+	p.lsn++
+	ev.LSN = p.lsn
+	ev.Wall = time.Now().UnixMicro()
+	// Ring append (circular).
+	if len(p.ring) < cap(p.ring) {
+		p.ring = append(p.ring, ev)
+	} else {
+		p.ring[p.head] = ev
+		p.head = (p.head + 1) % len(p.ring)
+	}
+	p.events.Inc()
+	for sub := range p.subs {
+		select {
+		case sub.ch <- ev:
+		default:
+			// Slow replica: cut it loose rather than block ingest. Its
+			// serving goroutine sees the closed channel and retries from
+			// the ring (or disconnects, forcing a reconnect + resync).
+			delete(p.subs, sub)
+			close(sub.ch)
+			p.overflows.Inc()
+		}
+	}
+}
+
+// oldestLocked returns the LSN of the oldest ring event, or lsn+1 when
+// the ring is empty (every "future" LSN is trivially covered).
+func (p *Primary) oldestLocked() uint64 {
+	if len(p.ring) == 0 {
+		return p.lsn + 1
+	}
+	return p.lsn - uint64(len(p.ring)) + 1
+}
+
+// attach registers a new subscriber and decides how it catches up: an
+// incremental backlog copied from the ring when the replica's run ID
+// matches and the ring still covers fromLSN+1, otherwise a full snapshot.
+// Registration and the decision share one critical section, so the
+// backlog plus the subscription covers every event with no gap.
+func (p *Primary) attach(fromLSN uint64, runID string) (sub *subscriber, backlog []Event, boundary uint64, needSnap bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sub = &subscriber{ch: make(chan Event, p.subBuf)}
+	if runID == p.run && fromLSN <= p.lsn && fromLSN+1 >= p.oldestLocked() {
+		for i := 0; i < len(p.ring); i++ {
+			ev := p.ring[(p.head+i)%len(p.ring)]
+			if ev.LSN > fromLSN {
+				backlog = append(backlog, ev)
+			}
+		}
+	} else {
+		needSnap = true
+	}
+	boundary = p.lsn
+	p.subs[sub] = struct{}{}
+	return sub, backlog, boundary, needSnap
+}
+
+func (p *Primary) detach(sub *subscriber) {
+	p.mu.Lock()
+	if _, ok := p.subs[sub]; ok {
+		delete(p.subs, sub)
+		close(sub.ch)
+	}
+	p.mu.Unlock()
+}
+
+// writeDeadline bounds each flush to a replica so a hung connection
+// cannot pin its serving goroutine.
+const writeDeadline = 30 * time.Second
+
+// ServeConn streams replication frames to one replica until the
+// connection fails or the replica falls irrecoverably behind. fromLSN is
+// the last LSN the replica has applied under runID ("", 0 for a fresh
+// replica). The caller owns conn and closes it afterwards; ServeConn
+// blocks for the lifetime of the stream.
+func (p *Primary) ServeConn(conn net.Conn, fromLSN uint64, runID string) error {
+	if p == nil {
+		return fmt.Errorf("repl: replication is not enabled on this server")
+	}
+	p.connected.Add(1)
+	defer p.connected.Add(-1)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	var buf []byte
+	send := func(ev *Event) error {
+		buf = AppendFrame(buf[:0], ev)
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+		p.frames.Inc()
+		return nil
+	}
+	flush := func() error {
+		conn.SetWriteDeadline(time.Now().Add(writeDeadline))
+		return bw.Flush()
+	}
+
+	for attempt := 0; ; attempt++ {
+		sub, backlog, boundary, needSnap := p.attach(fromLSN, runID)
+		lastSent := fromLSN
+		if needSnap {
+			if attempt > 0 {
+				// The replica overflowed its queue and the ring has already
+				// moved past what it saw: a second snapshot would likely
+				// just overflow again. Disconnect; the replica reconnects
+				// and resyncs at its own pace.
+				p.detach(sub)
+				return fmt.Errorf("repl: replica too slow for ring of %d events", cap(p.ring))
+			}
+			if p.Snapshot == nil {
+				p.detach(sub)
+				return fmt.Errorf("repl: no snapshot producer configured")
+			}
+			if err := send(&Event{Kind: KindSnapBegin, Run: p.run}); err != nil {
+				p.detach(sub)
+				return err
+			}
+			if err := p.Snapshot(func(ev Event) error { return send(&ev) }); err != nil {
+				p.detach(sub)
+				return err
+			}
+			if err := send(&Event{Kind: KindSnapEnd, LSN: boundary}); err != nil {
+				p.detach(sub)
+				return err
+			}
+			p.snaps.Inc()
+			lastSent = boundary
+		} else {
+			if err := send(&Event{Kind: KindResume, Run: p.run, LSN: fromLSN}); err != nil {
+				p.detach(sub)
+				return err
+			}
+			for i := range backlog {
+				if err := send(&backlog[i]); err != nil {
+					p.detach(sub)
+					return err
+				}
+				lastSent = backlog[i].LSN
+			}
+		}
+		if err := flush(); err != nil {
+			p.detach(sub)
+			return err
+		}
+
+		overflowed, err := p.tail(sub, send, flush, &lastSent)
+		p.detach(sub)
+		if err != nil {
+			return err
+		}
+		if !overflowed {
+			return nil
+		}
+		// Queue overflow: retry incrementally from the last frame this
+		// replica actually received.
+		fromLSN, runID = lastSent, p.run
+	}
+}
+
+// tail streams live events from sub until the channel closes (overflow)
+// or a write fails, interleaving pings so an idle replica still observes
+// the primary's LSN and clock.
+func (p *Primary) tail(sub *subscriber, send func(*Event) error, flush func() error, lastSent *uint64) (overflowed bool, err error) {
+	ticker := time.NewTicker(p.pingEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case ev, ok := <-sub.ch:
+			if !ok {
+				return true, nil
+			}
+			if err := send(&ev); err != nil {
+				return false, err
+			}
+			*lastSent = ev.LSN
+			// Opportunistically drain whatever is queued before flushing,
+			// so a burst becomes one syscall.
+		drain:
+			for {
+				select {
+				case ev, ok := <-sub.ch:
+					if !ok {
+						// Flush what we have, then report the overflow.
+						if err := flush(); err != nil {
+							return false, err
+						}
+						return true, nil
+					}
+					if err := send(&ev); err != nil {
+						return false, err
+					}
+					*lastSent = ev.LSN
+				default:
+					break drain
+				}
+			}
+			if err := flush(); err != nil {
+				return false, err
+			}
+		case <-ticker.C:
+			if err := send(&Event{Kind: KindPing, LSN: p.LSN(), Wall: time.Now().UnixMicro()}); err != nil {
+				return false, err
+			}
+			if err := flush(); err != nil {
+				return false, err
+			}
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package repl
+
+import (
+	"bufio"
+	"net"
+	"testing"
+	"time"
+
+	"streamrel/internal/metrics"
+	"streamrel/internal/types"
+	"streamrel/internal/wal"
+)
+
+func testPrimary(t *testing.T, cfg Config) *Primary {
+	t.Helper()
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	if cfg.PingEvery == 0 {
+		cfg.PingEvery = time.Hour // keep pings out of deterministic reads
+	}
+	return NewPrimary(cfg)
+}
+
+// serve runs ServeConn in the background and returns the replica-side
+// frame reader plus a cleanup joining the goroutine.
+func serve(t *testing.T, p *Primary, fromLSN uint64, runID string) (*bufio.Reader, func()) {
+	t.Helper()
+	server, client := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p.ServeConn(server, fromLSN, runID)
+		server.Close()
+	}()
+	return bufio.NewReader(client), func() {
+		client.Close()
+		// Wake the tail loop (pings are off in tests) so the failed write
+		// ends ServeConn.
+		p.PublishAdvance("_wake", 0)
+		<-done
+	}
+}
+
+func mustRead(t *testing.T, r *bufio.Reader) *Event {
+	t.Helper()
+	ev, err := ReadEvent(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+// TestPrimaryIncrementalCatchup publishes events before a replica
+// connects with a matching run ID; the replica must get a Resume frame,
+// the ring backlog in order, then live events — with monotonic LSNs.
+func TestPrimaryIncrementalCatchup(t *testing.T) {
+	p := testPrimary(t, Config{RingSize: 16})
+	p.PublishAppend("s", []types.Row{{types.NewInt(1)}})
+	p.PublishAdvance("s", 60)
+	p.PublishWAL([]wal.Record{{Kind: wal.RecDDL, SQL: "CREATE TABLE t (a bigint)"}})
+
+	r, cleanup := serve(t, p, 0, p.RunID())
+	defer cleanup()
+
+	if ev := mustRead(t, r); ev.Kind != KindResume || ev.Run != p.RunID() {
+		t.Fatalf("want resume, got %+v", ev)
+	}
+	wantKinds := []Kind{KindAppend, KindAdvance, KindWAL}
+	for i, k := range wantKinds {
+		ev := mustRead(t, r)
+		if ev.Kind != k || ev.LSN != uint64(i+1) {
+			t.Fatalf("backlog %d: got kind %d lsn %d, want kind %d lsn %d", i, ev.Kind, ev.LSN, k, i+1)
+		}
+	}
+	// Live tail.
+	p.PublishAppend("s", []types.Row{{types.NewInt(2)}})
+	if ev := mustRead(t, r); ev.Kind != KindAppend || ev.LSN != 4 {
+		t.Fatalf("live event: %+v", ev)
+	}
+}
+
+// TestPrimarySnapshotWhenStale connects a replica whose resume point the
+// ring no longer covers; the primary must serve a full snapshot bounded
+// by SnapBegin/SnapEnd, then live events from the boundary.
+func TestPrimarySnapshotWhenStale(t *testing.T) {
+	p := testPrimary(t, Config{RingSize: 2})
+	p.Snapshot = func(emit func(Event) error) error {
+		if err := emit(Event{Kind: KindWAL, Recs: []wal.Record{{Kind: wal.RecDDL, SQL: "CREATE TABLE t (a bigint)"}}}); err != nil {
+			return err
+		}
+		return emit(Event{Kind: KindTableNext, Table: "t", Next: 3})
+	}
+	for i := 0; i < 5; i++ {
+		p.PublishAppend("s", []types.Row{{types.NewInt(int64(i))}})
+	}
+
+	// Fresh replica (no run ID): snapshot path.
+	r, cleanup := serve(t, p, 0, "")
+	defer cleanup()
+	if ev := mustRead(t, r); ev.Kind != KindSnapBegin || ev.Run != p.RunID() {
+		t.Fatalf("want snapbegin, got %+v", ev)
+	}
+	if ev := mustRead(t, r); ev.Kind != KindWAL || ev.LSN != 0 {
+		t.Fatalf("want snapshot WAL state frame, got %+v", ev)
+	}
+	if ev := mustRead(t, r); ev.Kind != KindTableNext || ev.Table != "t" || ev.Next != 3 {
+		t.Fatalf("want tablenext, got %+v", ev)
+	}
+	if ev := mustRead(t, r); ev.Kind != KindSnapEnd || ev.LSN != 5 {
+		t.Fatalf("want snapend at boundary 5, got %+v", ev)
+	}
+	p.PublishAdvance("s", 99)
+	if ev := mustRead(t, r); ev.Kind != KindAdvance || ev.LSN != 6 {
+		t.Fatalf("live event after snapshot: %+v", ev)
+	}
+}
+
+// TestPrimaryRunMismatchForcesSnapshot: a matching LSN under a stale run
+// ID must not resume incrementally.
+func TestPrimaryRunMismatchForcesSnapshot(t *testing.T) {
+	p := testPrimary(t, Config{RingSize: 16})
+	p.Snapshot = func(emit func(Event) error) error { return nil }
+	p.PublishAdvance("s", 1)
+
+	r, cleanup := serve(t, p, 1, "someotherrun0000")
+	defer cleanup()
+	if ev := mustRead(t, r); ev.Kind != KindSnapBegin {
+		t.Fatalf("want snapshot on run mismatch, got %+v", ev)
+	}
+}

@@ -40,6 +40,12 @@ type Request struct {
 	CQ     int64         `json:"cq,omitempty"`
 	// Args bind $1, $2, … placeholders in SQL.
 	Args []WireValue `json:"args,omitempty"`
+	// LSN and Run identify a replica's resume point for the "replicate"
+	// op: the last applied LSN under the primary run ID Run. After the
+	// server acknowledges, the connection switches to binary replication
+	// frames (see internal/repl).
+	LSN uint64 `json:"lsn,omitempty"`
+	Run string `json:"run,omitempty"`
 }
 
 // Response is one server frame. Async CQ batches have ID 0 and CQ set.

@@ -19,7 +19,7 @@ import (
 
 // ops is the protocol command set; per-op latency histograms are
 // pre-created so dispatch never takes the registry lock.
-var ops = []string{"exec", "query", "append", "advance", "subscribe", "unsubscribe", "ping", "stats"}
+var ops = []string{"exec", "query", "append", "advance", "subscribe", "unsubscribe", "ping", "stats", "replicate", "promote"}
 
 // Server serves one engine over TCP.
 type Server struct {
@@ -32,6 +32,15 @@ type Server struct {
 
 	// Log receives connection errors; nil silences them.
 	Log *log.Logger
+
+	// Replicate, when set, serves the "replicate" op: after the JSON
+	// acknowledgement the raw connection is handed over and streams binary
+	// replication frames until it fails (see internal/repl.Primary). The
+	// daemon wires it to the engine's hub; a generic hook keeps this
+	// package free of a repl dependency.
+	Replicate func(conn net.Conn, fromLSN uint64, runID string) error
+	// Promote, when set, serves the "promote" op (replica → primary).
+	Promote func() error
 
 	// Metric handles, registered in the engine's registry.
 	connGauge *metrics.Gauge
@@ -153,6 +162,10 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			return
 		}
+		if req.Op == "replicate" {
+			s.serveReplicate(sess, &req)
+			return
+		}
 		start := time.Now()
 		resp := sess.dispatch(&req)
 		if h := s.cmdHist[req.Op]; h != nil {
@@ -165,6 +178,32 @@ func (s *Server) handle(conn net.Conn) {
 		if err := sess.write(resp); err != nil {
 			return
 		}
+	}
+}
+
+// serveReplicate acknowledges the request in JSON, then hands the raw
+// connection to the replication hook, which streams binary frames for the
+// connection's remaining lifetime. The session's read loop ends — a
+// replica sends nothing after the replicate request.
+func (s *Server) serveReplicate(sess *session, req *Request) {
+	start := time.Now()
+	if s.Replicate == nil {
+		resp := fail(fmt.Errorf("server: replication is not enabled"))
+		resp.ID = req.ID
+		s.cmdErrs["replicate"].Inc()
+		sess.write(resp)
+		return
+	}
+	if err := sess.write(&Response{ID: req.ID, OK: true}); err != nil {
+		return
+	}
+	err := s.Replicate(sess.conn, req.LSN, req.Run)
+	if h := s.cmdHist["replicate"]; h != nil {
+		h.ObserveSince(start)
+	}
+	if err != nil {
+		s.cmdErrs["replicate"].Inc()
+		s.logf("server: replicate: %v", err)
 	}
 }
 
@@ -269,6 +308,15 @@ func (sess *session) dispatch(req *Request) *Response {
 		return &Response{OK: true}
 
 	case "ping":
+		return &Response{OK: true}
+
+	case "promote":
+		if sess.srv.Promote == nil {
+			return fail(fmt.Errorf("server: this server is not a replica"))
+		}
+		if err := sess.srv.Promote(); err != nil {
+			return fail(err)
+		}
 		return &Response{OK: true}
 
 	case "stats":

@@ -62,6 +62,77 @@ func (h *Heap) Insert(tx txn.ID, row types.Row) (RowID, error) {
 	return id, nil
 }
 
+// InsertAt places a row version owned by tx at an explicit RowID. Replay
+// and replication apply use it so local numbering matches what the
+// primary logged, including gaps left by aborted transactions: any gap
+// below id is padded with never-visible versions (xmin 0, which no
+// snapshot sees). Re-applying a record whose slot is already occupied
+// refreshes the stored row but keeps the existing visibility stamps, and
+// reports replaced=true so the caller can skip index maintenance — this
+// makes apply idempotent across an overlap of snapshot and live tail.
+func (h *Heap) InsertAt(tx txn.ID, id RowID, row types.Row) (replaced bool, err error) {
+	if len(row) != len(h.schema) {
+		return false, fmt.Errorf("storage: %s: row has %d columns, schema has %d",
+			h.name, len(row), len(h.schema))
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for RowID(len(h.versions)) < id {
+		h.versions = append(h.versions, version{})
+	}
+	if int(id) == len(h.versions) {
+		h.versions = append(h.versions, version{xmin: tx, row: row})
+		h.liveEst++
+		return false, nil
+	}
+	v := &h.versions[id]
+	if v.xmin == 0 {
+		*v = version{xmin: tx, row: row}
+		h.liveEst++
+		return false, nil
+	}
+	v.row = row
+	return true, nil
+}
+
+// DeleteReplay stamps id deleted like Delete, but tolerates
+// re-application: a missing or already-deleted version reports
+// applied=false instead of erroring, so a replayed log suffix can overlap
+// work already applied.
+func (h *Heap) DeleteReplay(tx txn.ID, id RowID) (applied bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if int(id) >= len(h.versions) {
+		return false
+	}
+	v := &h.versions[id]
+	if v.xmin == 0 || v.xmax != 0 {
+		return false
+	}
+	v.xmax = tx
+	h.liveEst--
+	return true
+}
+
+// NextID returns the RowID the next Insert will assign.
+func (h *Heap) NextID() RowID {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return RowID(len(h.versions))
+}
+
+// EnsureNext pads the heap with never-visible versions until the next
+// Insert would assign RowID n. Replication snapshots use it so a replica
+// continues the primary's numbering even when the trailing versions were
+// invisible (aborted) and therefore absent from the snapshot.
+func (h *Heap) EnsureNext(n RowID) {
+	h.mu.Lock()
+	for RowID(len(h.versions)) < n {
+		h.versions = append(h.versions, version{})
+	}
+	h.mu.Unlock()
+}
+
 // Delete stamps the version as deleted by tx. Deleting an already-deleted
 // version is an error (write-write conflict surfaced to the caller).
 func (h *Heap) Delete(tx txn.ID, id RowID) error {

@@ -84,6 +84,16 @@ type Runtime struct {
 	// pushing begins.
 	Late LatePolicy
 
+	// OnIngest, when set, observes every batch accepted into a base stream
+	// (after validation and late-policy filtering), and OnAdvance observes
+	// every effective heartbeat. Both run under the source lock, so the
+	// observation order is exactly the delivery order for that stream.
+	// Replication ships these events to replicas; derived-stream emissions
+	// are deliberately not reported, because a replica re-derives them by
+	// running its own pipelines. Set both before pushing begins.
+	OnIngest  func(stream string, rows []types.Row)
+	OnAdvance func(stream string, ts int64)
+
 	// reg is the metrics registry; nil disables registration (standalone
 	// handles keep counting for Stats). Set before sources register.
 	reg *metrics.Registry
@@ -436,6 +446,17 @@ func (s *source) deliver(r *Runtime, rows []types.Row, explicitTS int64, explici
 		return err
 	}
 	s.rows.Add(int64(len(batch)))
+	if r.OnIngest != nil && s.cqtimeCol >= 0 {
+		// The batch entered the stream (the clock advanced) even if a
+		// subscriber sink fails below, so the event is published before
+		// fan-out. Copy the rows out of the reusable scratch batch: the
+		// observer may retain the slice.
+		accepted := make([]types.Row, len(batch))
+		for i := range batch {
+			accepted[i] = batch[i].row
+		}
+		r.OnIngest(s.name, accepted)
+	}
 	// Hand the batch to worker pipelines first so they chew on it while
 	// the producer walks the synchronous subscribers.
 	for _, pipe := range s.pipes {
@@ -527,6 +548,9 @@ func (s *source) advanceLocked(r *Runtime, ts int64) error {
 		return nil // stale heartbeat: ignore
 	}
 	s.lastTS, s.hasTS = ts, true
+	if r.OnAdvance != nil && s.cqtimeCol >= 0 {
+		r.OnAdvance(s.name, ts)
+	}
 	for _, pipe := range s.pipes {
 		if pipe.tasks != nil {
 			pipe.enqueue(task{kind: taskAdvance, ts: ts})

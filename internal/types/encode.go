@@ -73,6 +73,12 @@ func DecodeRow(buf []byte) (Row, []byte, error) {
 		return nil, nil, fmt.Errorf("types: decode row: bad length")
 	}
 	buf = buf[k:]
+	// Each datum occupies at least one byte, so a column count beyond the
+	// remaining bytes is corrupt input; rejecting it here keeps the
+	// allocation bounded by the payload size.
+	if n > uint64(len(buf)) {
+		return nil, nil, fmt.Errorf("types: decode row: length exceeds payload")
+	}
 	row := make(Row, n)
 	var err error
 	for i := range row {

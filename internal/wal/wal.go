@@ -13,6 +13,7 @@
 package wal
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -40,7 +41,11 @@ const (
 	RecDelete
 )
 
-// Record is one logical change.
+// Record is one logical change. RecInsert and RecDelete both carry the
+// heap RowID of the affected version, so replay (and a replica applying
+// the same records) reconstructs the exact numbering the primary used —
+// including gaps left by aborted transactions — and later deletes by
+// RowID resolve correctly.
 type Record struct {
 	Kind  RecordKind
 	Table string
@@ -100,7 +105,7 @@ func (l *Log) Append(recs []Record) error {
 	if len(recs) == 0 {
 		return nil
 	}
-	payload := encodeRecords(recs)
+	payload := EncodeRecords(recs)
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
@@ -153,52 +158,79 @@ func (l *Log) Truncate() error {
 	return nil
 }
 
+// maxBatchBytes bounds a single batch payload during replay so a corrupt
+// length prefix cannot provoke a huge allocation.
+const maxBatchBytes = 1 << 30
+
 // Replay reads every intact committed batch from the log at path, calling
 // apply for each record in order. A corrupt or torn trailing batch ends
 // replay without error (it is, by construction, an uncommitted tail). A
 // missing file replays zero records.
 func Replay(path string, apply func(Record) error) error {
-	data, err := os.ReadFile(path)
-	if errors.Is(err, os.ErrNotExist) {
-		return nil
-	}
-	if err != nil {
-		return fmt.Errorf("wal: %w", err)
-	}
-	return replayBytes(data, apply)
+	_, err := ReplayFrom(path, 0, apply)
+	return err
 }
 
-func replayBytes(data []byte, apply func(Record) error) error {
-	for len(data) > 0 {
-		if len(data) < 8 {
-			return nil // torn header
+// ReplayFrom streams intact committed batches starting at byte offset in
+// the log at path, calling apply for each record, and returns the offset
+// just past the last intact batch. It reads batch-by-batch through a
+// buffered reader rather than loading the whole file, so replay memory is
+// bounded by the largest single batch; the returned offset lets a caller
+// resume tailing the log incrementally. offset must sit on a batch
+// boundary (0, or a value ReplayFrom previously returned). A torn or
+// corrupt tail ends replay without error; a missing file replays zero
+// records and returns offset unchanged.
+func ReplayFrom(path string, offset int64, apply func(Record) error) (int64, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return offset, nil
+	}
+	if err != nil {
+		return offset, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	if offset > 0 {
+		if _, err := f.Seek(offset, io.SeekStart); err != nil {
+			return offset, fmt.Errorf("wal: %w", err)
 		}
-		n := binary.LittleEndian.Uint32(data[0:])
-		crc := binary.LittleEndian.Uint32(data[4:])
-		if uint32(len(data)-8) < n {
-			return nil // torn payload
+	}
+	rd := bufio.NewReaderSize(f, 1<<20)
+	end := offset
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(rd, hdr[:]); err != nil {
+			return end, nil // EOF or torn header
 		}
-		payload := data[8 : 8+n]
+		n := binary.LittleEndian.Uint32(hdr[0:])
+		crc := binary.LittleEndian.Uint32(hdr[4:])
+		if n > maxBatchBytes {
+			return end, nil // corrupt length: treat as uncommitted tail
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(rd, payload); err != nil {
+			return end, nil // torn payload
+		}
 		if crc32.ChecksumIEEE(payload) != crc {
-			return nil // corrupt batch: treat as uncommitted tail
+			return end, nil // corrupt batch: treat as uncommitted tail
 		}
-		recs, err := decodeRecords(payload)
+		recs, err := DecodeRecords(payload)
 		if err != nil {
-			return nil // undecodable despite CRC: stop conservatively
+			return end, nil // undecodable despite CRC: stop conservatively
 		}
 		for _, r := range recs {
 			if err := apply(r); err != nil {
-				return err
+				return end, err
 			}
 		}
-		data = data[8+n:]
+		end += int64(8 + n)
 	}
-	return nil
 }
 
 // ----------------------------------------------------------- encoding
 
-func encodeRecords(recs []Record) []byte {
+// EncodeRecords serializes a batch of records into the WAL payload
+// format. Exported because replication frames carry the same encoding.
+func EncodeRecords(recs []Record) []byte {
 	buf := binary.AppendUvarint(nil, uint64(len(recs)))
 	for _, r := range recs {
 		buf = append(buf, byte(r.Kind))
@@ -207,6 +239,7 @@ func encodeRecords(recs []Record) []byte {
 			buf = appendString(buf, r.SQL)
 		case RecInsert:
 			buf = appendString(buf, r.Table)
+			buf = binary.AppendUvarint(buf, r.RowID)
 			buf = types.EncodeRow(buf, r.Row)
 		case RecDelete:
 			buf = appendString(buf, r.Table)
@@ -216,12 +249,21 @@ func encodeRecords(recs []Record) []byte {
 	return buf
 }
 
-func decodeRecords(buf []byte) ([]Record, error) {
+// DecodeRecords parses a WAL payload produced by EncodeRecords. Arbitrary
+// (torn, corrupt, adversarial) input yields an error, never a panic or an
+// unbounded allocation.
+func DecodeRecords(buf []byte) ([]Record, error) {
 	n, k := binary.Uvarint(buf)
 	if k <= 0 {
 		return nil, errors.New("wal: bad record count")
 	}
 	buf = buf[k:]
+	// Every record costs at least one byte, so a count beyond the
+	// remaining bytes is corrupt; checking here keeps the allocation
+	// below proportional to the input.
+	if n > uint64(len(buf)) {
+		return nil, errors.New("wal: record count exceeds payload")
+	}
 	recs := make([]Record, 0, n)
 	for i := uint64(0); i < n; i++ {
 		if len(buf) == 0 {
@@ -236,20 +278,15 @@ func decodeRecords(buf []byte) ([]Record, error) {
 		case RecInsert:
 			r.Table, buf, err = readString(buf)
 			if err == nil {
+				r.RowID, buf, err = readUvarint(buf)
+			}
+			if err == nil {
 				r.Row, buf, err = types.DecodeRow(buf)
 			}
 		case RecDelete:
 			r.Table, buf, err = readString(buf)
 			if err == nil {
-				var v uint64
-				var k int
-				v, k = binary.Uvarint(buf)
-				if k <= 0 {
-					err = errors.New("wal: bad rowid")
-				} else {
-					r.RowID = v
-					buf = buf[k:]
-				}
+				r.RowID, buf, err = readUvarint(buf)
 			}
 		default:
 			return nil, fmt.Errorf("wal: unknown record kind %d", r.Kind)
@@ -260,6 +297,14 @@ func decodeRecords(buf []byte) ([]Record, error) {
 		recs = append(recs, r)
 	}
 	return recs, nil
+}
+
+func readUvarint(buf []byte) (uint64, []byte, error) {
+	v, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return 0, nil, errors.New("wal: bad uvarint")
+	}
+	return v, buf[k:], nil
 }
 
 func appendString(buf []byte, s string) []byte {

@@ -35,12 +35,18 @@ func (e *Engine) recover() error {
 			if !ok {
 				return fmt.Errorf("streamrel: recovery: insert into unknown table %q", rec.Table)
 			}
-			rid, err := t.Heap.Insert(txn.Bootstrap, rec.Row)
+			// Replay at the logged RowID so numbering (including gaps from
+			// aborted transactions) matches what later RecDelete records
+			// and replication events reference.
+			rid := storage.RowID(rec.RowID)
+			replaced, err := t.Heap.InsertAt(txn.Bootstrap, rid, rec.Row)
 			if err != nil {
 				return err
 			}
-			for _, ix := range t.Indexes {
-				ix.Tree.Insert(ix.KeyOf(rec.Row), rid)
+			if !replaced {
+				for _, ix := range t.Indexes {
+					ix.Tree.Insert(ix.KeyOf(rec.Row), rid)
+				}
 			}
 		case wal.RecDelete:
 			t, ok := e.cat.Table(rec.Table)
@@ -133,8 +139,8 @@ func (e *Engine) checkpoint() error {
 			ix.Tree = rebuilt
 		}
 		var batch []wal.Record
-		t.Heap.Scan(snap, func(_ storage.RowID, row types.Row) bool {
-			batch = append(batch, wal.Record{Kind: wal.RecInsert, Table: t.Name, Row: row})
+		t.Heap.Scan(snap, func(rid storage.RowID, row types.Row) bool {
+			batch = append(batch, wal.Record{Kind: wal.RecInsert, Table: t.Name, RowID: uint64(rid), Row: row})
 			if len(batch) >= 4096 {
 				if err := ck.Append(batch); err != nil {
 					return false
@@ -154,5 +160,13 @@ func (e *Engine) checkpoint() error {
 	if err := os.Rename(tmp, e.checkpointPath()); err != nil {
 		return err
 	}
-	return e.log.Truncate()
+	if err := e.log.Truncate(); err != nil {
+		return err
+	}
+	if e.hub != nil {
+		// Tell replicas to compact at the same point in the event order,
+		// so post-checkpoint RowIDs stay aligned on both sides.
+		e.hub.PublishCheckpoint()
+	}
+	return nil
 }

@@ -1,0 +1,440 @@
+// Package replica runs a streamrel engine as a read replica of a primary
+// server: it connects with the client package's "replicate" op, applies
+// the primary's replication frames (DDL, inserts/deletes at the
+// primary's RowIDs, stream appends and heartbeats) into its local engine
+// — which runs its own continuous queries, so local subscribers get
+// window fires — reconnects with exponential backoff plus jitter when the
+// primary goes away, persists its resume point, and supports explicit
+// promotion to primary.
+package replica
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamrel"
+	"streamrel/client"
+	"streamrel/internal/metrics"
+	"streamrel/internal/repl"
+)
+
+// Options configures a replica.
+type Options struct {
+	// Addr is the primary server's address.
+	Addr string
+	// Engine is the local engine events apply into. Open it with
+	// Config.Replicate so promotion yields a working primary (and so
+	// further replicas can chain off this node).
+	Engine *streamrel.Engine
+	// Dir, when non-empty, persists the resume point (run ID + last
+	// applied LSN) to Dir/repl.state so a restarted replica resumes
+	// incrementally instead of taking a full snapshot. Point it at the
+	// engine's data directory.
+	Dir string
+	// Client sets dial and I/O timeouts for connections to the primary.
+	Client client.Options
+	// BackoffMin/BackoffMax bound the reconnect backoff (defaults
+	// 100ms / 5s); each retry doubles the delay and adds up to 50%
+	// jitter.
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// Logf receives connection lifecycle messages; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// state is the persisted resume point.
+type state struct {
+	Run string `json:"run"`
+	LSN uint64 `json:"lsn"`
+}
+
+// persistEvery bounds how many applied stream events may separate state
+// file writes; WAL events always persist (their effects hit the local
+// WAL, and re-applying a suffix after a crash is idempotent anyway).
+const persistEvery = 256
+
+// idleTimeout is the per-frame read deadline. The primary pings about
+// once a second, so a silent connection is dead, not idle.
+const idleTimeout = 15 * time.Second
+
+// Replica applies a primary's replication stream into a local engine.
+type Replica struct {
+	opts Options
+	eng  *streamrel.Engine
+
+	mu      sync.Mutex
+	conn    net.Conn // current stream connection, for Stop to sever
+	st      state
+	dirty   int // stream events applied since the last persist
+	started atomic.Bool
+	stopped atomic.Bool
+	stopCh  chan struct{}
+	done    chan struct{}
+
+	lastApplied atomic.Uint64
+	lastPrimary atomic.Uint64
+	// lastWallLag is the most recent apply lag in seconds, scaled 1e6.
+	lastWallLag atomic.Int64
+
+	framesApplied *metrics.Counter
+	reconnects    *metrics.Counter
+	snapsRecv     *metrics.Counter
+	applyLag      *metrics.Histogram
+}
+
+// New creates a replica bound to its engine and loads any persisted
+// resume point. The engine enters replica mode (writes rejected, channel
+// taps quiet) immediately; Start begins streaming.
+func New(opts Options) (*Replica, error) {
+	if opts.Engine == nil {
+		return nil, errors.New("replica: Options.Engine is required")
+	}
+	if opts.Addr == "" {
+		return nil, errors.New("replica: Options.Addr is required")
+	}
+	if opts.BackoffMin <= 0 {
+		opts.BackoffMin = 100 * time.Millisecond
+	}
+	if opts.BackoffMax <= 0 {
+		opts.BackoffMax = 5 * time.Second
+	}
+	r := &Replica{opts: opts, eng: opts.Engine, stopCh: make(chan struct{}), done: make(chan struct{})}
+	reg := opts.Engine.Metrics()
+	r.framesApplied = reg.Counter("streamrel_repl_frames_applied_total",
+		"replication frames applied by this replica")
+	r.reconnects = reg.Counter("streamrel_repl_reconnects_total",
+		"reconnect attempts to the primary")
+	r.snapsRecv = reg.Counter("streamrel_repl_snapshots_received_total",
+		"full snapshots received from the primary")
+	r.applyLag = reg.Histogram("streamrel_repl_apply_lag_seconds",
+		"primary publish to replica apply latency per frame", nil)
+	reg.GaugeFunc("streamrel_repl_last_applied_lsn",
+		"last primary LSN this replica applied",
+		func() float64 { return float64(r.lastApplied.Load()) })
+	reg.GaugeFunc("streamrel_repl_lag_lsn",
+		"replication lag: primary LSN minus last applied LSN",
+		func() float64 { return float64(r.LagLSN()) })
+	reg.GaugeFunc("streamrel_repl_lag_seconds",
+		"replication lag in seconds (latest frame's publish-to-apply delay)",
+		func() float64 { return float64(r.lastWallLag.Load()) / 1e6 })
+	if opts.Dir != "" {
+		if data, err := os.ReadFile(r.statePath()); err == nil {
+			var st state
+			if json.Unmarshal(data, &st) == nil {
+				r.st = st
+				r.lastApplied.Store(st.LSN)
+			}
+		}
+	}
+	opts.Engine.BeginReplica()
+	return r, nil
+}
+
+func (r *Replica) statePath() string { return filepath.Join(r.opts.Dir, "repl.state") }
+
+func (r *Replica) logf(format string, args ...any) {
+	if r.opts.Logf != nil {
+		r.opts.Logf(format, args...)
+	}
+}
+
+// Start launches the connect/apply loop.
+func (r *Replica) Start() {
+	if r.started.Swap(true) {
+		return
+	}
+	go r.run()
+}
+
+// Stop severs the stream and stops reconnecting; the resume point is
+// persisted. The engine stays in replica mode (use Promote to lift it).
+func (r *Replica) Stop() {
+	if !r.stopped.Swap(true) {
+		close(r.stopCh)
+		r.mu.Lock()
+		if r.conn != nil {
+			r.conn.Close()
+		}
+		r.mu.Unlock()
+	}
+	if r.started.Load() {
+		<-r.done
+	}
+	r.mu.Lock()
+	r.persistLocked()
+	r.mu.Unlock()
+}
+
+// Promote stops replication and promotes the local engine to primary:
+// writes are accepted and channel taps resume. The engine keeps its own
+// replication hub, so new replicas can chain off this node.
+func (r *Replica) Promote() error {
+	r.Stop()
+	r.eng.Promote()
+	return nil
+}
+
+// LastLSN returns the last primary LSN this replica applied.
+func (r *Replica) LastLSN() uint64 { return r.lastApplied.Load() }
+
+// PrimaryLSN returns the primary's most recently observed LSN.
+func (r *Replica) PrimaryLSN() uint64 { return r.lastPrimary.Load() }
+
+// LagLSN returns the current LSN delta to the primary.
+func (r *Replica) LagLSN() uint64 {
+	p, a := r.lastPrimary.Load(), r.lastApplied.Load()
+	if p <= a {
+		return 0
+	}
+	return p - a
+}
+
+// WaitFor blocks until the replica has applied at least lsn. Use this
+// with the primary hub's LSN() when ground truth is at hand; unlike
+// WaitCaughtUp it cannot be satisfied by a stale view of the primary.
+func (r *Replica) WaitFor(lsn uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if r.lastApplied.Load() >= lsn {
+			return nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("replica: lsn %d not applied after %v (at %d)",
+		lsn, timeout, r.lastApplied.Load())
+}
+
+// WaitCaughtUp blocks until the replica has applied every LSN the
+// primary has published at some point after the call (lag 0 with an
+// established connection), or the timeout elapses.
+func (r *Replica) WaitCaughtUp(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if r.lastPrimary.Load() > 0 && r.LagLSN() == 0 {
+			return nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("replica: not caught up after %v (applied %d, primary %d)",
+		timeout, r.lastApplied.Load(), r.lastPrimary.Load())
+}
+
+// run is the reconnect loop: dial, stream, apply until failure, back off,
+// repeat. Backoff resets after any successfully applied frame.
+func (r *Replica) run() {
+	defer close(r.done)
+	backoff := r.opts.BackoffMin
+	for !r.stopped.Load() {
+		applied, err := r.streamOnce()
+		if r.stopped.Load() {
+			return
+		}
+		if err != nil {
+			r.logf("replica: stream from %s: %v", r.opts.Addr, err)
+		}
+		if applied {
+			backoff = r.opts.BackoffMin
+		}
+		// Exponential backoff with up to 50% jitter so a herd of replicas
+		// does not reconnect in lockstep.
+		sleep := backoff + time.Duration(rand.Int63n(int64(backoff)/2+1))
+		if backoff *= 2; backoff > r.opts.BackoffMax {
+			backoff = r.opts.BackoffMax
+		}
+		timer := time.NewTimer(sleep)
+		select {
+		case <-timer.C:
+		case <-r.stopCh:
+			timer.Stop()
+			return
+		}
+		r.reconnects.Inc()
+	}
+}
+
+// streamOnce runs one connection lifetime: handshake, then apply frames
+// until the stream fails or Stop severs it. applied reports whether at
+// least one frame was applied (used to reset backoff).
+func (r *Replica) streamOnce() (applied bool, err error) {
+	c, err := client.DialOptions(r.opts.Addr, r.opts.Client)
+	if err != nil {
+		return false, err
+	}
+	defer c.Close()
+	r.mu.Lock()
+	run, lsn := r.st.Run, r.st.LSN
+	r.mu.Unlock()
+	rs, err := c.Replicate(lsn, run)
+	if err != nil {
+		return false, err
+	}
+	defer rs.Close()
+	r.mu.Lock()
+	r.conn = rs.Conn
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		r.conn = nil
+		r.mu.Unlock()
+	}()
+
+	for {
+		rs.Conn.SetReadDeadline(time.Now().Add(idleTimeout))
+		ev, err := repl.ReadEvent(rs.R)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return applied, nil
+			}
+			return applied, err
+		}
+		if r.stopped.Load() {
+			return applied, nil
+		}
+		if err := r.apply(ev); err != nil {
+			return applied, fmt.Errorf("apply %v frame (lsn %d): %w", ev.Kind, ev.LSN, err)
+		}
+		applied = true
+	}
+}
+
+// apply dispatches one frame into the engine and maintains the resume
+// point and lag metrics.
+func (r *Replica) apply(ev *repl.Event) error {
+	r.framesApplied.Inc()
+	if ev.LSN > r.lastPrimary.Load() {
+		r.lastPrimary.Store(ev.LSN)
+	}
+	switch ev.Kind {
+	case repl.KindPing:
+		r.observeLag(ev, false)
+		return nil
+
+	case repl.KindResume:
+		r.mu.Lock()
+		r.st.Run = ev.Run
+		r.mu.Unlock()
+		r.logf("replica: resuming from lsn %d (run %s)", r.lastApplied.Load(), ev.Run)
+		return nil
+
+	case repl.KindSnapBegin:
+		r.snapsRecv.Inc()
+		r.mu.Lock()
+		hadState := r.st.Run != "" || r.lastApplied.Load() > 0
+		r.st = state{Run: ev.Run}
+		r.mu.Unlock()
+		r.logf("replica: receiving snapshot (run %s)", ev.Run)
+		if hadState {
+			// Different run (or a too-stale resume point): drop local
+			// state and rebuild from the snapshot.
+			if err := r.eng.ReplicaReset(); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case repl.KindSnapEnd:
+		r.advanceApplied(ev.LSN)
+		r.mu.Lock()
+		r.st.LSN = ev.LSN
+		err := r.persistLocked()
+		r.mu.Unlock()
+		r.logf("replica: snapshot complete at lsn %d", ev.LSN)
+		return err
+
+	case repl.KindTableNext:
+		return r.eng.ApplyReplicatedTableNext(ev.Table, ev.Next)
+
+	case repl.KindWAL:
+		if err := r.eng.ApplyReplicated(ev.Recs); err != nil {
+			return err
+		}
+		return r.applied(ev, true)
+
+	case repl.KindAppend:
+		if err := r.eng.ApplyReplicatedAppend(ev.Stream, ev.Rows); err != nil {
+			return err
+		}
+		return r.applied(ev, false)
+
+	case repl.KindAdvance:
+		if err := r.eng.ApplyReplicatedAdvance(ev.Stream, ev.TS); err != nil {
+			return err
+		}
+		return r.applied(ev, false)
+
+	case repl.KindCheckpoint:
+		if err := r.eng.ReplicaCheckpoint(); err != nil {
+			return err
+		}
+		return r.applied(ev, true)
+	}
+	return fmt.Errorf("replica: unknown frame kind %d", ev.Kind)
+}
+
+// applied records a live event's LSN, observes lag, and persists the
+// resume point — always for WAL-affecting events, every persistEvery
+// stream events otherwise.
+func (r *Replica) applied(ev *repl.Event, force bool) error {
+	if ev.LSN == 0 {
+		return nil // snapshot state frame: resume point moves at SnapEnd
+	}
+	r.advanceApplied(ev.LSN)
+	r.observeLag(ev, true)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.st.LSN = ev.LSN
+	r.dirty++
+	if force || r.dirty >= persistEvery {
+		return r.persistLocked()
+	}
+	return nil
+}
+
+func (r *Replica) advanceApplied(lsn uint64) {
+	if lsn > r.lastApplied.Load() {
+		r.lastApplied.Store(lsn)
+	}
+}
+
+// observeLag converts the frame's publish wall clock into the seconds-lag
+// gauge (and, for applied events, the apply-lag histogram). Clock skew
+// between nodes can make the delta negative; clamp to zero.
+func (r *Replica) observeLag(ev *repl.Event, histogram bool) {
+	if ev.Wall == 0 {
+		return
+	}
+	lag := time.Now().UnixMicro() - ev.Wall
+	if lag < 0 {
+		lag = 0
+	}
+	r.lastWallLag.Store(lag)
+	if histogram {
+		r.applyLag.Observe(float64(lag) / 1e6)
+	}
+}
+
+// persistLocked writes the resume point (tmp + rename). Callers hold r.mu.
+func (r *Replica) persistLocked() error {
+	r.dirty = 0
+	if r.opts.Dir == "" {
+		return nil
+	}
+	data, err := json.Marshal(r.st)
+	if err != nil {
+		return err
+	}
+	tmp := r.statePath() + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, r.statePath())
+}

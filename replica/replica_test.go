@@ -1,0 +1,285 @@
+package replica_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"streamrel"
+	"streamrel/internal/server"
+	"streamrel/replica"
+)
+
+// node is one engine + TCP server pair.
+type node struct {
+	eng  *streamrel.Engine
+	srv  *server.Server
+	addr string
+}
+
+func startNode(t *testing.T, dir, listen string) *node {
+	t.Helper()
+	eng, err := streamrel.Open(streamrel.Config{Dir: dir, Replicate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(eng)
+	srv.Replicate = eng.Repl().ServeConn
+	addr, err := srv.Listen(listen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	return &node{eng: eng, srv: srv, addr: addr}
+}
+
+func (n *node) stop() {
+	n.srv.Close()
+	n.eng.Close()
+}
+
+func startReplica(t *testing.T, addr, dir string) (*streamrel.Engine, *replica.Replica) {
+	t.Helper()
+	eng, err := streamrel.Open(streamrel.Config{Dir: dir, Replicate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := replica.New(replica.Options{
+		Addr:       addr,
+		Engine:     eng,
+		Dir:        dir,
+		BackoffMin: 20 * time.Millisecond,
+		BackoffMax: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Start()
+	return eng, rep
+}
+
+func mustExec(t *testing.T, e *streamrel.Engine, sql string) {
+	t.Helper()
+	if _, err := e.Exec(sql); err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+}
+
+// dump renders a query result as one deterministic string.
+func dump(t *testing.T, e *streamrel.Engine, sql string) string {
+	t.Helper()
+	rows, err := e.Query(sql)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	var b strings.Builder
+	for _, r := range rows.Data {
+		for i, d := range r {
+			if i > 0 {
+				b.WriteByte('|')
+			}
+			b.WriteString(d.String())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// waitConverged polls until the query renders identically (and non-empty,
+// unless allowEmpty) on both engines.
+func waitConverged(t *testing.T, a, b *streamrel.Engine, sql string, allowEmpty bool) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	var da, db string
+	for time.Now().Before(deadline) {
+		da, db = dump(t, a, sql), dump(t, b, sql)
+		if da == db && (allowEmpty || da != "") {
+			return da
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("no convergence on %q:\nprimary:\n%s\nreplica:\n%s", sql, da, db)
+	return ""
+}
+
+func metric(t *testing.T, e *streamrel.Engine, id string) float64 {
+	t.Helper()
+	for _, s := range e.Metrics().Gather() {
+		if s.ID() == id {
+			return s.Value
+		}
+	}
+	return 0
+}
+
+// TestReplicaConvergesUnderConcurrentIngest drives table writes and
+// stream ingest concurrently while a fresh replica bootstraps from a
+// snapshot, then checks tables, archived CQ results, and the stream
+// clock all converge.
+func TestReplicaConvergesUnderConcurrentIngest(t *testing.T) {
+	prim := startNode(t, "", "127.0.0.1:0")
+	defer prim.stop()
+	mustExec(t, prim.eng, `CREATE TABLE kv (k bigint, v varchar)`)
+	mustExec(t, prim.eng, `CREATE STREAM s (v bigint, at timestamp CQTIME USER)`)
+	mustExec(t, prim.eng, `CREATE STREAM agg AS SELECT sum(v) AS total, cq_close(*) AS w FROM s <ADVANCE '1 minute'>`)
+	mustExec(t, prim.eng, `CREATE TABLE agg_t (total bigint, w timestamp)`)
+	mustExec(t, prim.eng, `CREATE CHANNEL ch FROM agg INTO agg_t APPEND`)
+
+	reng, rep := startReplica(t, prim.addr, "")
+	defer reng.Close()
+	defer rep.Stop()
+
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			if _, err := prim.eng.Exec(fmt.Sprintf(`INSERT INTO kv VALUES (%d, 'v%d')`, i, i)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 120; i++ {
+			ts := base.Add(time.Duration(i) * 30 * time.Second)
+			if err := prim.eng.Append("s", streamrel.Row{streamrel.Int(int64(i)), streamrel.Timestamp(ts)}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	// Close every window.
+	if err := prim.eng.AdvanceTime("s", base.Add(2*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := rep.WaitCaughtUp(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitConverged(t, prim.eng, reng, `SELECT k, v FROM kv ORDER BY k`, false)
+	waitConverged(t, prim.eng, reng, `SELECT total, w FROM agg_t ORDER BY w`, false)
+
+	// Writes on the replica are rejected while it follows.
+	if _, err := reng.Exec(`INSERT INTO kv VALUES (999, 'no')`); !errors.Is(err, streamrel.ErrReadReplica) {
+		t.Fatalf("replica write: got %v, want ErrReadReplica", err)
+	}
+	if err := reng.Append("s", streamrel.Row{streamrel.Int(1), streamrel.Timestamp(base)}); !errors.Is(err, streamrel.ErrReadReplica) {
+		t.Fatalf("replica append: got %v, want ErrReadReplica", err)
+	}
+
+	// Lag metrics are exported and settled.
+	if lag := metric(t, reng, "streamrel_repl_lag_lsn"); lag != 0 {
+		t.Fatalf("repl_lag_lsn = %v, want 0", lag)
+	}
+	if applied := metric(t, reng, "streamrel_repl_last_applied_lsn"); applied == 0 {
+		t.Fatal("repl_last_applied_lsn not exported")
+	}
+}
+
+// TestReplicaRestartResumesIncrementally stops a durable replica, writes
+// more on the primary, restarts the replica from its data directory, and
+// checks it catches up from its persisted LSN without a new snapshot.
+func TestReplicaRestartResumesIncrementally(t *testing.T) {
+	prim := startNode(t, "", "127.0.0.1:0")
+	defer prim.stop()
+	mustExec(t, prim.eng, `CREATE TABLE t (a bigint)`)
+	for i := 0; i < 10; i++ {
+		mustExec(t, prim.eng, fmt.Sprintf(`INSERT INTO t VALUES (%d)`, i))
+	}
+
+	dir := t.TempDir()
+	reng, rep := startReplica(t, prim.addr, dir)
+	if err := rep.WaitCaughtUp(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitConverged(t, prim.eng, reng, `SELECT a FROM t ORDER BY a`, false)
+	resumeAt := rep.LastLSN()
+	rep.Stop()
+	if err := reng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 10; i < 20; i++ {
+		mustExec(t, prim.eng, fmt.Sprintf(`INSERT INTO t VALUES (%d)`, i))
+	}
+
+	reng2, rep2 := startReplica(t, prim.addr, dir)
+	defer reng2.Close()
+	defer rep2.Stop()
+	if rep2.LastLSN() != resumeAt {
+		t.Fatalf("restarted replica resumes at %d, want persisted %d", rep2.LastLSN(), resumeAt)
+	}
+	if err := rep2.WaitCaughtUp(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitConverged(t, prim.eng, reng2, `SELECT a FROM t ORDER BY a`, false)
+	if snaps := metric(t, reng2, "streamrel_repl_snapshots_received_total"); snaps != 0 {
+		t.Fatalf("restart took %v snapshots, want incremental resume", snaps)
+	}
+}
+
+// TestReplicaResyncsAfterPrimaryRestart restarts the primary (new run
+// ID, same data) and checks the replica detects the epoch change and
+// rebuilds from a fresh snapshot.
+func TestReplicaResyncsAfterPrimaryRestart(t *testing.T) {
+	pdir := t.TempDir()
+	prim := startNode(t, pdir, "127.0.0.1:0")
+	mustExec(t, prim.eng, `CREATE TABLE t (a bigint)`)
+	mustExec(t, prim.eng, `INSERT INTO t VALUES (1), (2)`)
+
+	reng, rep := startReplica(t, prim.addr, t.TempDir())
+	defer reng.Close()
+	defer rep.Stop()
+	if err := rep.WaitCaughtUp(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	addr := prim.addr
+	prim.stop()
+	prim2 := startNode(t, pdir, addr) // same address, new run ID
+	defer prim2.stop()
+	mustExec(t, prim2.eng, `INSERT INTO t VALUES (3)`)
+
+	if err := rep.WaitCaughtUp(15 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitConverged(t, prim2.eng, reng, `SELECT a FROM t ORDER BY a`, false)
+	if snaps := metric(t, reng, "streamrel_repl_snapshots_received_total"); snaps < 2 {
+		t.Fatalf("snapshots received = %v, want initial + post-restart resync", snaps)
+	}
+}
+
+// TestPromoteAfterPrimaryDeath kills the primary, promotes the replica,
+// and checks writes succeed on the promoted node.
+func TestPromoteAfterPrimaryDeath(t *testing.T) {
+	prim := startNode(t, "", "127.0.0.1:0")
+	mustExec(t, prim.eng, `CREATE TABLE t (a bigint)`)
+	mustExec(t, prim.eng, `CREATE STREAM s (v bigint, at timestamp CQTIME USER)`)
+	mustExec(t, prim.eng, `INSERT INTO t VALUES (1)`)
+
+	reng, rep := startReplica(t, prim.addr, "")
+	defer reng.Close()
+	if err := rep.WaitCaughtUp(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	prim.stop()
+	if err := rep.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, reng, `INSERT INTO t VALUES (2)`)
+	if got := dump(t, reng, `SELECT a FROM t ORDER BY a`); got != "1\n2\n" {
+		t.Fatalf("after promote:\n%s", got)
+	}
+	// Stream ingest works again too (channel taps and stamping resume).
+	if err := reng.Append("s", streamrel.Row{streamrel.Int(1), streamrel.Timestamp(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,328 @@
+package streamrel
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"streamrel/internal/catalog"
+	"streamrel/internal/repl"
+	"streamrel/internal/sql"
+	"streamrel/internal/storage"
+	"streamrel/internal/stream"
+	"streamrel/internal/types"
+	"streamrel/internal/wal"
+)
+
+// ErrReadReplica is returned by write paths while the engine runs as a
+// read replica; Promote lifts the restriction.
+var ErrReadReplica = errors.New("streamrel: engine is a read replica; writes are rejected (promote to accept writes)")
+
+// Repl returns the engine's replication hub, or nil when Config.Replicate
+// is off. The server wires it to the "replicate" op; tests use it to read
+// the current LSN.
+func (e *Engine) Repl() *repl.Primary { return e.hub }
+
+// initReplication builds the hub and wires the publish hooks. Called once
+// from Open, before any writes.
+func (e *Engine) initReplication() {
+	e.hub = repl.NewPrimary(repl.Config{Metrics: e.reg, RingSize: e.cfg.ReplRingSize})
+	e.hub.Snapshot = e.replicationSnapshot
+	e.rt.OnIngest = e.hub.PublishAppend
+	e.rt.OnAdvance = e.hub.PublishAdvance
+}
+
+// writeGate rejects user writes while the engine is a replica. Replicated
+// apply bypasses it by calling the internal paths directly.
+func (e *Engine) writeGate() error {
+	if e.replicaMode.Load() {
+		return ErrReadReplica
+	}
+	return nil
+}
+
+// ReplicaMode reports whether the engine currently rejects writes.
+func (e *Engine) ReplicaMode() bool { return e.replicaMode.Load() }
+
+// BeginReplica puts the engine into replica mode: user writes are
+// rejected, channel taps stop writing tables (the primary's channel
+// writes arrive through the replicated WAL instead, avoiding
+// double-apply), and the late-row policy becomes clamp so replayed stream
+// rows whose timestamps the primary already clamped are accepted
+// verbatim.
+func (e *Engine) BeginReplica() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.replicaMode.Load() {
+		return
+	}
+	e.prevLate = e.rt.Late
+	e.rt.Late = stream.LateClamp
+	e.replicaMode.Store(true)
+}
+
+// Promote lifts replica mode: the engine accepts writes again and channel
+// taps resume writing tables. The caller must have stopped applying
+// replicated events first. The engine keeps its own replication hub (and
+// run ID), so replicas can chain off a promoted node — their run IDs
+// won't match and they will resync from it.
+func (e *Engine) Promote() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.replicaMode.Load() {
+		return
+	}
+	e.rt.Late = e.prevLate
+	e.replicaMode.Store(false)
+}
+
+// ---------------------------------------------------------------- apply
+
+// ApplyReplicated applies one replicated WAL batch: DDL batches re-execute
+// their SQL (which also logs and republishes them locally), data batches
+// apply insert/delete at the primary's RowIDs in one local transaction.
+// Apply is idempotent — re-applying a suffix after a crash or a
+// snapshot/live-tail overlap refreshes rows without duplicating them.
+func (e *Engine) ApplyReplicated(recs []wal.Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	if recs[0].Kind == wal.RecDDL {
+		for _, rec := range recs {
+			if rec.Kind != wal.RecDDL {
+				return fmt.Errorf("streamrel: replicated batch mixes DDL and data")
+			}
+			stmt, err := sql.Parse(rec.SQL)
+			if err != nil {
+				return fmt.Errorf("streamrel: replicated DDL %q: %w", rec.SQL, err)
+			}
+			if _, err := e.execDDL(stmt, rec.SQL); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	w := e.beginWrite()
+	for _, rec := range recs {
+		t, ok := e.cat.Table(rec.Table)
+		if !ok {
+			return w.fail(fmt.Errorf("streamrel: replicated write to unknown table %q", rec.Table))
+		}
+		switch rec.Kind {
+		case wal.RecInsert:
+			if err := w.insertRowAt(t, storage.RowID(rec.RowID), rec.Row); err != nil {
+				return w.fail(err)
+			}
+		case wal.RecDelete:
+			w.deleteRowReplay(t, storage.RowID(rec.RowID))
+		default:
+			return w.fail(fmt.Errorf("streamrel: replicated batch mixes DDL and data"))
+		}
+	}
+	return w.commit()
+}
+
+// ApplyReplicatedAppend pushes replicated stream rows without re-stamping
+// CQTIME SYSTEM columns — the primary's arrival timestamps are part of
+// the replicated history. The local system clock still advances past them
+// so post-promotion appends stay monotonic.
+func (e *Engine) ApplyReplicatedAppend(streamName string, rows []Row) error {
+	if st, ok := e.cat.Stream(streamName); ok && st.SystemTime && len(rows) > 0 {
+		last := rows[len(rows)-1]
+		if st.CQTimeCol < len(last) && last[st.CQTimeCol].Type() == types.TypeTimestamp {
+			ts := last[st.CQTimeCol].TimestampMicros()
+			e.sysMu.Lock()
+			if ts > e.sysClock[st.Name] {
+				e.sysClock[st.Name] = ts
+			}
+			e.sysMu.Unlock()
+		}
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.rt.PushBatch(streamName, rows)
+}
+
+// ApplyReplicatedAdvance applies a replicated heartbeat.
+func (e *Engine) ApplyReplicatedAdvance(streamName string, ts int64) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.rt.Advance(streamName, ts)
+}
+
+// ApplyReplicatedTableNext aligns a table's next RowID with the primary's
+// (snapshot epilogue per table; reproduces trailing aborted-txn gaps).
+func (e *Engine) ApplyReplicatedTableNext(table string, next uint64) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	t, ok := e.cat.Table(table)
+	if !ok {
+		return fmt.Errorf("streamrel: replicated snapshot references unknown table %q", table)
+	}
+	t.Heap.EnsureNext(storage.RowID(next))
+	return nil
+}
+
+// ReplicaCheckpoint runs when the primary checkpointed: both sides
+// compact heaps at the same point in the event order, so RowID numbering
+// stays aligned. Durable replicas take a full local checkpoint (which
+// also truncates their WAL); in-memory replicas just compact.
+func (e *Engine) ReplicaCheckpoint() error {
+	if e.log != nil {
+		return e.Checkpoint()
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.compactTablesLocked()
+	return nil
+}
+
+// compactTablesLocked vacuums every heap and rebuilds its indexes against
+// the compacted RowIDs. Callers hold e.mu exclusively.
+func (e *Engine) compactTablesLocked() {
+	snap := e.mgr.SnapshotNow()
+	for _, t := range e.cat.Tables() {
+		t.Heap.Vacuum(snap)
+		for _, ix := range t.Indexes {
+			rebuilt := storage.NewBTree()
+			t.Heap.Scan(snap, func(rid storage.RowID, row types.Row) bool {
+				rebuilt.Insert(ix.KeyOf(row), rid)
+				return true
+			})
+			ix.Tree = rebuilt
+		}
+	}
+}
+
+// ReplicaReset drops every object and clears durable state, preparing the
+// engine to receive a full snapshot from a (new) primary. Dependency
+// order: channels first, then derived streams, base streams, views,
+// tables (indexes go with their tables).
+func (e *Engine) ReplicaReset() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, ch := range e.cat.Channels() {
+		if _, err := e.execDrop(&sql.Drop{Kind: sql.ObjChannel, Name: ch.Name}); err != nil {
+			return err
+		}
+	}
+	for _, d := range e.cat.DerivedStreams() {
+		if _, err := e.execDrop(&sql.Drop{Kind: sql.ObjStream, Name: d.Name}); err != nil {
+			return err
+		}
+	}
+	for _, name := range e.cat.Names("streams") {
+		if _, err := e.execDrop(&sql.Drop{Kind: sql.ObjStream, Name: name}); err != nil {
+			return err
+		}
+	}
+	for _, name := range e.cat.Names("views") {
+		if _, err := e.execDrop(&sql.Drop{Kind: sql.ObjView, Name: name}); err != nil {
+			return err
+		}
+	}
+	for _, t := range e.cat.Tables() {
+		if _, err := e.execDrop(&sql.Drop{Kind: sql.ObjTable, Name: t.Name}); err != nil {
+			return err
+		}
+	}
+	e.ddlLog = nil
+	e.sysMu.Lock()
+	e.sysClock = make(map[string]int64)
+	e.sysMu.Unlock()
+	if e.log != nil {
+		if err := e.log.Truncate(); err != nil {
+			return err
+		}
+		if err := os.Remove(e.checkpointPath()); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+	}
+	return nil
+}
+
+// ----------------------------------------------------------- snapshot
+
+// snapshotBatchRows sizes the row batches inside one snapshot WAL frame.
+const snapshotBatchRows = 1024
+
+// replicationSnapshot emits a consistent logical cut of durable state:
+// the DDL log, then every table's visible rows as insert records carrying
+// their RowIDs, each table closed by a TableNext event. It runs under the
+// engine's exclusive lock, so no DDL or checkpoint interleaves; stream
+// events and worker commits published concurrently carry LSNs above the
+// snapshot boundary and are replayed after it — row apply is idempotent,
+// so the overlap is harmless.
+func (e *Engine) replicationSnapshot(emit func(repl.Event) error) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, stmtSQL := range e.ddlLog {
+		ev := repl.Event{Kind: repl.KindWAL, Recs: []wal.Record{{Kind: wal.RecDDL, SQL: stmtSQL}}}
+		if err := emit(ev); err != nil {
+			return err
+		}
+	}
+	snap := e.mgr.SnapshotNow()
+	for _, t := range e.cat.Tables() {
+		var batch []wal.Record
+		var scanErr error
+		t.Heap.Scan(snap, func(rid storage.RowID, row types.Row) bool {
+			batch = append(batch, wal.Record{
+				Kind: wal.RecInsert, Table: t.Name, RowID: uint64(rid), Row: row,
+			})
+			if len(batch) >= snapshotBatchRows {
+				scanErr = emit(repl.Event{Kind: repl.KindWAL, Recs: batch})
+				batch = nil
+			}
+			return scanErr == nil
+		})
+		if scanErr != nil {
+			return scanErr
+		}
+		if len(batch) > 0 {
+			if err := emit(repl.Event{Kind: repl.KindWAL, Recs: batch}); err != nil {
+				return err
+			}
+		}
+		ev := repl.Event{Kind: repl.KindTableNext, Table: t.Name, Next: uint64(t.Heap.NextID())}
+		if err := emit(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ----------------------------------------------------- writeTxn helpers
+
+// insertRowAt is insertRow at an explicit RowID (replicated apply). A
+// replaced slot skips index maintenance and WAL logging — the record was
+// already applied locally.
+func (w *writeTxn) insertRowAt(t *catalog.Table, rid storage.RowID, row types.Row) error {
+	replaced, err := t.Heap.InsertAt(w.tx.ID, rid, row)
+	if err != nil {
+		return err
+	}
+	if replaced {
+		return nil
+	}
+	for _, ix := range t.Indexes {
+		ix.Tree.Insert(ix.KeyOf(row), rid)
+	}
+	w.recs = append(w.recs, wal.Record{Kind: wal.RecInsert, Table: t.Name, RowID: uint64(rid), Row: row})
+	w.n++
+	return nil
+}
+
+// deleteRowReplay is deleteRow with idempotent semantics: an unknown or
+// already-deleted RowID is a no-op (the record was already applied).
+func (w *writeTxn) deleteRowReplay(t *catalog.Table, rid storage.RowID) {
+	if !t.Heap.DeleteReplay(w.tx.ID, rid) {
+		return
+	}
+	heap, id := t.Heap, rid
+	w.undo = append(w.undo, func() { heap.UndoDelete(w.tx.ID, id) })
+	w.recs = append(w.recs, wal.Record{Kind: wal.RecDelete, Table: t.Name, RowID: uint64(rid)})
+	w.n++
+}

@@ -30,11 +30,13 @@ import (
 	"fmt"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"streamrel/internal/catalog"
 	"streamrel/internal/metrics"
 	"streamrel/internal/plan"
+	"streamrel/internal/repl"
 	"streamrel/internal/sql"
 	"streamrel/internal/stream"
 	"streamrel/internal/txn"
@@ -114,6 +116,15 @@ type Config struct {
 	// relaxations this implies. 0 (default) keeps the fully synchronous,
 	// deterministic engine.
 	ParallelCQ int
+	// Replicate enables the replication hub: every committed WAL batch
+	// and stream event gets a monotonic LSN and is retained in a bounded
+	// in-memory ring for replicas (see internal/repl and DESIGN.md
+	// §replication). Off by default — publishing costs a mutex per commit
+	// even with no replicas connected.
+	Replicate bool
+	// ReplRingSize overrides the replication ring capacity in events;
+	// 0 uses repl.DefaultRingSize.
+	ReplRingSize int
 	// Metrics is the registry engine subsystems (stream runtime, WAL,
 	// checkpoints) register their series in. Nil creates a private
 	// registry, reachable via Engine.Metrics() — share one registry
@@ -139,6 +150,14 @@ type Engine struct {
 	planner *plan.Planner
 	log     *wal.Log // nil when in-memory
 	reg     *metrics.Registry
+
+	// hub publishes committed batches and stream events to replicas;
+	// nil unless Config.Replicate.
+	hub *repl.Primary
+	// replicaMode rejects user writes while this engine applies a
+	// primary's events; prevLate restores the late policy on Promote.
+	replicaMode atomic.Bool
+	prevLate    stream.LatePolicy
 
 	// checkpointHist observes Checkpoint durations.
 	checkpointHist *metrics.Histogram
@@ -181,6 +200,9 @@ func Open(cfg Config) (*Engine, error) {
 	e.planner = &plan.Planner{Cat: e.cat}
 	e.checkpointHist = e.reg.Histogram("streamrel_checkpoint_seconds",
 		"duration of checkpoints (heap compaction + file write + WAL truncate)", nil)
+	if cfg.Replicate {
+		e.initReplication()
+	}
 
 	if cfg.Dir != "" {
 		start := time.Now()
@@ -282,14 +304,29 @@ func (e *Engine) execStmt(stmt sql.Statement, sqlText string) (*Result, error) {
 	switch s := stmt.(type) {
 	case *sql.CreateTable, *sql.CreateStream, *sql.CreateDerivedStream,
 		*sql.CreateView, *sql.CreateChannel, *sql.CreateIndex, *sql.Drop:
+		if err := e.writeGate(); err != nil {
+			return nil, err
+		}
 		return e.execDDL(stmt, sqlText)
 	case *sql.Insert:
+		if err := e.writeGate(); err != nil {
+			return nil, err
+		}
 		return e.execInsert(s)
 	case *sql.Update:
+		if err := e.writeGate(); err != nil {
+			return nil, err
+		}
 		return e.execUpdate(s)
 	case *sql.Delete:
+		if err := e.writeGate(); err != nil {
+			return nil, err
+		}
 		return e.execDelete(s)
 	case *sql.Truncate:
+		if err := e.writeGate(); err != nil {
+			return nil, err
+		}
 		return e.execTruncate(s)
 	case *sql.Show:
 		names := e.cat.Names(s.What)
@@ -372,6 +409,9 @@ func (e *Engine) querySelect(sel *sql.Select) (*Rows, error) {
 // AdvanceTime delivers a heartbeat: the stream's clock moves to ts,
 // closing any due windows even without new data.
 func (e *Engine) AdvanceTime(streamName string, ts time.Time) error {
+	if err := e.writeGate(); err != nil {
+		return err
+	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.rt.Advance(streamName, ts.UnixMicro())
@@ -382,6 +422,9 @@ func (e *Engine) AdvanceTime(streamName string, ts time.Time) error {
 // non-decreasing CQTIME; on CQTIME SYSTEM streams the engine stamps
 // arrival time itself.
 func (e *Engine) Append(streamName string, rows ...Row) error {
+	if err := e.writeGate(); err != nil {
+		return err
+	}
 	if st, ok := e.cat.Stream(streamName); ok && st.SystemTime {
 		e.stampSystemTime(st, rows)
 	}
