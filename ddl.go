@@ -370,8 +370,10 @@ func (w *writeTxn) commit() error {
 		}
 	}
 	if w.e.hub != nil && len(w.recs) > 0 {
-		// The hub commits the transaction inside its own critical section,
-		// so the published LSN order matches commit order engine-wide.
+		// The hub commits the transaction inside its commit lock, so the
+		// published LSN order matches commit order across transactions
+		// (stream ingest publishes under a separate lock and never waits
+		// behind a commit).
 		return w.e.hub.PublishTxn(w.recs, w.tx.Commit)
 	}
 	return w.tx.Commit()

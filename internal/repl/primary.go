@@ -17,7 +17,9 @@ import (
 // SnapshotFunc produces a logical snapshot of the engine's durable state
 // by emitting events (KindWAL with LSN 0, KindTableNext). The engine sets
 // it on the Primary at startup; it runs with the engine's exclusive lock
-// held so the snapshot is a consistent cut.
+// held so the snapshot is a consistent cut. ServeConn spools the emitted
+// events and performs all network writes after it returns, so the lock is
+// held only for the in-memory scan — never for a network transfer.
 type SnapshotFunc func(emit func(Event) error) error
 
 // Config configures a Primary.
@@ -55,6 +57,14 @@ type Primary struct {
 	// Snapshot is the engine's snapshot producer; set once at startup
 	// before the server accepts replicate requests.
 	Snapshot SnapshotFunc
+
+	// commitMu serializes transaction commit+publish pairs so a
+	// transaction that depends on another's writes always receives a
+	// later LSN — without making stream ingest (PublishAppend and
+	// PublishAdvance, which take only mu) wait behind commit work such as
+	// MVCC visibility publication. mu itself is only ever held for the
+	// short ring-append critical section.
+	commitMu sync.Mutex
 
 	mu   sync.Mutex
 	lsn  uint64
@@ -130,35 +140,100 @@ func (p *Primary) LSN() uint64 {
 	return p.lsn
 }
 
-// PublishTxn commits a transaction and publishes its WAL batch as one
-// event, atomically with respect to LSN order: the hub lock is held
-// across commit and sequence assignment, so no later event can carry an
-// earlier LSN than a transaction it depends on.
+// MaxEventBytes caps the approximate payload size of one published event.
+// Oversized WAL batches and stream appends are split across several
+// events at publish time, so no frame can approach maxFramePayload (which
+// a replica would reject, wedging replication in a reconnect loop —
+// wal.Replay's batch bound is larger than the frame bound). Snapshot
+// producers apply the same budget to the batches they emit.
+const MaxEventBytes = 32 << 20
+
+// RecordSize estimates a WAL record's encoded size; it over-counts
+// varints slightly, which only makes splits more conservative.
+func RecordSize(r wal.Record) int {
+	n := 16 + len(r.Table) + len(r.SQL)
+	for _, d := range r.Row {
+		n += 11
+		if d.Type() == types.TypeString {
+			n += len(d.Str())
+		}
+	}
+	return n
+}
+
+func rowSize(row types.Row) int {
+	n := 10
+	for _, d := range row {
+		n += 11
+		if d.Type() == types.TypeString {
+			n += len(d.Str())
+		}
+	}
+	return n
+}
+
+// PublishTxn commits a transaction and publishes its WAL batch, atomic
+// with respect to LSN order: commitMu is held across commit and
+// publication, so a transaction that saw this one's writes commits — and
+// sequences — strictly after it. A batch larger than MaxEventBytes is
+// split across consecutive LSNs; a replica applies each chunk as its own
+// local transaction, which is safe because apply is idempotent and the
+// resume point advances per event.
 func (p *Primary) PublishTxn(recs []wal.Record, commit func() error) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.commitMu.Lock()
+	defer p.commitMu.Unlock()
 	if commit != nil {
 		if err := commit(); err != nil {
 			return err
 		}
 	}
-	p.publishLocked(Event{Kind: KindWAL, Recs: recs})
+	p.publishWAL(recs)
 	return nil
 }
 
 // PublishWAL publishes an already-committed WAL batch (DDL).
 func (p *Primary) PublishWAL(recs []wal.Record) {
+	p.commitMu.Lock()
+	p.publishWAL(recs)
+	p.commitMu.Unlock()
+}
+
+// chunkEnd returns the end index of the event starting at start: items
+// are taken greedily while the byte budget holds, and every event carries
+// at least one item (a single item beyond the budget travels alone).
+func chunkEnd(start, n, budget int, size func(int) int) int {
+	end, total := start, 0
+	for end < n && (end == start || total+size(end) <= budget) {
+		total += size(end)
+		end++
+	}
+	return end
+}
+
+func (p *Primary) publishWAL(recs []wal.Record) {
 	p.mu.Lock()
-	p.publishLocked(Event{Kind: KindWAL, Recs: recs})
-	p.mu.Unlock()
+	defer p.mu.Unlock()
+	for start := 0; start < len(recs); {
+		end := chunkEnd(start, len(recs), MaxEventBytes, func(i int) int { return RecordSize(recs[i]) })
+		p.publishLocked(Event{Kind: KindWAL, Recs: recs[start:end]})
+		start = end
+	}
 }
 
 // PublishAppend publishes rows accepted into a base stream. Called under
 // the source's delivery lock, which fixes the per-stream event order.
+// Oversized appends split like WAL batches do.
 func (p *Primary) PublishAppend(stream string, rows []types.Row) {
+	if len(rows) == 0 {
+		return
+	}
 	p.mu.Lock()
-	p.publishLocked(Event{Kind: KindAppend, Stream: stream, Rows: rows})
-	p.mu.Unlock()
+	defer p.mu.Unlock()
+	for start := 0; start < len(rows); {
+		end := chunkEnd(start, len(rows), MaxEventBytes, func(i int) int { return rowSize(rows[i]) })
+		p.publishLocked(Event{Kind: KindAppend, Stream: stream, Rows: rows[start:end]})
+		start = end
+	}
 }
 
 // PublishAdvance publishes an effective heartbeat.
@@ -263,6 +338,10 @@ func (p *Primary) ServeConn(conn net.Conn, fromLSN uint64, runID string) error {
 	var buf []byte
 	send := func(ev *Event) error {
 		buf = AppendFrame(buf[:0], ev)
+		// A deadline on every write, not just on flush: bufio flushes to
+		// conn implicitly whenever its buffer fills, so a replica that
+		// stops reading must never pin this goroutine indefinitely.
+		conn.SetWriteDeadline(time.Now().Add(writeDeadline))
 		if _, err := bw.Write(buf); err != nil {
 			return err
 		}
@@ -290,13 +369,28 @@ func (p *Primary) ServeConn(conn net.Conn, fromLSN uint64, runID string) error {
 				p.detach(sub)
 				return fmt.Errorf("repl: no snapshot producer configured")
 			}
+			// Spool the snapshot first: the producer runs under the
+			// engine's exclusive lock, and streaming to the network from
+			// inside it would let one wedged or slow replica freeze every
+			// read and write on the primary for the whole transfer. The
+			// spool shares the heap's immutable row slices, so it costs
+			// O(rows) pointers, not a data copy. Events published while the
+			// transfer runs queue in sub.ch and replay after SnapEnd; apply
+			// is idempotent, so the overlap is harmless.
+			var spool []Event
+			if err := p.Snapshot(func(ev Event) error { spool = append(spool, ev); return nil }); err != nil {
+				p.detach(sub)
+				return err
+			}
 			if err := send(&Event{Kind: KindSnapBegin, Run: p.run}); err != nil {
 				p.detach(sub)
 				return err
 			}
-			if err := p.Snapshot(func(ev Event) error { return send(&ev) }); err != nil {
-				p.detach(sub)
-				return err
+			for i := range spool {
+				if err := send(&spool[i]); err != nil {
+					p.detach(sub)
+					return err
+				}
 			}
 			if err := send(&Event{Kind: KindSnapEnd, LSN: boundary}); err != nil {
 				p.detach(sub)

@@ -129,3 +129,140 @@ func TestPrimaryRunMismatchForcesSnapshot(t *testing.T) {
 		t.Fatalf("want snapshot on run mismatch, got %+v", ev)
 	}
 }
+
+// TestChunkEnd covers the greedy event splitter: budget respected, at
+// least one item per event, oversized singletons travel alone.
+func TestChunkEnd(t *testing.T) {
+	sizes := []int{4, 4, 4, 20, 1, 1}
+	size := func(i int) int { return sizes[i] }
+	var ends []int
+	for start := 0; start < len(sizes); {
+		end := chunkEnd(start, len(sizes), 10, size)
+		ends = append(ends, end)
+		start = end
+	}
+	// [4 4] [4] [20] [1 1]: 4+4=8 fits, +4 would be 12; 20 alone; 1+1 fits.
+	want := []int{2, 3, 4, 6}
+	if len(ends) != len(want) {
+		t.Fatalf("chunks %v, want %v", ends, want)
+	}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("chunks %v, want %v", ends, want)
+		}
+	}
+}
+
+// TestOversizedBatchSplitsAcrossEvents publishes one append batch and one
+// WAL batch whose encodings exceed MaxEventBytes; each must arrive as
+// several consecutive events that concatenate back to the original, so no
+// frame can ever exceed the replica's frame-size limit (which would wedge
+// replication in a permanent reconnect loop).
+func TestOversizedBatchSplitsAcrossEvents(t *testing.T) {
+	p := testPrimary(t, Config{RingSize: 16})
+	r, cleanup := serve(t, p, 0, p.RunID())
+	defer cleanup()
+	if ev := mustRead(t, r); ev.Kind != KindResume {
+		t.Fatalf("want resume, got %+v", ev)
+	}
+
+	big := string(make([]byte, 13<<20)) // 3 rows à ~13MB: 2+1 per 32MB budget
+	rows := []types.Row{
+		{types.NewInt(1), types.NewString(big)},
+		{types.NewInt(2), types.NewString(big)},
+		{types.NewInt(3), types.NewString(big)},
+	}
+	p.PublishAppend("s", rows)
+	var gotRows int
+	for lsn := uint64(1); lsn <= 2; lsn++ {
+		ev := mustRead(t, r)
+		if ev.Kind != KindAppend || ev.LSN != lsn || ev.Stream != "s" {
+			t.Fatalf("append chunk: kind %d lsn %d", ev.Kind, ev.LSN)
+		}
+		for _, row := range ev.Rows {
+			gotRows++
+			if row[0].Int() != int64(gotRows) {
+				t.Fatalf("row %d out of order", gotRows)
+			}
+		}
+	}
+	if gotRows != 3 {
+		t.Fatalf("append rows after split: %d, want 3", gotRows)
+	}
+
+	recs := []wal.Record{
+		{Kind: wal.RecInsert, Table: "t", RowID: 1, Row: rows[0]},
+		{Kind: wal.RecInsert, Table: "t", RowID: 2, Row: rows[1]},
+		{Kind: wal.RecInsert, Table: "t", RowID: 3, Row: rows[2]},
+	}
+	if err := p.PublishTxn(recs, nil); err != nil {
+		t.Fatal(err)
+	}
+	var gotRecs int
+	for lsn := uint64(3); lsn <= 4; lsn++ {
+		ev := mustRead(t, r)
+		if ev.Kind != KindWAL || ev.LSN != lsn {
+			t.Fatalf("wal chunk: kind %d lsn %d", ev.Kind, ev.LSN)
+		}
+		for _, rec := range ev.Recs {
+			gotRecs++
+			if rec.RowID != uint64(gotRecs) {
+				t.Fatalf("record %d out of order", gotRecs)
+			}
+		}
+	}
+	if gotRecs != 3 {
+		t.Fatalf("wal records after split: %d, want 3", gotRecs)
+	}
+	if lsn := p.LSN(); lsn != 4 {
+		t.Fatalf("lsn after splits: %d, want 4", lsn)
+	}
+
+	// Empty appends publish nothing (a zero-row event would be a no-op on
+	// the replica anyway).
+	p.PublishAppend("s", nil)
+	if lsn := p.LSN(); lsn != 4 {
+		t.Fatalf("lsn after empty append: %d, want 4", lsn)
+	}
+}
+
+// TestSnapshotSpooledBeforeNetworkWrites pins the locking contract of the
+// snapshot path: the producer (which runs under the engine's exclusive
+// lock) must return before any network write, so a replica that requests
+// a snapshot and then stops reading can never freeze the engine. The
+// producer emits more than the 64KB writer buffer into a pipe nobody
+// reads — streaming inside the producer would block it forever.
+func TestSnapshotSpooledBeforeNetworkWrites(t *testing.T) {
+	p := testPrimary(t, Config{RingSize: 2})
+	released := make(chan struct{})
+	p.Snapshot = func(emit func(Event) error) error {
+		defer close(released)
+		row := types.Row{types.NewString(string(make([]byte, 32<<10)))}
+		for i := 0; i < 8; i++ {
+			if err := emit(Event{Kind: KindWAL, Recs: []wal.Record{
+				{Kind: wal.RecInsert, Table: "t", RowID: uint64(i), Row: row},
+			}}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	server, client := net.Pipe() // client side never reads
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p.ServeConn(server, 0, "")
+		server.Close()
+	}()
+	select {
+	case <-released:
+	case <-time.After(10 * time.Second):
+		t.Fatal("snapshot producer still blocked: network transfer ran inside it")
+	}
+	client.Close() // sever the stuck transfer; ServeConn must return
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("ServeConn did not return after the replica connection closed")
+	}
+}

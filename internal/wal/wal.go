@@ -3,9 +3,11 @@
 //
 // Design: transactions buffer their effects and write them to the log as a
 // single atomic batch at commit time, so the log contains only committed
-// work. Each batch is [length u32][crc32 u32][payload]; a torn or corrupt
-// final batch is discarded on recovery, which makes crash atomicity a
-// property of the file format rather than of replay logic.
+// work. A file starts with an 8-byte magic+version header (so a record
+// format change is an explicit error on open/replay, never a misparse);
+// each batch after it is [length u32][crc32 u32][payload]. A torn or
+// corrupt final batch is discarded on recovery, which makes crash
+// atomicity a property of the file format rather than of replay logic.
 //
 // Recovery of *runtime* CQ state deliberately does not live here: per the
 // paper (§4), continuous-query state is rebuilt from Active Tables after
@@ -54,12 +56,58 @@ type Record struct {
 	RowID uint64
 }
 
+// Every log and checkpoint file starts with an 8-byte header — a 6-byte
+// magic plus a little-endian uint16 format version — so a record-encoding
+// change is an explicit open/replay error instead of a silently misparsed
+// batch that replay would discard as an "uncommitted tail", dropping
+// committed data on upgrade.
+var fileMagic = [6]byte{'S', 'R', 'W', 'A', 'L', 'F'}
+
+// FormatVersion is the record-format version this build reads and writes.
+// Version 2 added the explicit RowID uvarint to RecInsert records;
+// version-1 files predate headers entirely and are rejected by their
+// missing magic.
+const FormatVersion = 2
+
+const headerSize = 8
+
+func fileHeader() []byte {
+	h := make([]byte, headerSize)
+	copy(h, fileMagic[:])
+	binary.LittleEndian.PutUint16(h[6:], FormatVersion)
+	return h
+}
+
+// errTornHeader marks a file shorter than one header whose bytes are a
+// prefix of the expected header: a crash between creating the file and
+// appending the first batch. Nothing was committed; the file is logically
+// empty.
+var errTornHeader = errors.New("wal: torn file header")
+
+// checkHeader validates the leading bytes of a non-empty file.
+func checkHeader(path string, h []byte) error {
+	if len(h) < headerSize {
+		if len(fileHeader()) >= len(h) && string(fileHeader()[:len(h)]) == string(h) {
+			return errTornHeader
+		}
+		return fmt.Errorf("wal: %s: unrecognized file format (pre-versioning streamrel log, or not a log)", path)
+	}
+	if string(h[:6]) != string(fileMagic[:]) {
+		return fmt.Errorf("wal: %s: unrecognized file format (pre-versioning streamrel log, or not a log)", path)
+	}
+	if v := binary.LittleEndian.Uint16(h[6:8]); v != FormatVersion {
+		return fmt.Errorf("wal: %s: format version %d, this build reads version %d", path, v, FormatVersion)
+	}
+	return nil
+}
+
 // Log is an append-only write-ahead log over a single file.
 type Log struct {
 	mu   sync.Mutex
 	f    *os.File
 	path string
 	sync bool // fsync every batch
+	hdr  bool // format header present on disk
 
 	// Metric handles; nil (no-op) without a registry in Options.
 	appends     *metrics.Counter
@@ -78,7 +126,9 @@ type Options struct {
 	Metrics *metrics.Registry
 }
 
-// Open opens (creating if needed) the log at path.
+// Open opens (creating if needed) the log at path. A non-empty file whose
+// header is missing (pre-versioning format) or carries a different
+// FormatVersion is refused with an explicit error rather than misread.
 func Open(path string, opts Options) (*Log, error) {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
@@ -87,10 +137,32 @@ func Open(path string, opts Options) (*Log, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
+	hdr := false
+	if fi, err := f.Stat(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: %w", err)
+	} else if fi.Size() > 0 {
+		buf := make([]byte, headerSize)
+		n, _ := f.ReadAt(buf, 0)
+		switch err := checkHeader(path, buf[:n]); {
+		case err == nil:
+			hdr = true
+		case errors.Is(err, errTornHeader):
+			// Crash before the first batch: logically empty; start over.
+			if err := f.Truncate(0); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("wal: %w", err)
+			}
+		default:
+			f.Close()
+			return nil, err
+		}
+	}
 	return &Log{
 		f:    f,
 		path: path,
 		sync: opts.Sync,
+		hdr:  hdr,
 		appends: opts.Metrics.Counter("streamrel_wal_appends_total",
 			"committed batches appended to the write-ahead log"),
 		appendBytes: opts.Metrics.Counter("streamrel_wal_append_bytes_total",
@@ -113,6 +185,15 @@ func (l *Log) Append(recs []Record) error {
 	defer l.mu.Unlock()
 	if l.f == nil {
 		return errors.New("wal: closed")
+	}
+	if !l.hdr {
+		// First batch in this file: lead with the format header. A crash
+		// between these writes leaves a torn header or torn first batch,
+		// both of which read back as an empty log.
+		if _, err := l.f.Write(fileHeader()); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		l.hdr = true
 	}
 	if _, err := l.f.Write(hdr[:]); err != nil {
 		return fmt.Errorf("wal: %w", err)
@@ -155,6 +236,7 @@ func (l *Log) Truncate() error {
 	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
+	l.hdr = false // next Append re-writes the format header
 	return nil
 }
 
@@ -179,7 +261,9 @@ func Replay(path string, apply func(Record) error) error {
 // resume tailing the log incrementally. offset must sit on a batch
 // boundary (0, or a value ReplayFrom previously returned). A torn or
 // corrupt tail ends replay without error; a missing file replays zero
-// records and returns offset unchanged.
+// records and returns offset unchanged. A file without a valid format
+// header (pre-versioning, foreign, or a different FormatVersion) is an
+// explicit error, never a silently truncated replay.
 func ReplayFrom(path string, offset int64, apply func(Record) error) (int64, error) {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
@@ -189,10 +273,22 @@ func ReplayFrom(path string, offset int64, apply func(Record) error) (int64, err
 		return offset, fmt.Errorf("wal: %w", err)
 	}
 	defer f.Close()
-	if offset > 0 {
-		if _, err := f.Seek(offset, io.SeekStart); err != nil {
-			return offset, fmt.Errorf("wal: %w", err)
+	hbuf := make([]byte, headerSize)
+	n, _ := io.ReadFull(f, hbuf)
+	if n == 0 {
+		return offset, nil // empty file: zero records
+	}
+	if err := checkHeader(path, hbuf[:n]); err != nil {
+		if errors.Is(err, errTornHeader) {
+			return offset, nil // crash before the first batch: logically empty
 		}
+		return offset, err
+	}
+	if offset < headerSize {
+		offset = headerSize // offset 0 means "from the first batch"
+	}
+	if _, err := f.Seek(offset, io.SeekStart); err != nil {
+		return offset, fmt.Errorf("wal: %w", err)
 	}
 	rd := bufio.NewReaderSize(f, 1<<20)
 	end := offset

@@ -137,6 +137,74 @@ func TestEmptyAppendIsNoop(t *testing.T) {
 	}
 }
 
+func TestPreVersioningFileRefused(t *testing.T) {
+	// A v1-style file has no header: it starts straight at a batch's
+	// [len u32][crc u32]. Both Open and Replay must refuse it explicitly
+	// instead of misparsing (and silently truncating) the replay.
+	path := filepath.Join(t.TempDir(), "wal")
+	payload := EncodeRecords([]Record{{Kind: RecDDL, SQL: "CREATE TABLE t (a bigint)"}})
+	var raw []byte
+	raw = append(raw, byte(len(payload)), 0, 0, 0)
+	raw = append(raw, 0xde, 0xad, 0xbe, 0xef) // crc (value irrelevant)
+	raw = append(raw, payload...)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Replay(path, func(Record) error { return nil }); err == nil {
+		t.Fatal("Replay accepted a pre-versioning file")
+	}
+	if _, err := Open(path, Options{}); err == nil {
+		t.Fatal("Open accepted a pre-versioning file")
+	}
+}
+
+func TestFormatVersionMismatchRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	hdr := fileHeader()
+	hdr[6], hdr[7] = 0xff, 0x7f // future version
+	if err := os.WriteFile(path, hdr, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Replay(path, func(Record) error { return nil }); err == nil {
+		t.Fatal("Replay accepted a mismatched format version")
+	}
+	if _, err := Open(path, Options{}); err == nil {
+		t.Fatal("Open accepted a mismatched format version")
+	}
+}
+
+func TestTornHeaderIsEmptyLog(t *testing.T) {
+	// A crash between creating the file and finishing the first append can
+	// leave a prefix of the header; that is a logically empty log, and the
+	// file must remain usable.
+	path := filepath.Join(t.TempDir(), "wal")
+	if err := os.WriteFile(path, fileHeader()[:3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := Replay(path, func(Record) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("replayed %d records from a torn header", n)
+	}
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]Record{{Kind: RecInsert, Table: "t", Row: row(5)}}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	var got []Record
+	if err := Replay(path, func(r Record) error { got = append(got, r); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Row[0].Int() != 5 {
+		t.Fatalf("after torn-header reset: %+v", got)
+	}
+}
+
 func TestAppendAfterCloseErrors(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal")
 	l, _ := Open(path, Options{})

@@ -57,11 +57,6 @@ type state struct {
 	LSN uint64 `json:"lsn"`
 }
 
-// persistEvery bounds how many applied stream events may separate state
-// file writes; WAL events always persist (their effects hit the local
-// WAL, and re-applying a suffix after a crash is idempotent anyway).
-const persistEvery = 256
-
 // idleTimeout is the per-frame read deadline. The primary pings about
 // once a second, so a silent connection is dead, not idle.
 const idleTimeout = 15 * time.Second
@@ -74,7 +69,6 @@ type Replica struct {
 	mu      sync.Mutex
 	conn    net.Conn // current stream connection, for Stop to sever
 	st      state
-	dirty   int // stream events applied since the last persist
 	started atomic.Bool
 	stopped atomic.Bool
 	stopCh  chan struct{}
@@ -357,33 +351,36 @@ func (r *Replica) apply(ev *repl.Event) error {
 		if err := r.eng.ApplyReplicated(ev.Recs); err != nil {
 			return err
 		}
-		return r.applied(ev, true)
+		return r.applied(ev)
 
 	case repl.KindAppend:
 		if err := r.eng.ApplyReplicatedAppend(ev.Stream, ev.Rows); err != nil {
 			return err
 		}
-		return r.applied(ev, false)
+		return r.applied(ev)
 
 	case repl.KindAdvance:
 		if err := r.eng.ApplyReplicatedAdvance(ev.Stream, ev.TS); err != nil {
 			return err
 		}
-		return r.applied(ev, false)
+		return r.applied(ev)
 
 	case repl.KindCheckpoint:
 		if err := r.eng.ReplicaCheckpoint(); err != nil {
 			return err
 		}
-		return r.applied(ev, true)
+		return r.applied(ev)
 	}
 	return fmt.Errorf("replica: unknown frame kind %d", ev.Kind)
 }
 
 // applied records a live event's LSN, observes lag, and persists the
-// resume point — always for WAL-affecting events, every persistEvery
-// stream events otherwise.
-func (r *Replica) applied(ev *repl.Event, force bool) error {
+// resume point after every applied event. WAL events are idempotent, but
+// stream appends are not — re-applying one double-counts its rows in
+// window/CQ state observed by this replica's local subscribers — so the
+// crash redo window must stay at most the single event whose persist was
+// in flight, not a batch of them.
+func (r *Replica) applied(ev *repl.Event) error {
 	if ev.LSN == 0 {
 		return nil // snapshot state frame: resume point moves at SnapEnd
 	}
@@ -392,11 +389,7 @@ func (r *Replica) applied(ev *repl.Event, force bool) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.st.LSN = ev.LSN
-	r.dirty++
-	if force || r.dirty >= persistEvery {
-		return r.persistLocked()
-	}
-	return nil
+	return r.persistLocked()
 }
 
 func (r *Replica) advanceApplied(lsn uint64) {
@@ -424,7 +417,6 @@ func (r *Replica) observeLag(ev *repl.Event, histogram bool) {
 
 // persistLocked writes the resume point (tmp + rename). Callers hold r.mu.
 func (r *Replica) persistLocked() error {
-	r.dirty = 0
 	if r.opts.Dir == "" {
 		return nil
 	}

@@ -245,16 +245,21 @@ func (e *Engine) ReplicaReset() error {
 
 // ----------------------------------------------------------- snapshot
 
-// snapshotBatchRows sizes the row batches inside one snapshot WAL frame.
+// snapshotBatchRows sizes the row batches inside one snapshot WAL frame;
+// a batch also closes early when it reaches repl.MaxEventBytes, so no
+// snapshot frame can exceed the replica's frame-size limit.
 const snapshotBatchRows = 1024
 
 // replicationSnapshot emits a consistent logical cut of durable state:
 // the DDL log, then every table's visible rows as insert records carrying
 // their RowIDs, each table closed by a TableNext event. It runs under the
-// engine's exclusive lock, so no DDL or checkpoint interleaves; stream
-// events and worker commits published concurrently carry LSNs above the
-// snapshot boundary and are replayed after it — row apply is idempotent,
-// so the overlap is harmless.
+// engine's exclusive lock, so no DDL or checkpoint interleaves — but the
+// caller (repl.Primary.ServeConn) only spools the emitted events here and
+// streams them after this returns, so the lock is held for the in-memory
+// scan, never for the network transfer. Stream events and worker commits
+// published concurrently carry LSNs above the snapshot boundary and are
+// replayed after it — row apply is idempotent, so the overlap is
+// harmless.
 func (e *Engine) replicationSnapshot(emit func(repl.Event) error) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -267,14 +272,15 @@ func (e *Engine) replicationSnapshot(emit func(repl.Event) error) error {
 	snap := e.mgr.SnapshotNow()
 	for _, t := range e.cat.Tables() {
 		var batch []wal.Record
+		var batchBytes int
 		var scanErr error
 		t.Heap.Scan(snap, func(rid storage.RowID, row types.Row) bool {
-			batch = append(batch, wal.Record{
-				Kind: wal.RecInsert, Table: t.Name, RowID: uint64(rid), Row: row,
-			})
-			if len(batch) >= snapshotBatchRows {
+			rec := wal.Record{Kind: wal.RecInsert, Table: t.Name, RowID: uint64(rid), Row: row}
+			batch = append(batch, rec)
+			batchBytes += repl.RecordSize(rec)
+			if len(batch) >= snapshotBatchRows || batchBytes >= repl.MaxEventBytes {
 				scanErr = emit(repl.Event{Kind: repl.KindWAL, Recs: batch})
-				batch = nil
+				batch, batchBytes = nil, 0
 			}
 			return scanErr == nil
 		})
