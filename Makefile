@@ -30,10 +30,12 @@ cover:
 check: build fmt vet test race
 
 # bench regenerates the fan-out scaling numbers (experiment E9) into
-# BENCH_fanout.json so the throughput trajectory is tracked across PRs.
+# BENCH_fanout.json and the tracing-overhead numbers (E11) into
+# BENCH_trace.json so both trajectories are tracked across PRs.
 # Use `go test -bench .` for the full microbenchmark suite.
 bench:
 	$(GO) run ./cmd/srbench -scale 0.2 -only E9 -json BENCH_fanout.json
+	$(GO) run ./cmd/srbench -scale 0.2 -only E11 -json BENCH_trace.json
 
 # fuzz exercises the binary decoders (WAL batches, replication frames)
 # that parse untrusted bytes off disk and off the wire.

@@ -381,3 +381,48 @@ func (c *Client) Stats() (*Rows, error) {
 	}
 	return decodeRows(resp)
 }
+
+// Span is one completed trace span from the server's trace ring; spans
+// sharing a Trace ID form one batch's journey through the engine.
+type Span struct {
+	// Trace is the 16-hex-digit trace ID.
+	Trace string
+	// Stage is the hop name (ingest, enqueue, pickup, window-fire,
+	// cq-deliver, wal-append, wal-fsync, replica-apply).
+	Stage string
+	// Stream is the stream (or table) the hop touched.
+	Stream string
+	// Pipe identifies the pipeline, 0 when not applicable.
+	Pipe int64
+	// Start is the hop's wall-clock start.
+	Start time.Time
+	// Dur is the hop's duration.
+	Dur time.Duration
+	// Rows is the batch or result size at this hop.
+	Rows int
+	// Slow marks spans force-recorded by slow-fire detection.
+	Slow bool
+}
+
+// Traces returns the server's completed trace spans, oldest first. Empty
+// when tracing is disabled on the server.
+func (c *Client) Traces() ([]Span, error) {
+	resp, err := c.roundTrip(&server.Request{Op: "trace"})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Span, len(resp.Spans))
+	for i, ws := range resp.Spans {
+		out[i] = Span{
+			Trace:  ws.Trace,
+			Stage:  ws.Stage,
+			Stream: ws.Stream,
+			Pipe:   ws.Pipe,
+			Start:  time.UnixMicro(ws.StartUS).UTC(),
+			Dur:    time.Duration(ws.DurNS),
+			Rows:   ws.Rows,
+			Slow:   ws.Slow,
+		}
+	}
+	return out, nil
+}

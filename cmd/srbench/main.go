@@ -9,6 +9,7 @@
 //	srbench -only E1,E3     # a subset
 //	srbench -list           # show the experiment index
 //	srbench -only E9 -json BENCH_fanout.json   # machine-readable results
+//	srbench -only E11 -json BENCH_trace.json   # tracing overhead report
 package main
 
 import (
@@ -35,6 +36,7 @@ var index = []struct{ id, what string }{
 	{"E8", "§1.2 result-availability delay: batch period vs 1-minute windows"},
 	{"E9", "parallel CQ fan-out: k CQs serial vs per-pipeline workers (Config.ParallelCQ)"},
 	{"E10", "replication: replica apply-lag quantiles under live ingest (log shipping over loopback TCP)"},
+	{"E11", "tracing overhead: ingest throughput with spans off / 1-in-256 sampled / every batch"},
 }
 
 // jsonReport is the machine-readable output format for -json: enough
@@ -75,7 +77,7 @@ func main() {
 		"F1": experiments.F1, "E1": experiments.E1, "E2": experiments.E2,
 		"E3": experiments.E3, "E4": experiments.E4, "E5": experiments.E5,
 		"E6": experiments.E6, "E7": experiments.E7, "E8": experiments.E8,
-		"E9": experiments.E9, "E10": experiments.E10,
+		"E9": experiments.E9, "E10": experiments.E10, "E11": experiments.E11,
 	}
 
 	fmt.Printf("streamrel experiment suite (scale %.2g)\n", *scale)

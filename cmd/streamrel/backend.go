@@ -29,7 +29,22 @@ type backend interface {
 	query(sql string) (*result, error)
 	watch(sql string) (*watcher, error)
 	stats() string
+	traces() string
 	close()
+}
+
+// formatSpan renders one trace span the way both backends print it.
+func formatSpan(traceID, stage, stream string, pipe int64, start time.Time, dur time.Duration, rows int, slow bool) string {
+	mark := ""
+	if slow {
+		mark = " SLOW"
+	}
+	where := stream
+	if pipe != 0 {
+		where = fmt.Sprintf("%s/%d", stream, pipe)
+	}
+	return fmt.Sprintf("%s %-13s %-20s %s %10s rows=%d%s",
+		traceID, stage, where, start.UTC().Format("15:04:05.000000"), dur, rows, mark)
 }
 
 // ------------------------------------------------------------- local
@@ -89,6 +104,19 @@ func (b *localBackend) stats() string {
 	s := b.eng.Stats()
 	return fmt.Sprintf("sources=%d pipelines=%d sharedAggs=%d windowsFired=%d rowsProcessed=%d lateDropped=%d",
 		s.Sources, s.Pipelines, s.SharedAggs, s.WindowsFired, s.RowsProcessed, s.LateDropped)
+}
+
+func (b *localBackend) traces() string {
+	spans := b.eng.Traces()
+	if len(spans) == 0 {
+		return "no spans recorded (tracing disabled, or nothing sampled yet)"
+	}
+	lines := make([]string, len(spans))
+	for i, s := range spans {
+		lines[i] = formatSpan(fmt.Sprintf("%016x", s.Trace), string(s.Stage), s.Stream,
+			s.Pipe, time.UnixMicro(s.Start), time.Duration(s.Dur), s.Rows, s.Slow)
+	}
+	return strings.Join(lines, "\n")
 }
 
 func (b *localBackend) close() { b.eng.Close() }
@@ -155,6 +183,21 @@ func (b *remoteBackend) stats() string {
 	lines := make([]string, len(rows.Data))
 	for i, r := range rows.Data {
 		lines[i] = r.String()
+	}
+	return strings.Join(lines, "\n")
+}
+
+func (b *remoteBackend) traces() string {
+	spans, err := b.c.Traces()
+	if err != nil {
+		return fmt.Sprintf("trace: %v", err)
+	}
+	if len(spans) == 0 {
+		return "no spans recorded (tracing disabled, or nothing sampled yet)"
+	}
+	lines := make([]string, len(spans))
+	for i, s := range spans {
+		lines[i] = formatSpan(s.Trace, s.Stage, s.Stream, s.Pipe, s.Start, s.Dur, s.Rows, s.Slow)
 	}
 	return strings.Join(lines, "\n")
 }

@@ -7,6 +7,7 @@
 //	\watch <select>     start a continuous query printing batches as they close
 //	\unwatch            stop all continuous queries
 //	\stats              runtime counters
+//	\trace              completed trace spans (sampled end-to-end event traces)
 //	\help               this text
 //
 // Usage:
@@ -112,9 +113,11 @@ func (sh *shell) meta(cmd string) bool {
 	case cmd == "\\q" || cmd == "\\quit":
 		return false
 	case cmd == "\\help":
-		fmt.Fprintln(sh.out, `\q quit · \watch <select> start CQ · \unwatch stop CQs · \stats counters`)
+		fmt.Fprintln(sh.out, `\q quit · \watch <select> start CQ · \unwatch stop CQs · \stats counters · \trace spans`)
 	case cmd == "\\stats":
 		fmt.Fprintln(sh.out, sh.be.stats())
+	case cmd == "\\trace":
+		fmt.Fprintln(sh.out, sh.be.traces())
 	case cmd == "\\unwatch":
 		for _, w := range sh.watches {
 			w.stop()

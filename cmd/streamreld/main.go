@@ -11,21 +11,33 @@
 // primary's replication stream (tables, streams and DDL), runs its own
 // continuous queries, serves read-only queries, and can be promoted to
 // primary with the client's "promote" op.
+//
+// The -metrics-addr listener serves Prometheus text at /metrics, the
+// trace ring as JSON at /debug/traces, and Go profiling handlers under
+// /debug/pprof/. None of these endpoints have authentication: bind the
+// metrics address to localhost or a private interface, never a public
+// one.
+//
+// Diagnostics go to stderr as structured JSON lines (log/slog); the
+// startup banner stays on stdout.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"streamrel"
 	"streamrel/internal/metrics"
 	"streamrel/internal/server"
+	"streamrel/internal/trace"
 	"streamrel/replica"
 )
 
@@ -34,33 +46,50 @@ func main() {
 	dir := flag.String("dir", "", "data directory (empty = in-memory)")
 	initScript := flag.String("init", "", "SQL script to execute at startup")
 	syncWAL := flag.Bool("sync", false, "fsync every commit")
-	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics on this address (empty = disabled)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/traces and /debug/pprof on this address (empty = disabled; keep it private)")
 	replicaOf := flag.String("replica-of", "", "follow this primary address as a read replica")
+	traceSample := flag.Int("trace-sample", 0, "trace one in N ingested batches (0 = default 1/256, 1 = every batch, negative = off)")
+	slowFire := flag.Duration("slow-fire", 0, "force-record and log window fires slower than this push-to-fire latency (0 = off)")
 	flag.Parse()
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	slog.SetDefault(logger)
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "error", err.Error())
+		os.Exit(1)
+	}
 
 	// Replication is always enabled so any node can serve replicas —
 	// including a promoted one.
-	eng, err := streamrel.Open(streamrel.Config{Dir: *dir, SyncWAL: *syncWAL, Replicate: true})
+	eng, err := streamrel.Open(streamrel.Config{
+		Dir:               *dir,
+		SyncWAL:           *syncWAL,
+		Replicate:         true,
+		TraceSampleEvery:  *traceSample,
+		SlowFireThreshold: *slowFire,
+		Logger:            logger,
+	})
 	if err != nil {
-		log.Fatal(err)
+		fatal("engine open failed", err)
 	}
 	defer eng.Close()
 
 	if *initScript != "" {
 		if *replicaOf != "" {
-			log.Fatal("streamreld: -init and -replica-of are mutually exclusive (schema arrives from the primary)")
+			logger.Error("-init and -replica-of are mutually exclusive (schema arrives from the primary)")
+			os.Exit(1)
 		}
 		data, err := os.ReadFile(*initScript)
 		if err != nil {
-			log.Fatal(err)
+			fatal("reading init script failed", err)
 		}
 		if err := eng.ExecScript(string(data)); err != nil {
-			log.Fatalf("init script: %v", err)
+			fatal("init script failed", err)
 		}
 	}
 
 	srv := server.New(eng)
-	srv.Log = log.Default()
+	srv.Log = logger
 	if hub := eng.Repl(); hub != nil {
 		srv.Replicate = hub.ServeConn
 	}
@@ -71,10 +100,10 @@ func main() {
 			Addr:   *replicaOf,
 			Engine: eng,
 			Dir:    *dir,
-			Logf:   log.Printf,
+			Log:    logger,
 		})
 		if err != nil {
-			log.Fatal(err)
+			fatal("replica setup failed", err)
 		}
 		srv.Promote = rep.Promote
 		rep.Start()
@@ -83,7 +112,7 @@ func main() {
 
 	bound, err := srv.Listen(*addr)
 	if err != nil {
-		log.Fatal(err)
+		fatal("listen failed", err)
 	}
 	if *replicaOf != "" {
 		fmt.Printf("streamreld listening on %s (dir=%q, replica of %s)\n", bound, *dir, *replicaOf)
@@ -94,14 +123,25 @@ func main() {
 	if *metricsAddr != "" {
 		mlis, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
-			log.Fatal(err)
+			fatal("metrics listen failed", err)
 		}
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", metrics.Handler(eng.Metrics()))
+		mux.Handle("/debug/traces", trace.Handler(eng.Tracer()))
+		// Profiling handlers registered on this explicit mux (not
+		// http.DefaultServeMux) so they exist only on the metrics
+		// listener. The metrics address must not be publicly reachable.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		fmt.Printf("metrics on http://%s/metrics\n", mlis.Addr())
+		logger.Info("debug endpoints enabled", "addr", mlis.Addr().String(),
+			"paths", "/metrics /debug/traces /debug/pprof/")
 		go func() {
 			if err := http.Serve(mlis, mux); err != nil {
-				log.Printf("metrics server: %v", err)
+				logger.Warn("metrics server stopped", "error", err.Error())
 			}
 		}()
 	}
@@ -111,9 +151,10 @@ func main() {
 	go func() {
 		<-sig
 		fmt.Println("\nshutting down")
+		logger.Info("shutting down", "signal", "interrupt/term", "time", time.Now().Format(time.RFC3339))
 		srv.Close()
 	}()
 	if err := srv.Serve(); err != nil {
-		log.Fatal(err)
+		fatal("serve failed", err)
 	}
 }

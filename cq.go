@@ -7,6 +7,7 @@ import (
 
 	"streamrel/internal/sql"
 	"streamrel/internal/stream"
+	"streamrel/internal/trace"
 	"streamrel/internal/types"
 )
 
@@ -68,7 +69,7 @@ func (e *Engine) SubscribeArgs(sqlText string, args ...Value) (*CQ, error) {
 	}
 	cq := &CQ{Columns: p.Columns, eng: e}
 	cq.cond = sync.NewCond(&cq.mu)
-	pipe, err := e.rt.Subscribe(p, func(closeTS int64, rows []types.Row) error {
+	pipe, err := e.rt.Subscribe(p, func(_ trace.Ctx, closeTS int64, rows []types.Row) error {
 		cq.mu.Lock()
 		if !cq.closed {
 			cq.queue = append(cq.queue, Batch{Close: time.UnixMicro(closeTS).UTC(), Rows: rows})

@@ -9,6 +9,7 @@ import (
 	"streamrel/internal/plan"
 	"streamrel/internal/sql"
 	"streamrel/internal/storage"
+	"streamrel/internal/trace"
 	"streamrel/internal/txn"
 	"streamrel/internal/types"
 	"streamrel/internal/wal"
@@ -226,8 +227,8 @@ func (e *Engine) createChannel(s *sql.CreateChannel) (bool, error) {
 		}
 		return false, err
 	}
-	detach, err := e.rt.Tap(s.From, func(closeTS int64, rows []types.Row) error {
-		return e.channelWrite(ch, rows)
+	detach, err := e.rt.Tap(s.From, func(tc trace.Ctx, closeTS int64, rows []types.Row) error {
+		return e.channelWrite(tc, ch, rows)
 	})
 	if err != nil {
 		e.cat.Drop(sql.ObjChannel, s.Name)
@@ -242,7 +243,7 @@ func (e *Engine) createChannel(s *sql.CreateChannel) (bool, error) {
 // adds. The write transaction makes the update atomic at the window
 // boundary; in parallel mode it runs on the producing pipeline's worker
 // goroutine (heap, index and WAL are internally locked).
-func (e *Engine) channelWrite(ch *catalog.Channel, rows []types.Row) error {
+func (e *Engine) channelWrite(tc trace.Ctx, ch *catalog.Channel, rows []types.Row) error {
 	if e.replicaMode.Load() {
 		// A replica's channels stay quiet: the primary's channel writes
 		// arrive through the replicated WAL, so writing here would apply
@@ -254,6 +255,7 @@ func (e *Engine) channelWrite(ch *catalog.Channel, rows []types.Row) error {
 		return fmt.Errorf("streamrel: channel %q: table %q vanished", ch.Name, ch.Into)
 	}
 	w := e.beginWrite()
+	w.tc = tc
 	if ch.Mode == sql.ChannelReplace {
 		var rids []storage.RowID
 		t.Heap.Scan(w.tx.Snap, func(rid storage.RowID, _ types.Row) bool {
@@ -328,6 +330,9 @@ type writeTxn struct {
 	e    *Engine
 	tx   *txn.Txn
 	recs []wal.Record
+	// tc carries a channel write's trace context into the WAL append and
+	// across the replication wire; zero for untraced writes.
+	tc trace.Ctx
 	// undo reverts delete stamps if the transaction aborts; inserted
 	// versions need no undo (they stay invisible forever).
 	undo []func()
@@ -365,7 +370,7 @@ func (w *writeTxn) deleteRow(t *catalog.Table, rid storage.RowID) error {
 
 func (w *writeTxn) commit() error {
 	if w.e.log != nil && len(w.recs) > 0 {
-		if err := w.e.log.Append(w.recs); err != nil {
+		if err := w.e.log.AppendCtx(w.tc, w.recs); err != nil {
 			return w.fail(err)
 		}
 	}
@@ -374,7 +379,7 @@ func (w *writeTxn) commit() error {
 		// published LSN order matches commit order across transactions
 		// (stream ingest publishes under a separate lock and never waits
 		// behind a commit).
-		return w.e.hub.PublishTxn(w.recs, w.tx.Commit)
+		return w.e.hub.PublishTxn(w.recs, w.tx.Commit, w.tc.ID)
 	}
 	return w.tx.Commit()
 }

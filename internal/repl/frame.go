@@ -70,6 +70,10 @@ type Event struct {
 	// Wall is the primary's clock at publish time, unix microseconds;
 	// replicas subtract it from their clock for the seconds-lag gauge.
 	Wall int64
+	// Trace carries the trace ID of the batch (or transaction) this event
+	// originated from, 0 when untraced; replicas record a replica-apply
+	// span under it so the primary's span chain closes remotely.
+	Trace uint64
 
 	Recs   []wal.Record // KindWAL
 	Stream string       // KindAppend, KindAdvance
@@ -86,13 +90,14 @@ const maxFramePayload = 256 << 20
 
 // AppendFrame appends the wire encoding of ev to dst:
 // [len u32][crc32 u32][payload], payload = [kind u8][lsn uvarint]
-// [wall varint][kind-specific body].
+// [wall varint][trace uvarint][kind-specific body].
 func AppendFrame(dst []byte, ev *Event) []byte {
 	start := len(dst)
 	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // length + crc placeholders
 	dst = append(dst, byte(ev.Kind))
 	dst = binary.AppendUvarint(dst, ev.LSN)
 	dst = binary.AppendVarint(dst, ev.Wall)
+	dst = binary.AppendUvarint(dst, ev.Trace)
 	switch ev.Kind {
 	case KindWAL:
 		dst = append(dst, wal.EncodeRecords(ev.Recs)...)
@@ -155,6 +160,9 @@ func DecodeEvent(payload []byte) (*Event, error) {
 		return nil, err
 	}
 	if ev.Wall, buf, err = readVarint(buf); err != nil {
+		return nil, err
+	}
+	if ev.Trace, buf, err = readUvarint(buf); err != nil {
 		return nil, err
 	}
 	switch ev.Kind {

@@ -178,8 +178,9 @@ func rowSize(row types.Row) int {
 // sequences — strictly after it. A batch larger than MaxEventBytes is
 // split across consecutive LSNs; a replica applies each chunk as its own
 // local transaction, which is safe because apply is idempotent and the
-// resume point advances per event.
-func (p *Primary) PublishTxn(recs []wal.Record, commit func() error) error {
+// resume point advances per event. traceID (0 = untraced) rides the
+// published events so replicas close the batch's span chain.
+func (p *Primary) PublishTxn(recs []wal.Record, commit func() error, traceID uint64) error {
 	p.commitMu.Lock()
 	defer p.commitMu.Unlock()
 	if commit != nil {
@@ -187,14 +188,14 @@ func (p *Primary) PublishTxn(recs []wal.Record, commit func() error) error {
 			return err
 		}
 	}
-	p.publishWAL(recs)
+	p.publishWAL(recs, traceID)
 	return nil
 }
 
 // PublishWAL publishes an already-committed WAL batch (DDL).
 func (p *Primary) PublishWAL(recs []wal.Record) {
 	p.commitMu.Lock()
-	p.publishWAL(recs)
+	p.publishWAL(recs, 0)
 	p.commitMu.Unlock()
 }
 
@@ -210,20 +211,21 @@ func chunkEnd(start, n, budget int, size func(int) int) int {
 	return end
 }
 
-func (p *Primary) publishWAL(recs []wal.Record) {
+func (p *Primary) publishWAL(recs []wal.Record, traceID uint64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for start := 0; start < len(recs); {
 		end := chunkEnd(start, len(recs), MaxEventBytes, func(i int) int { return RecordSize(recs[i]) })
-		p.publishLocked(Event{Kind: KindWAL, Recs: recs[start:end]})
+		p.publishLocked(Event{Kind: KindWAL, Recs: recs[start:end], Trace: traceID})
 		start = end
 	}
 }
 
 // PublishAppend publishes rows accepted into a base stream. Called under
 // the source's delivery lock, which fixes the per-stream event order.
-// Oversized appends split like WAL batches do.
-func (p *Primary) PublishAppend(stream string, rows []types.Row) {
+// Oversized appends split like WAL batches do. traceID (0 = untraced)
+// carries the batch's trace context to replicas.
+func (p *Primary) PublishAppend(stream string, rows []types.Row, traceID uint64) {
 	if len(rows) == 0 {
 		return
 	}
@@ -231,7 +233,7 @@ func (p *Primary) PublishAppend(stream string, rows []types.Row) {
 	defer p.mu.Unlock()
 	for start := 0; start < len(rows); {
 		end := chunkEnd(start, len(rows), MaxEventBytes, func(i int) int { return rowSize(rows[i]) })
-		p.publishLocked(Event{Kind: KindAppend, Stream: stream, Rows: rows[start:end]})
+		p.publishLocked(Event{Kind: KindAppend, Stream: stream, Rows: rows[start:end], Trace: traceID})
 		start = end
 	}
 }

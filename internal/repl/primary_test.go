@@ -56,7 +56,7 @@ func mustRead(t *testing.T, r *bufio.Reader) *Event {
 // the ring backlog in order, then live events — with monotonic LSNs.
 func TestPrimaryIncrementalCatchup(t *testing.T) {
 	p := testPrimary(t, Config{RingSize: 16})
-	p.PublishAppend("s", []types.Row{{types.NewInt(1)}})
+	p.PublishAppend("s", []types.Row{{types.NewInt(1)}}, 0)
 	p.PublishAdvance("s", 60)
 	p.PublishWAL([]wal.Record{{Kind: wal.RecDDL, SQL: "CREATE TABLE t (a bigint)"}})
 
@@ -74,7 +74,7 @@ func TestPrimaryIncrementalCatchup(t *testing.T) {
 		}
 	}
 	// Live tail.
-	p.PublishAppend("s", []types.Row{{types.NewInt(2)}})
+	p.PublishAppend("s", []types.Row{{types.NewInt(2)}}, 0)
 	if ev := mustRead(t, r); ev.Kind != KindAppend || ev.LSN != 4 {
 		t.Fatalf("live event: %+v", ev)
 	}
@@ -92,7 +92,7 @@ func TestPrimarySnapshotWhenStale(t *testing.T) {
 		return emit(Event{Kind: KindTableNext, Table: "t", Next: 3})
 	}
 	for i := 0; i < 5; i++ {
-		p.PublishAppend("s", []types.Row{{types.NewInt(int64(i))}})
+		p.PublishAppend("s", []types.Row{{types.NewInt(int64(i))}}, 0)
 	}
 
 	// Fresh replica (no run ID): snapshot path.
@@ -172,7 +172,7 @@ func TestOversizedBatchSplitsAcrossEvents(t *testing.T) {
 		{types.NewInt(2), types.NewString(big)},
 		{types.NewInt(3), types.NewString(big)},
 	}
-	p.PublishAppend("s", rows)
+	p.PublishAppend("s", rows, 0)
 	var gotRows int
 	for lsn := uint64(1); lsn <= 2; lsn++ {
 		ev := mustRead(t, r)
@@ -195,7 +195,7 @@ func TestOversizedBatchSplitsAcrossEvents(t *testing.T) {
 		{Kind: wal.RecInsert, Table: "t", RowID: 2, Row: rows[1]},
 		{Kind: wal.RecInsert, Table: "t", RowID: 3, Row: rows[2]},
 	}
-	if err := p.PublishTxn(recs, nil); err != nil {
+	if err := p.PublishTxn(recs, nil, 0); err != nil {
 		t.Fatal(err)
 	}
 	var gotRecs int
@@ -220,7 +220,7 @@ func TestOversizedBatchSplitsAcrossEvents(t *testing.T) {
 
 	// Empty appends publish nothing (a zero-row event would be a no-op on
 	// the replica anyway).
-	p.PublishAppend("s", nil)
+	p.PublishAppend("s", nil, 0)
 	if lsn := p.LSN(); lsn != 4 {
 		t.Fatalf("lsn after empty append: %d, want 4", lsn)
 	}

@@ -63,6 +63,23 @@ type Response struct {
 	Close int64 `json:"close,omitempty"`
 	// Batch marks asynchronous CQ result frames.
 	Batch bool `json:"batch,omitempty"`
+	// Spans answers the "trace" op: the engine's completed trace spans,
+	// oldest first.
+	Spans []WireSpan `json:"spans,omitempty"`
+}
+
+// WireSpan is one completed trace span on the wire; field names match the
+// JSON served at /debug/traces. The trace ID is hex so it survives JSON
+// consumers that parse integers as doubles.
+type WireSpan struct {
+	Trace   string `json:"trace"`
+	Stage   string `json:"stage"`
+	Stream  string `json:"stream,omitempty"`
+	Pipe    int64  `json:"pipe,omitempty"`
+	StartUS int64  `json:"start_us"`
+	DurNS   int64  `json:"dur_ns"`
+	Rows    int    `json:"rows,omitempty"`
+	Slow    bool   `json:"slow,omitempty"`
 }
 
 // WireColumn is a schema column on the wire.

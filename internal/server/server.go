@@ -6,7 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"math"
 	"net"
 	"sync"
@@ -14,12 +14,13 @@ import (
 
 	"streamrel"
 	"streamrel/internal/metrics"
+	"streamrel/internal/trace"
 	"streamrel/internal/types"
 )
 
 // ops is the protocol command set; per-op latency histograms are
 // pre-created so dispatch never takes the registry lock.
-var ops = []string{"exec", "query", "append", "advance", "subscribe", "unsubscribe", "ping", "stats", "replicate", "promote"}
+var ops = []string{"exec", "query", "append", "advance", "subscribe", "unsubscribe", "ping", "stats", "trace", "replicate", "promote"}
 
 // Server serves one engine over TCP.
 type Server struct {
@@ -30,8 +31,8 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	closed bool
 
-	// Log receives connection errors; nil silences them.
-	Log *log.Logger
+	// Log receives structured connection errors; nil silences them.
+	Log *slog.Logger
 
 	// Replicate, when set, serves the "replicate" op: after the JSON
 	// acknowledgement the raw connection is handed over and streams binary
@@ -114,9 +115,9 @@ func (s *Server) Close() error {
 	return nil
 }
 
-func (s *Server) logf(format string, args ...any) {
+func (s *Server) logErr(msg string, err error) {
 	if s.Log != nil {
-		s.Log.Printf(format, args...)
+		s.Log.Warn(msg, "error", err.Error())
 	}
 }
 
@@ -158,7 +159,7 @@ func (s *Server) handle(conn net.Conn) {
 		var req Request
 		if err := dec.Decode(&req); err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				s.logf("server: decode: %v", err)
+				s.logErr("request decode failed", err)
 			}
 			return
 		}
@@ -203,7 +204,7 @@ func (s *Server) serveReplicate(sess *session, req *Request) {
 	}
 	if err != nil {
 		s.cmdErrs["replicate"].Inc()
-		s.logf("server: replicate: %v", err)
+		s.logErr("replication stream ended", err)
 	}
 }
 
@@ -321,6 +322,23 @@ func (sess *session) dispatch(req *Request) *Response {
 
 	case "stats":
 		return sess.srv.statsResponse()
+
+	case "trace":
+		spans := eng.Traces()
+		out := &Response{OK: true, Spans: make([]WireSpan, len(spans))}
+		for i, sp := range spans {
+			out.Spans[i] = WireSpan{
+				Trace:   trace.FormatID(sp.Trace),
+				Stage:   string(sp.Stage),
+				Stream:  sp.Stream,
+				Pipe:    sp.Pipe,
+				StartUS: sp.Start,
+				DurNS:   sp.Dur,
+				Rows:    sp.Rows,
+				Slow:    sp.Slow,
+			}
+		}
+		return out
 	}
 	return fail(fmt.Errorf("server: unknown op %q", req.Op))
 }

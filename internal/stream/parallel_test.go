@@ -11,6 +11,7 @@ import (
 	"streamrel/internal/catalog"
 	"streamrel/internal/plan"
 	"streamrel/internal/sql"
+	"streamrel/internal/trace"
 	"streamrel/internal/types"
 )
 
@@ -100,7 +101,7 @@ func TestParallelSinkErrorDetaches(t *testing.T) {
 	boom := errors.New("sink exploded")
 	stmt := `SELECT count(*) FROM url_stream <ADVANCE '1 minute'>`
 	pl := mustPlan(t, e, stmt)
-	if _, err := e.rt.Subscribe(pl, func(int64, []types.Row) error { return boom }); err != nil {
+	if _, err := e.rt.Subscribe(pl, func(trace.Ctx, int64, []types.Row) error { return boom }); err != nil {
 		t.Fatal(err)
 	}
 	if got := e.rt.Stats().Pipelines; got != 2 {
@@ -146,7 +147,7 @@ func TestParallelBackpressureOrder(t *testing.T) {
 	var mu sync.Mutex
 	var closes []int64
 	pl := mustPlan(t, e, `SELECT count(*) FROM url_stream <ADVANCE '1 minute'>`)
-	if _, err := e.rt.Subscribe(pl, func(c int64, _ []types.Row) error {
+	if _, err := e.rt.Subscribe(pl, func(_ trace.Ctx, c int64, _ []types.Row) error {
 		time.Sleep(time.Millisecond)
 		mu.Lock()
 		closes = append(closes, c)
@@ -196,7 +197,7 @@ func TestParallelUnsubscribeAndClose(t *testing.T) {
 		t.Fatal(err)
 	}
 	expect(t, flatten(*out), "10:/a", "11:/b")
-	if _, err := e.rt.Subscribe(pipe.Plan(), func(int64, []types.Row) error { return nil }); err == nil {
+	if _, err := e.rt.Subscribe(pipe.Plan(), func(trace.Ctx, int64, []types.Row) error { return nil }); err == nil {
 		t.Fatal("Subscribe after Close should fail")
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"streamrel/internal/metrics"
 	"streamrel/internal/plan"
 	"streamrel/internal/sql"
+	"streamrel/internal/trace"
 	"streamrel/internal/types"
 )
 
@@ -49,6 +50,15 @@ type Pipeline struct {
 	// resumeAfter suppresses closes at or before this boundary; recovery
 	// sets it from the Active Table's high-water mark (paper §4).
 	resumeAfter int64
+
+	// Trace state, touched only on the goroutine that applies this
+	// pipeline's input (worker, or producer under the source lock). tc is
+	// the most recent sampled context since the last fire — the next fire
+	// is attributed to it; oldestIngest is the earliest unfired batch's
+	// ingest time (wall ns), the start of the push-to-fire latency the
+	// slow-fire threshold is checked against. Both reset at each fire.
+	tc           trace.Ctx
+	oldestIngest int64
 
 	// Worker execution (parallel mode only; tasks == nil means the
 	// pipeline runs synchronously on the producer). The single worker
@@ -155,7 +165,8 @@ func (p *Pipeline) ResumeAfter(ts int64) {
 // every earlier window boundary complete, then lands in the buffer — the
 // same interleaving row-at-a-time delivery produced, amortized to one call
 // per batch per pipeline.
-func (p *Pipeline) processBatch(batch []tsRow) error {
+func (p *Pipeline) processBatch(batch []tsRow, tc trace.Ctx) error {
+	p.noteBatch(tc)
 	for _, tr := range batch {
 		if err := p.advanceTo(tr.ts); err != nil {
 			return err
@@ -165,6 +176,22 @@ func (p *Pipeline) processBatch(batch []tsRow) error {
 		}
 	}
 	return nil
+}
+
+// noteBatch folds an arriving batch's trace context into the pipeline's
+// pending fire attribution. The fire a batch triggers is the one its
+// arrival proves complete, so the context is noted before any boundary
+// closes.
+func (p *Pipeline) noteBatch(tc trace.Ctx) {
+	if p.rt.tracer == nil {
+		return
+	}
+	if p.oldestIngest == 0 && tc.Ingest != 0 {
+		p.oldestIngest = tc.Ingest
+	}
+	if tc.ID != 0 {
+		p.tc = tc
+	}
 }
 
 // push buffers one row (already proven in-order by the source).
@@ -314,39 +341,75 @@ func (p *Pipeline) endEmission(ts int64, rowCount int) error {
 
 // run executes the full plan over the window's rows and emits the result.
 func (p *Pipeline) run(c int64, rows []types.Row) error {
-	var start time.Time
-	if p.fireHist != nil {
-		start = time.Now()
-	}
-	ctx := p.rt.snapshotCtx(c)
-	out, err := exec.Drain(ctx, p.plan.Build(plan.Input{WindowRows: rows}))
-	if err != nil {
-		return fmt.Errorf("stream: window close at %d: %w", c, err)
-	}
-	p.windowsFired.Inc()
-	err = p.sink(c, out)
-	if p.fireHist != nil {
-		p.fireHist.ObserveSince(start)
-	}
-	return err
+	return p.fire(c, func() exec.Operator { return p.plan.Build(plan.Input{WindowRows: rows}) })
 }
 
 // runPost executes only the post-aggregation stage over merged shared
 // slice results.
 func (p *Pipeline) runPost(c int64, aggRows []types.Row) error {
+	return p.fire(c, func() exec.Operator { return p.plan.StreamAgg.PostBuild(aggRows) })
+}
+
+// fire evaluates one window close and delivers the result to the sink,
+// recording window-fire and cq-deliver spans when the fire is attributed
+// to a sampled batch, and force-recording (plus logging) fires whose
+// push-to-fire latency exceeds the slow-fire threshold.
+func (p *Pipeline) fire(c int64, build func() exec.Operator) error {
+	tr := p.rt.tracer
 	var start time.Time
-	if p.fireHist != nil {
+	if p.fireHist != nil || tr != nil {
 		start = time.Now()
 	}
 	ctx := p.rt.snapshotCtx(c)
-	out, err := exec.Drain(ctx, p.plan.StreamAgg.PostBuild(aggRows))
+	out, err := exec.Drain(ctx, build())
 	if err != nil {
 		return fmt.Errorf("stream: window close at %d: %w", c, err)
 	}
 	p.windowsFired.Inc()
-	err = p.sink(c, out)
+	if tr == nil {
+		err = p.sink(trace.Ctx{}, c, out)
+		if p.fireHist != nil {
+			p.fireHist.ObserveSince(start)
+		}
+		return err
+	}
+	execDone := time.Now()
+	tc, slow := p.takeFireCtx(tr, execDone)
+	err = p.sink(tc, c, out)
+	end := time.Now()
 	if p.fireHist != nil {
-		p.fireHist.ObserveSince(start)
+		p.fireHist.Observe(end.Sub(start).Seconds())
+	}
+	if tc.ID != 0 {
+		tr.Record(trace.Span{Trace: tc.ID, Stage: trace.StageWindowFire, Stream: p.src.name,
+			Pipe: p.id, Start: start.UnixMicro(), Dur: execDone.Sub(start).Nanoseconds(),
+			Rows: len(out), Slow: slow})
+		tr.Record(trace.Span{Trace: tc.ID, Stage: trace.StageCQDeliver, Stream: p.src.name,
+			Pipe: p.id, Start: execDone.UnixMicro(), Dur: end.Sub(execDone).Nanoseconds(),
+			Rows: len(out), Slow: slow})
+	}
+	if slow {
+		tr.SlowFire(p.src.name, p.id, tc.ID, time.Duration(end.UnixNano()-tc.Ingest),
+			execDone.Sub(start), end.Sub(execDone), len(out))
 	}
 	return err
+}
+
+// takeFireCtx consumes the pending trace attribution for one fire. The
+// returned context keeps the oldest unfired ingest time so downstream
+// consumers (derived streams, channels) measure latency from original
+// ingest. A fire over the slow threshold gets a fresh trace ID when its
+// batch was unsampled — slow fires bypass sampling.
+func (p *Pipeline) takeFireCtx(tr *trace.Tracer, execDone time.Time) (trace.Ctx, bool) {
+	tc := trace.Ctx{ID: p.tc.ID, Ingest: p.oldestIngest}
+	p.tc = trace.Ctx{}
+	p.oldestIngest = 0
+	slow := false
+	if th := tr.Threshold(); th > 0 && tc.Ingest != 0 && execDone.UnixNano()-tc.Ingest > int64(th) {
+		slow = true
+		if tc.ID == 0 {
+			tc.ID = tr.NewID()
+		}
+	}
+	return tc, slow
 }

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"streamrel/internal/catalog"
+	"streamrel/internal/trace"
 	"streamrel/internal/types"
 )
 
@@ -151,7 +152,7 @@ func TestEmissionBufferBounded(t *testing.T) {
 	pipe, _ := e.subscribe(t, `SELECT count(*) FROM d <SLICES 3 WINDOWS>`)
 	for i := 0; i < 20; i++ {
 		rows := []types.Row{{types.NewInt(int64(i))}}
-		if err := e.rt.emitDerived("d", int64(i+1)*minute, rows); err != nil {
+		if err := e.rt.emitDerived(trace.Ctx{}, "d", int64(i+1)*minute, rows); err != nil {
 			t.Fatal(err)
 		}
 	}

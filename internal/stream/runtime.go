@@ -32,14 +32,19 @@ import (
 	"streamrel/internal/exec"
 	"streamrel/internal/metrics"
 	"streamrel/internal/plan"
+	"streamrel/internal/trace"
 	"streamrel/internal/txn"
 	"streamrel/internal/types"
 )
 
 // Sink receives the rows produced by one window close of a continuous
-// query. In parallel mode a sink runs on its pipeline's worker goroutine;
-// it must not call back into the pipeline's own stream.
-type Sink func(closeTS int64, rows []types.Row) error
+// query, together with the trace context of the sampled batch that
+// proved the window complete (the zero Ctx when none was sampled) — so
+// downstream hops (channel WAL writes, derived-stream deliveries) join
+// the same span chain. In parallel mode a sink runs on its pipeline's
+// worker goroutine; it must not call back into the pipeline's own
+// stream.
+type Sink func(tc trace.Ctx, closeTS int64, rows []types.Row) error
 
 // LatePolicy decides what happens to a row whose timestamp precedes the
 // stream's high-water mark. The paper's streams are "ordered on an
@@ -85,14 +90,20 @@ type Runtime struct {
 	Late LatePolicy
 
 	// OnIngest, when set, observes every batch accepted into a base stream
-	// (after validation and late-policy filtering), and OnAdvance observes
-	// every effective heartbeat. Both run under the source lock, so the
-	// observation order is exactly the delivery order for that stream.
-	// Replication ships these events to replicas; derived-stream emissions
-	// are deliberately not reported, because a replica re-derives them by
-	// running its own pipelines. Set both before pushing begins.
-	OnIngest  func(stream string, rows []types.Row)
+	// (after validation and late-policy filtering) along with its trace
+	// context, and OnAdvance observes every effective heartbeat. Both run
+	// under the source lock, so the observation order is exactly the
+	// delivery order for that stream. Replication ships these events to
+	// replicas (carrying the trace ID across the wire); derived-stream
+	// emissions are deliberately not reported, because a replica
+	// re-derives them by running its own pipelines. Set both before
+	// pushing begins.
+	OnIngest  func(tc trace.Ctx, stream string, rows []types.Row)
 	OnAdvance func(stream string, ts int64)
+
+	// tracer samples batches into the end-to-end span pipeline; nil
+	// disables tracing. Set before pushing begins.
+	tracer *trace.Tracer
 
 	// reg is the metrics registry; nil disables registration (standalone
 	// handles keep counting for Stats). Set before sources register.
@@ -127,13 +138,13 @@ func (r *Runtime) SetMetrics(reg *metrics.Registry) {
 	r.reg = reg
 	r.lateDropped = reg.Counter("streamrel_stream_late_dropped_total",
 		"rows discarded by the LateDrop disorder policy")
-	reg.GaugeFunc("streamrel_sources", "registered stream sources", func() float64 {
+	sources := func() float64 {
 		r.mu.RLock()
 		n := len(r.sources)
 		r.mu.RUnlock()
 		return float64(n)
-	})
-	reg.GaugeFunc("streamrel_pipelines", "live continuous-query pipelines", func() float64 {
+	}
+	pipelines := func() float64 {
 		n := 0
 		for _, src := range r.snapshotSources() {
 			src.mu.Lock()
@@ -141,8 +152,21 @@ func (r *Runtime) SetMetrics(reg *metrics.Registry) {
 			src.mu.Unlock()
 		}
 		return float64(n)
-	})
+	}
+	reg.GaugeFunc("streamrel_stream_sources", "registered stream sources", sources)
+	reg.GaugeFunc("streamrel_stream_pipelines", "live continuous-query pipelines", pipelines)
+	// Deprecated aliases, kept for one release: these pre-date the
+	// streamrel_stream_* naming audit and will be removed.
+	reg.GaugeFunc("streamrel_sources",
+		"registered stream sources (deprecated alias of streamrel_stream_sources)", sources)
+	reg.GaugeFunc("streamrel_pipelines",
+		"live continuous-query pipelines (deprecated alias of streamrel_stream_pipelines)", pipelines)
 }
+
+// SetTracer binds the runtime to a tracer: ingested batches get sampled
+// trace contexts and every hop records spans. Call once, before pushing
+// begins; nil keeps tracing disabled.
+func (r *Runtime) SetTracer(t *trace.Tracer) { r.tracer = t }
 
 // SetParallel switches the runtime into parallel continuous-query mode:
 // every subsequently subscribed non-shared pipeline runs on a dedicated
@@ -356,7 +380,7 @@ func (r *Runtime) Push(stream string, row types.Row) error {
 	one := [1]types.Row{row}
 	src.mu.Lock()
 	defer src.mu.Unlock()
-	return src.deliver(r, one[:], 0, false)
+	return src.deliver(r, trace.Ctx{}, one[:], 0, false)
 }
 
 // PushBatch appends rows in order. Per-batch invariants — source
@@ -365,13 +389,21 @@ func (r *Runtime) Push(stream string, row types.Row) error {
 // before anything is delivered; window advance and delivery then happen
 // once per batch per pipeline instead of once per row.
 func (r *Runtime) PushBatch(stream string, rows []types.Row) error {
+	return r.PushBatchCtx(trace.Ctx{}, stream, rows)
+}
+
+// PushBatchCtx is PushBatch with an externally assigned trace context:
+// a replica re-injects the primary's trace ID here so the local apply
+// hops join the primary's span chain. A zero Ctx lets the runtime's own
+// tracer make the sampling decision.
+func (r *Runtime) PushBatchCtx(tc trace.Ctx, stream string, rows []types.Row) error {
 	src, err := r.lookup(stream)
 	if err != nil {
 		return err
 	}
 	src.mu.Lock()
 	defer src.mu.Unlock()
-	return src.deliver(r, rows, 0, false)
+	return src.deliver(r, tc, rows, 0, false)
 }
 
 // prepare validates a batch and stamps each row with its timestamp,
@@ -437,13 +469,20 @@ func (s *source) prepare(r *Runtime, rows []types.Row, explicitTS int64, explici
 // fires those closes before buffering the row — per pipeline, rows and
 // closes interleave exactly as in row-at-a-time delivery. Callers hold
 // s.mu.
-func (s *source) deliver(r *Runtime, rows []types.Row, explicitTS int64, explicit bool) error {
+func (s *source) deliver(r *Runtime, tc trace.Ctx, rows []types.Row, explicitTS int64, explicit bool) error {
 	if err := s.sweepFailedLocked(); err != nil {
 		return err
 	}
 	batch, err := s.prepare(r, rows, explicitTS, explicit)
 	if err != nil || len(batch) == 0 {
 		return err
+	}
+	// Sampling decision at ingest: a batch without an externally assigned
+	// context (replica re-injection, derived emission) rolls the dice
+	// here. Unsampled batches still get an ingest timestamp so slow-fire
+	// latency is measurable for every fire.
+	if r.tracer != nil && tc.ID == 0 && tc.Ingest == 0 {
+		tc = r.tracer.Begin(s.name, len(batch))
 	}
 	s.rows.Add(int64(len(batch)))
 	if r.OnIngest != nil && s.cqtimeCol >= 0 {
@@ -455,18 +494,26 @@ func (s *source) deliver(r *Runtime, rows []types.Row, explicitTS int64, explici
 		for i := range batch {
 			accepted[i] = batch[i].row
 		}
-		r.OnIngest(s.name, accepted)
+		r.OnIngest(tc, s.name, accepted)
 	}
 	// Hand the batch to worker pipelines first so they chew on it while
 	// the producer walks the synchronous subscribers.
-	for _, pipe := range s.pipes {
-		if pipe.tasks != nil {
-			pipe.enqueue(task{kind: taskBatch, batch: batch})
-		}
-	}
+	s.fanOutWorkers(r, tc, task{kind: taskBatch, batch: batch})
 	// Shared aggregation members and taps keep exact per-row interleaving
 	// with the shared slice state.
 	if len(s.shared) > 0 || len(s.taps) > 0 {
+		for _, pipe := range s.pipes {
+			if pipe.shared != nil {
+				pipe.noteBatch(tc)
+				if tc.ID != 0 {
+					// Shared members consume the batch row-at-a-time on
+					// this goroutine; the enqueue span is a zero-duration
+					// hand-off marker keeping the chain uniform.
+					r.tracer.Record(trace.Span{Trace: tc.ID, Stage: trace.StageEnqueue,
+						Stream: s.name, Pipe: pipe.id, Start: time.Now().UnixMicro(), Rows: len(batch)})
+				}
+			}
+		}
 		tapRows := !explicit && s.cqtimeCol >= 0
 		for _, tr := range batch {
 			if err := s.stepSharedLocked(tr); err != nil {
@@ -477,7 +524,7 @@ func (s *source) deliver(r *Runtime, rows []types.Row, explicitTS int64, explici
 			// instead).
 			if tapRows {
 				for _, tap := range s.taps {
-					if err := (*tap)(tr.ts, []types.Row{tr.row}); err != nil {
+					if err := (*tap)(tc, tr.ts, []types.Row{tr.row}); err != nil {
 						return err
 					}
 				}
@@ -490,11 +537,38 @@ func (s *source) deliver(r *Runtime, rows []types.Row, explicitTS int64, explici
 		if pipe.tasks != nil || pipe.shared != nil {
 			continue
 		}
-		if err := pipe.processBatch(batch); err != nil {
+		if tc.ID != 0 {
+			// Synchronous delivery has no queue; the enqueue span is a
+			// zero-duration hand-off marker keeping the chain uniform.
+			r.tracer.Record(trace.Span{Trace: tc.ID, Stage: trace.StageEnqueue,
+				Stream: s.name, Pipe: pipe.id, Start: time.Now().UnixMicro(), Rows: len(batch)})
+		}
+		if err := pipe.processBatch(batch, tc); err != nil {
 			return s.failLocked(pipe, err)
 		}
 	}
 	return nil
+}
+
+// fanOutWorkers enqueues one task on every worker pipeline, recording an
+// enqueue span (duration = backpressure wait) for sampled batches.
+func (s *source) fanOutWorkers(r *Runtime, tc trace.Ctx, t task) {
+	t.tc = tc
+	for _, pipe := range s.pipes {
+		if pipe.tasks == nil {
+			continue
+		}
+		if tc.ID == 0 {
+			pipe.enqueue(t)
+			continue
+		}
+		start := time.Now()
+		t.enqNS = start.UnixNano()
+		pipe.enqueue(t)
+		r.tracer.Record(trace.Span{Trace: tc.ID, Stage: trace.StageEnqueue,
+			Stream: s.name, Pipe: pipe.id, Start: start.UnixMicro(),
+			Dur: time.Since(start).Nanoseconds(), Rows: len(t.batch)})
+	}
 }
 
 // stepSharedLocked applies one row to the shared slice aggregations and
@@ -598,15 +672,17 @@ func (r *Runtime) Tap(stream string, sink Sink) (func(), error) {
 // goroutine — the producer in synchronous mode, the upstream pipeline's
 // worker in parallel mode.
 func (r *Runtime) DerivedSink(stream string) Sink {
-	return func(closeTS int64, rows []types.Row) error {
-		return r.emitDerived(stream, closeTS, rows)
+	return func(tc trace.Ctx, closeTS int64, rows []types.Row) error {
+		return r.emitDerived(tc, stream, closeTS, rows)
 	}
 }
 
 // emitDerived delivers one emission of a derived stream into its source:
 // all rows share the emission timestamp closeTS, and the emission boundary
-// itself is signalled for SLICES-window consumers.
-func (r *Runtime) emitDerived(stream string, closeTS int64, rows []types.Row) error {
+// itself is signalled for SLICES-window consumers. The upstream fire's
+// trace context rides along, so a sampled base-stream batch's chain
+// continues through every derived stream it cascades into.
+func (r *Runtime) emitDerived(tc trace.Ctx, stream string, closeTS int64, rows []types.Row) error {
 	r.mu.RLock()
 	src, ok := r.sources[stream]
 	r.mu.RUnlock()
@@ -624,9 +700,10 @@ func (r *Runtime) emitDerived(stream string, closeTS int64, rows []types.Row) er
 		return err
 	}
 	src.rows.Add(int64(len(batch)))
+	src.fanOutWorkers(r, tc, task{kind: taskEmission, batch: batch, ts: closeTS, emRows: len(rows)})
 	for _, pipe := range src.pipes {
-		if pipe.tasks != nil {
-			pipe.enqueue(task{kind: taskEmission, batch: batch, ts: closeTS, emRows: len(rows)})
+		if pipe.tasks == nil && pipe.shared != nil {
+			pipe.noteBatch(tc)
 		}
 	}
 	for _, tr := range batch {
@@ -638,7 +715,7 @@ func (r *Runtime) emitDerived(stream string, closeTS int64, rows []types.Row) er
 		if pipe.tasks != nil || pipe.shared != nil {
 			continue
 		}
-		if err := pipe.processBatch(batch); err != nil {
+		if err := pipe.processBatch(batch, tc); err != nil {
 			return src.failLocked(pipe, err)
 		}
 	}
@@ -651,7 +728,7 @@ func (r *Runtime) emitDerived(stream string, closeTS int64, rows []types.Row) er
 		}
 	}
 	for _, tap := range src.taps {
-		if err := (*tap)(closeTS, rows); err != nil {
+		if err := (*tap)(tc, closeTS, rows); err != nil {
 			return err
 		}
 	}

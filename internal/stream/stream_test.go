@@ -9,6 +9,7 @@ import (
 	"streamrel/internal/catalog"
 	"streamrel/internal/plan"
 	"streamrel/internal/sql"
+	"streamrel/internal/trace"
 	"streamrel/internal/txn"
 	"streamrel/internal/types"
 )
@@ -63,7 +64,7 @@ func (e *env) subscribe(t *testing.T, src string) (*Pipeline, *[]batch) {
 		t.Fatalf("plan: %v", err)
 	}
 	out := &[]batch{}
-	pipe, err := e.rt.Subscribe(pl, func(c int64, rows []types.Row) error {
+	pipe, err := e.rt.Subscribe(pl, func(_ trace.Ctx, c int64, rows []types.Row) error {
 		*out = append(*out, batch{c, rows})
 		return nil
 	})
@@ -341,7 +342,7 @@ func TestSlicesWindowOverDerived(t *testing.T) {
 		}
 		// emitDerived locks the derived source itself, so it may be
 		// called from any goroutine.
-		if err := e.rt.emitDerived("urls_now", c, rows); err != nil {
+		if err := e.rt.emitDerived(trace.Ctx{}, "urls_now", c, rows); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -2,8 +2,10 @@ package stream
 
 import (
 	"strconv"
+	"time"
 
 	"streamrel/internal/metrics"
+	"streamrel/internal/trace"
 )
 
 // Worker execution for parallel continuous-query mode. Each non-shared
@@ -35,6 +37,8 @@ type task struct {
 	ts     int64
 	emRows int // taskEmission: row count of the emission
 	done   chan struct{}
+	tc     trace.Ctx
+	enqNS  int64 // sampled tasks: wall-clock ns at enqueue, for the pickup span
 }
 
 // startWorker switches the pipeline into worker mode with a queue of the
@@ -113,14 +117,27 @@ func (p *Pipeline) workerLoop() {
 func (p *Pipeline) apply(t task) error {
 	switch t.kind {
 	case taskBatch:
-		return p.processBatch(t.batch)
+		p.pickup(t)
+		return p.processBatch(t.batch, t.tc)
 	case taskAdvance:
 		return p.advanceTo(t.ts)
 	case taskEmission:
-		if err := p.processBatch(t.batch); err != nil {
+		p.pickup(t)
+		if err := p.processBatch(t.batch, t.tc); err != nil {
 			return err
 		}
 		return p.endEmission(t.ts, t.emRows)
 	}
 	return nil
+}
+
+// pickup records the queue-wait span for a sampled task: the time between
+// the producer's enqueue and this worker dequeuing it.
+func (p *Pipeline) pickup(t task) {
+	if t.tc.ID == 0 || t.enqNS == 0 || p.rt.tracer == nil {
+		return
+	}
+	p.rt.tracer.Record(trace.Span{Trace: t.tc.ID, Stage: trace.StagePickup,
+		Stream: p.src.name, Pipe: p.id, Start: t.enqNS / 1000,
+		Dur: time.Now().UnixNano() - t.enqNS, Rows: len(t.batch)})
 }

@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"streamrel/internal/metrics"
+)
+
+func TestSamplingRate(t *testing.T) {
+	tr := New(Options{SampleEvery: 4})
+	sampled := 0
+	for i := 0; i < 16; i++ {
+		if tr.Begin("s", 1).Sampled() {
+			sampled++
+		}
+	}
+	if sampled != 4 {
+		t.Fatalf("sampled %d of 16 batches at 1/4, want 4", sampled)
+	}
+	// Every batch carries an ingest timestamp regardless of sampling.
+	if c := tr.Begin("s", 1); c.Ingest == 0 {
+		t.Fatal("unsampled batch missing ingest timestamp")
+	}
+}
+
+func TestSampleEveryBatch(t *testing.T) {
+	tr := New(Options{SampleEvery: 1})
+	for i := 0; i < 5; i++ {
+		if !tr.Begin("s", 1).Sampled() {
+			t.Fatalf("batch %d not sampled at rate 1", i)
+		}
+	}
+	if got := len(tr.Snapshot()); got != 5 {
+		t.Fatalf("snapshot has %d ingest spans, want 5", got)
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	tr := New(Options{SampleEvery: 1, RingSpans: 4})
+	for i := 1; i <= 6; i++ {
+		tr.Record(Span{Trace: uint64(i), Stage: StageEnqueue})
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("ring holds %d spans, want 4", len(spans))
+	}
+	for i, want := range []uint64{3, 4, 5, 6} {
+		if spans[i].Trace != want {
+			t.Fatalf("span %d has trace %d, want %d (oldest first)", i, spans[i].Trace, want)
+		}
+	}
+}
+
+func TestRecordIgnoresUntraced(t *testing.T) {
+	tr := New(Options{SampleEvery: 1})
+	tr.Record(Span{Trace: 0, Stage: StageEnqueue})
+	if got := len(tr.Snapshot()); got != 0 {
+		t.Fatalf("untraced span recorded: ring has %d spans", got)
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	if c := tr.Begin("s", 1); c.Sampled() || c.Ingest != 0 {
+		t.Fatalf("nil tracer Begin returned %+v, want zero Ctx", c)
+	}
+	if id := tr.NewID(); id != 0 {
+		t.Fatalf("nil tracer NewID returned %d", id)
+	}
+	if c := tr.Adopt(7); c.ID != 0 {
+		t.Fatalf("nil tracer Adopt returned %+v", c)
+	}
+	if th := tr.Threshold(); th != 0 {
+		t.Fatalf("nil tracer Threshold returned %v", th)
+	}
+	tr.Record(Span{Trace: 1})
+	if s := tr.Snapshot(); s != nil {
+		t.Fatalf("nil tracer Snapshot returned %v", s)
+	}
+	tr.SlowFire("s", 1, 2, time.Second, time.Second, time.Second, 1)
+}
+
+func TestNewIDNonZero(t *testing.T) {
+	tr := New(Options{})
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		id := tr.NewID()
+		if id == 0 {
+			t.Fatal("NewID returned 0")
+		}
+		if seen[id] {
+			t.Fatalf("NewID repeated %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestMetricsRegistration(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tr := New(Options{SampleEvery: 1, Metrics: reg})
+	tr.Begin("s", 1)
+	tr.SlowFire("s", 1, 2, time.Second, time.Second, 0, 1)
+	want := map[string]float64{
+		"streamrel_traces_sampled_total": 1,
+		"streamrel_slow_fires_total":     1,
+		"streamrel_trace_ring_spans":     1, // the ingest span
+	}
+	for _, smp := range reg.Gather() {
+		if v, ok := want[smp.Name]; ok {
+			if smp.Value != v {
+				t.Fatalf("%s = %v, want %v", smp.Name, smp.Value, v)
+			}
+			delete(want, smp.Name)
+		}
+	}
+	for name := range want {
+		t.Fatalf("metric %s not registered", name)
+	}
+}
+
+func TestSlowFireLogsStructured(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	tr := New(Options{SlowFire: time.Millisecond, Logger: logger})
+	tr.SlowFire("clicks", 3, 42, 5*time.Millisecond, time.Millisecond, time.Millisecond, 10)
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("slow-fire log is not JSON: %v (%q)", err, buf.String())
+	}
+	if line["msg"] != "slow window fire" || line["stream"] != "clicks" {
+		t.Fatalf("unexpected slow-fire log line: %v", line)
+	}
+	if line["trace"] != FormatID(42) {
+		t.Fatalf("trace id logged as %v, want %s", line["trace"], FormatID(42))
+	}
+}
+
+func TestHandlerJSON(t *testing.T) {
+	tr := New(Options{SampleEvery: 1})
+	tr.Record(Span{Trace: 0xabc, Stage: StageWindowFire, Stream: "s", Pipe: 2,
+		Start: 123, Dur: 456, Rows: 7, Slow: true})
+	rec := httptest.NewRecorder()
+	Handler(tr).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var spans []map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &spans); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	s := spans[0]
+	if s["trace"] != FormatID(0xabc) || s["stage"] != "window-fire" || s["slow"] != true {
+		t.Fatalf("unexpected span JSON: %v", s)
+	}
+}
+
+func TestHandlerNilTracer(t *testing.T) {
+	rec := httptest.NewRecorder()
+	Handler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if got := strings.TrimSpace(rec.Body.String()); got != "[]" {
+		t.Fatalf("nil tracer served %q, want []", got)
+	}
+}
+
+func TestFormatID(t *testing.T) {
+	if got := FormatID(0xdeadbeef); got != "00000000deadbeef" {
+		t.Fatalf("FormatID = %q", got)
+	}
+}

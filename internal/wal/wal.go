@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"streamrel/internal/metrics"
+	"streamrel/internal/trace"
 	"streamrel/internal/types"
 )
 
@@ -113,6 +114,8 @@ type Log struct {
 	appends     *metrics.Counter
 	appendBytes *metrics.Counter
 	fsyncHist   *metrics.Histogram
+
+	tracer *trace.Tracer
 }
 
 // Options configures log behaviour.
@@ -124,6 +127,9 @@ type Options struct {
 	// Metrics registers append/fsync series in this registry; nil
 	// disables WAL instrumentation.
 	Metrics *metrics.Registry
+	// Trace records wal-append/wal-fsync spans for sampled batches; nil
+	// disables them.
+	Trace *trace.Tracer
 }
 
 // Open opens (creating if needed) the log at path. A non-empty file whose
@@ -159,10 +165,11 @@ func Open(path string, opts Options) (*Log, error) {
 		}
 	}
 	return &Log{
-		f:    f,
-		path: path,
-		sync: opts.Sync,
-		hdr:  hdr,
+		f:      f,
+		path:   path,
+		sync:   opts.Sync,
+		hdr:    hdr,
+		tracer: opts.Trace,
 		appends: opts.Metrics.Counter("streamrel_wal_appends_total",
 			"committed batches appended to the write-ahead log"),
 		appendBytes: opts.Metrics.Counter("streamrel_wal_append_bytes_total",
@@ -174,9 +181,17 @@ func Open(path string, opts Options) (*Log, error) {
 
 // Append atomically writes one committed batch of records.
 func (l *Log) Append(recs []Record) error {
+	return l.AppendCtx(trace.Ctx{}, recs)
+}
+
+// AppendCtx is Append carrying a trace context: a sampled batch records a
+// wal-append span (header + payload write) and, under Sync, a wal-fsync
+// span.
+func (l *Log) AppendCtx(tc trace.Ctx, recs []Record) error {
 	if len(recs) == 0 {
 		return nil
 	}
+	traced := tc.ID != 0 && l.tracer != nil
 	payload := EncodeRecords(recs)
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
@@ -195,11 +210,20 @@ func (l *Log) Append(recs []Record) error {
 		}
 		l.hdr = true
 	}
+	var writeStart time.Time
+	if traced {
+		writeStart = time.Now()
+	}
 	if _, err := l.f.Write(hdr[:]); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
 	if _, err := l.f.Write(payload); err != nil {
 		return fmt.Errorf("wal: %w", err)
+	}
+	if traced {
+		l.tracer.Record(trace.Span{Trace: tc.ID, Stage: trace.StageWALAppend,
+			Stream: recs[0].Table, Start: writeStart.UnixMicro(),
+			Dur: time.Since(writeStart).Nanoseconds(), Rows: len(recs)})
 	}
 	if l.sync {
 		start := time.Now()
@@ -207,6 +231,11 @@ func (l *Log) Append(recs []Record) error {
 			return fmt.Errorf("wal: %w", err)
 		}
 		l.fsyncHist.ObserveSince(start)
+		if traced {
+			l.tracer.Record(trace.Span{Trace: tc.ID, Stage: trace.StageWALFsync,
+				Stream: recs[0].Table, Start: start.UnixMicro(),
+				Dur: time.Since(start).Nanoseconds(), Rows: len(recs)})
+		}
 	}
 	l.appends.Inc()
 	l.appendBytes.Add(int64(len(hdr) + len(payload)))

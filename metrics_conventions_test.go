@@ -1,0 +1,94 @@
+package streamrel
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"streamrel/internal/metrics"
+)
+
+// TestMetricNamingConventions audits every metric a fully wired engine
+// registers: streamrel_ prefix, _total suffix on counters, _seconds suffix
+// on (duration) histograms, and the deprecated gauge aliases kept for
+// dashboard compatibility.
+func TestMetricNamingConventions(t *testing.T) {
+	e := openTrace(t, Config{
+		Dir:               t.TempDir(),
+		SyncWAL:           true,
+		Replicate:         true,
+		ParallelCQ:        2,
+		TraceSampleEvery:  1,
+		SlowFireThreshold: time.Hour,
+	})
+	defer e.Close()
+	// Exercise stream, CQ, channel and WAL paths so lazily registered
+	// series exist before the audit.
+	mustExec(t, e, `CREATE STREAM s (v bigint, at timestamp CQTIME USER)`)
+	mustExec(t, e, `CREATE STREAM s_now AS
+		SELECT count(*) AS n, cq_close(*) FROM s <ADVANCE '1 minute'>`)
+	mustExec(t, e, `CREATE TABLE s_archive (n bigint, stime timestamp)`)
+	mustExec(t, e, `CREATE CHANNEL s_ch FROM s_now INTO s_archive APPEND`)
+	base := MustTimestamp("2009-01-04 00:00:00")
+	for i := 0; i < 5; i++ {
+		if err := e.Append("s", Row{Int(int64(i)), Timestamp(base.Add(time.Duration(i) * time.Second))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.AdvanceTime("s", base.Add(2*time.Minute))
+
+	samples := e.Metrics().Gather()
+	if len(samples) == 0 {
+		t.Fatal("engine registered no metrics")
+	}
+	byName := make(map[string]*metrics.Sample)
+	for _, s := range samples {
+		byName[s.Name] = s
+		if !strings.HasPrefix(s.Name, "streamrel_") {
+			t.Errorf("metric %q lacks the streamrel_ prefix", s.Name)
+		}
+		switch s.Kind {
+		case metrics.KindCounter:
+			if !strings.HasSuffix(s.Name, "_total") {
+				t.Errorf("counter %q should end in _total", s.Name)
+			}
+		case metrics.KindHistogram:
+			if !strings.HasSuffix(s.Name, "_seconds") {
+				t.Errorf("histogram %q should end in a unit suffix (_seconds)", s.Name)
+			}
+		case metrics.KindGauge:
+			if strings.HasSuffix(s.Name, "_total") {
+				t.Errorf("gauge %q must not end in _total", s.Name)
+			}
+		}
+	}
+
+	// The renamed gauges and their deprecated aliases must both exist and
+	// agree, so existing dashboards keep working through the rename.
+	for alias, canonical := range map[string]string{
+		"streamrel_sources":   "streamrel_stream_sources",
+		"streamrel_pipelines": "streamrel_stream_pipelines",
+	} {
+		a, c := byName[alias], byName[canonical]
+		if a == nil || c == nil {
+			t.Fatalf("missing %s (alias) or %s (canonical): alias=%v canonical=%v", alias, canonical, a, c)
+		}
+		if a.Value != c.Value {
+			t.Errorf("%s=%v disagrees with %s=%v", alias, a.Value, canonical, c.Value)
+		}
+		if !strings.Contains(a.Help, "deprecated") {
+			t.Errorf("alias %s help %q should say it is deprecated", alias, a.Help)
+		}
+	}
+
+	// Spot-check the series this PR introduces.
+	for _, name := range []string{
+		"streamrel_traces_sampled_total",
+		"streamrel_slow_fires_total",
+		"streamrel_trace_ring_spans",
+	} {
+		if byName[name] == nil {
+			t.Errorf("expected series %s not registered", name)
+		}
+	}
+}

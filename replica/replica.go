@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net"
 	"os"
@@ -25,6 +26,7 @@ import (
 	"streamrel/client"
 	"streamrel/internal/metrics"
 	"streamrel/internal/repl"
+	"streamrel/internal/trace"
 )
 
 // Options configures a replica.
@@ -47,8 +49,9 @@ type Options struct {
 	// jitter.
 	BackoffMin time.Duration
 	BackoffMax time.Duration
-	// Logf receives connection lifecycle messages; nil silences them.
-	Logf func(format string, args ...any)
+	// Log receives structured connection lifecycle messages; nil
+	// silences them.
+	Log *slog.Logger
 }
 
 // state is the persisted resume point.
@@ -135,9 +138,9 @@ func New(opts Options) (*Replica, error) {
 
 func (r *Replica) statePath() string { return filepath.Join(r.opts.Dir, "repl.state") }
 
-func (r *Replica) logf(format string, args ...any) {
-	if r.opts.Logf != nil {
-		r.opts.Logf(format, args...)
+func (r *Replica) log(msg string, args ...any) {
+	if r.opts.Log != nil {
+		r.opts.Log.Info(msg, args...)
 	}
 }
 
@@ -233,7 +236,9 @@ func (r *Replica) run() {
 			return
 		}
 		if err != nil {
-			r.logf("replica: stream from %s: %v", r.opts.Addr, err)
+			if r.opts.Log != nil {
+				r.opts.Log.Warn("replication stream failed", "primary", r.opts.Addr, "error", err.Error())
+			}
 		}
 		if applied {
 			backoff = r.opts.BackoffMin
@@ -316,7 +321,7 @@ func (r *Replica) apply(ev *repl.Event) error {
 		r.mu.Lock()
 		r.st.Run = ev.Run
 		r.mu.Unlock()
-		r.logf("replica: resuming from lsn %d (run %s)", r.lastApplied.Load(), ev.Run)
+		r.log("resuming replication", "lsn", r.lastApplied.Load(), "run", ev.Run)
 		return nil
 
 	case repl.KindSnapBegin:
@@ -325,7 +330,7 @@ func (r *Replica) apply(ev *repl.Event) error {
 		hadState := r.st.Run != "" || r.lastApplied.Load() > 0
 		r.st = state{Run: ev.Run}
 		r.mu.Unlock()
-		r.logf("replica: receiving snapshot (run %s)", ev.Run)
+		r.log("receiving snapshot", "run", ev.Run)
 		if hadState {
 			// Different run (or a too-stale resume point): drop local
 			// state and rebuild from the snapshot.
@@ -341,22 +346,30 @@ func (r *Replica) apply(ev *repl.Event) error {
 		r.st.LSN = ev.LSN
 		err := r.persistLocked()
 		r.mu.Unlock()
-		r.logf("replica: snapshot complete at lsn %d", ev.LSN)
+		r.log("snapshot complete", "lsn", ev.LSN)
 		return err
 
 	case repl.KindTableNext:
 		return r.eng.ApplyReplicatedTableNext(ev.Table, ev.Next)
 
 	case repl.KindWAL:
+		start := r.spanStart(ev)
 		if err := r.eng.ApplyReplicated(ev.Recs); err != nil {
 			return err
 		}
+		stream := ""
+		if len(ev.Recs) > 0 {
+			stream = ev.Recs[0].Table
+		}
+		r.recordApply(ev, start, stream, len(ev.Recs))
 		return r.applied(ev)
 
 	case repl.KindAppend:
-		if err := r.eng.ApplyReplicatedAppend(ev.Stream, ev.Rows); err != nil {
+		start := r.spanStart(ev)
+		if err := r.eng.ApplyReplicatedAppend(ev.Stream, ev.Rows, ev.Trace); err != nil {
 			return err
 		}
+		r.recordApply(ev, start, ev.Stream, len(ev.Rows))
 		return r.applied(ev)
 
 	case repl.KindAdvance:
@@ -372,6 +385,27 @@ func (r *Replica) apply(ev *repl.Event) error {
 		return r.applied(ev)
 	}
 	return fmt.Errorf("replica: unknown frame kind %d", ev.Kind)
+}
+
+// spanStart returns the wall-clock start for a traced frame's
+// replica-apply span, or the zero time for untraced frames.
+func (r *Replica) spanStart(ev *repl.Event) time.Time {
+	if ev.Trace == 0 || r.eng.Tracer() == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// recordApply closes a traced frame's span chain on this replica: the
+// span shares the primary's trace ID, so reading the replica's trace ring
+// shows where a traced primary batch landed remotely.
+func (r *Replica) recordApply(ev *repl.Event, start time.Time, stream string, rows int) {
+	if start.IsZero() {
+		return
+	}
+	r.eng.Tracer().Record(trace.Span{Trace: ev.Trace, Stage: trace.StageReplicaApply,
+		Stream: stream, Start: start.UnixMicro(),
+		Dur: time.Since(start).Nanoseconds(), Rows: rows})
 }
 
 // applied records a live event's LSN, observes lag, and persists the

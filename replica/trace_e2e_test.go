@@ -1,0 +1,97 @@
+package replica_test
+
+import (
+	"testing"
+	"time"
+
+	"streamrel"
+	"streamrel/internal/server"
+	"streamrel/internal/trace"
+	"streamrel/replica"
+)
+
+// startTracedPair starts a primary node and an attached replica, both with
+// every-batch tracing (the harness startNode hardcodes default tracing, so
+// the trace tests build their own pair).
+func startTracedPair(t *testing.T) (*node, *streamrel.Engine, *replica.Replica) {
+	t.Helper()
+	peng, err := streamrel.Open(streamrel.Config{Replicate: true, TraceSampleEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(peng)
+	srv.Replicate = peng.Repl().ServeConn
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	prim := &node{eng: peng, srv: srv, addr: addr}
+
+	reng, err := streamrel.Open(streamrel.Config{Replicate: true, TraceSampleEvery: 1})
+	if err != nil {
+		prim.stop()
+		t.Fatal(err)
+	}
+	rep, err := replica.New(replica.Options{
+		Addr:       addr,
+		Engine:     reng,
+		BackoffMin: 20 * time.Millisecond,
+		BackoffMax: 200 * time.Millisecond,
+	})
+	if err != nil {
+		reng.Close()
+		prim.stop()
+		t.Fatal(err)
+	}
+	rep.Start()
+	return prim, reng, rep
+}
+
+// TestReplicaApplySharesPrimaryTraceID is the end-to-end acceptance check:
+// a sampled batch ingested on the primary produces a replica-apply span on
+// the replica under the SAME trace ID as the primary's ingest span.
+func TestReplicaApplySharesPrimaryTraceID(t *testing.T) {
+	prim, reng, rep := startTracedPair(t)
+	defer prim.stop()
+	defer reng.Close()
+	defer rep.Stop()
+
+	mustExec(t, prim.eng, `CREATE STREAM s (v bigint, at timestamp CQTIME USER)`)
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+	// Rows appended before the replica finishes bootstrapping arrive via
+	// snapshot, not the live event stream, so keep appending fresh rows
+	// until one crosses the wire as a traced append event.
+	deadline := time.Now().Add(10 * time.Second)
+	for i := 0; time.Now().Before(deadline); i++ {
+		if err := prim.eng.Append("s",
+			streamrel.Row{streamrel.Int(int64(i)), streamrel.Timestamp(base.Add(time.Duration(i) * time.Second))}); err != nil {
+			t.Fatal(err)
+		}
+		for _, sp := range reng.Traces() {
+			if sp.Stage != trace.StageReplicaApply {
+				continue
+			}
+			primIngest := make(map[uint64]bool)
+			for _, psp := range prim.eng.Traces() {
+				if psp.Stage == trace.StageIngest && psp.Stream == "s" {
+					primIngest[psp.Trace] = true
+				}
+			}
+			// Same trace ID on both sides of the wire: the replica's
+			// apply span must sit under a trace the primary started at
+			// ingest. (The replica adopts the ID rather than re-sampling,
+			// so it records no second ingest span.)
+			if !primIngest[sp.Trace] {
+				t.Fatalf("replica-apply span %016x does not match any primary ingest trace", sp.Trace)
+			}
+			if sp.Stream != "s" || sp.Rows == 0 {
+				t.Fatalf("replica-apply span missing stream/rows: %+v", sp)
+			}
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("replica never recorded a replica-apply span")
+}

@@ -10,6 +10,7 @@ import (
 	"streamrel/internal/sql"
 	"streamrel/internal/storage"
 	"streamrel/internal/stream"
+	"streamrel/internal/trace"
 	"streamrel/internal/types"
 	"streamrel/internal/wal"
 )
@@ -28,7 +29,11 @@ func (e *Engine) Repl() *repl.Primary { return e.hub }
 func (e *Engine) initReplication() {
 	e.hub = repl.NewPrimary(repl.Config{Metrics: e.reg, RingSize: e.cfg.ReplRingSize})
 	e.hub.Snapshot = e.replicationSnapshot
-	e.rt.OnIngest = e.hub.PublishAppend
+	// The repl package stays trace-agnostic: the hook narrows the trace
+	// context to the bare ID the wire format carries.
+	e.rt.OnIngest = func(tc trace.Ctx, stream string, rows []types.Row) {
+		e.hub.PublishAppend(stream, rows, tc.ID)
+	}
 	e.rt.OnAdvance = e.hub.PublishAdvance
 }
 
@@ -127,8 +132,9 @@ func (e *Engine) ApplyReplicated(recs []wal.Record) error {
 // ApplyReplicatedAppend pushes replicated stream rows without re-stamping
 // CQTIME SYSTEM columns — the primary's arrival timestamps are part of
 // the replicated history. The local system clock still advances past them
-// so post-promotion appends stay monotonic.
-func (e *Engine) ApplyReplicatedAppend(streamName string, rows []Row) error {
+// so post-promotion appends stay monotonic. A non-zero traceID re-injects
+// the primary's trace context so local fires chain onto the same trace.
+func (e *Engine) ApplyReplicatedAppend(streamName string, rows []Row, traceID uint64) error {
 	if st, ok := e.cat.Stream(streamName); ok && st.SystemTime && len(rows) > 0 {
 		last := rows[len(rows)-1]
 		if st.CQTimeCol < len(last) && last[st.CQTimeCol].Type() == types.TypeTimestamp {
@@ -142,6 +148,9 @@ func (e *Engine) ApplyReplicatedAppend(streamName string, rows []Row) error {
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	if traceID != 0 && e.tracer != nil {
+		return e.rt.PushBatchCtx(e.tracer.Adopt(traceID), streamName, rows)
+	}
 	return e.rt.PushBatch(streamName, rows)
 }
 

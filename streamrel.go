@@ -28,6 +28,7 @@ package streamrel
 
 import (
 	"fmt"
+	"log/slog"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
@@ -39,6 +40,7 @@ import (
 	"streamrel/internal/repl"
 	"streamrel/internal/sql"
 	"streamrel/internal/stream"
+	"streamrel/internal/trace"
 	"streamrel/internal/txn"
 	"streamrel/internal/types"
 	"streamrel/internal/wal"
@@ -130,6 +132,21 @@ type Config struct {
 	// registry, reachable via Engine.Metrics() — share one registry
 	// across engines (or with a server) by setting it here.
 	Metrics *MetricsRegistry
+	// TraceSampleEvery controls end-to-end event tracing: one in N
+	// ingested batches gets a trace ID followed through every hop (see
+	// internal/trace). 0 samples at the default rate (1/256), 1 traces
+	// every batch, negative disables tracing entirely.
+	TraceSampleEvery int
+	// SlowFireThreshold force-records (and logs, via Logger) any window
+	// fire whose push-to-fire latency exceeds it, regardless of sampling.
+	// 0 disables slow-fire detection.
+	SlowFireThreshold time.Duration
+	// TraceRingSpans caps the completed-span ring; 0 uses the default
+	// (4096 spans).
+	TraceRingSpans int
+	// Logger receives structured engine logs (the slow-fire log). Nil
+	// uses slog.Default().
+	Logger *slog.Logger
 	// Now overrides the wall clock (for now() and tests).
 	Now func() time.Time
 }
@@ -150,6 +167,7 @@ type Engine struct {
 	planner *plan.Planner
 	log     *wal.Log // nil when in-memory
 	reg     *metrics.Registry
+	tracer  *trace.Tracer // nil when tracing is disabled
 
 	// hub publishes committed batches and stream events to replicas;
 	// nil unless Config.Replicate.
@@ -197,6 +215,16 @@ func Open(cfg Config) (*Engine, error) {
 	e.rt.SetMetrics(e.reg)
 	e.rt.Late = stream.LatePolicy(cfg.LateRows)
 	e.rt.SetParallel(cfg.ParallelCQ)
+	if cfg.TraceSampleEvery >= 0 {
+		e.tracer = trace.New(trace.Options{
+			SampleEvery: cfg.TraceSampleEvery,
+			SlowFire:    cfg.SlowFireThreshold,
+			RingSpans:   cfg.TraceRingSpans,
+			Metrics:     e.reg,
+			Logger:      cfg.Logger,
+		})
+		e.rt.SetTracer(e.tracer)
+	}
 	e.planner = &plan.Planner{Cat: e.cat}
 	e.checkpointHist = e.reg.Histogram("streamrel_checkpoint_seconds",
 		"duration of checkpoints (heap compaction + file write + WAL truncate)", nil)
@@ -212,7 +240,7 @@ func Open(cfg Config) (*Engine, error) {
 		e.reg.Gauge("streamrel_recovery_replay_seconds",
 			"duration of the last checkpoint+WAL replay and CQ resume").
 			Set(time.Since(start).Seconds())
-		log, err := wal.Open(e.walPath(), wal.Options{Sync: cfg.SyncWAL, Metrics: e.reg})
+		log, err := wal.Open(e.walPath(), wal.Options{Sync: cfg.SyncWAL, Metrics: e.reg, Trace: e.tracer})
 		if err != nil {
 			return nil, err
 		}
@@ -225,6 +253,35 @@ func Open(cfg Config) (*Engine, error) {
 // counters, gauges and latency histograms, gatherable as samples or
 // renderable in the Prometheus text format.
 func (e *Engine) Metrics() *MetricsRegistry { return e.reg }
+
+// TraceSpan is one completed tracing hop; see internal/trace for the
+// span model.
+type TraceSpan = trace.Span
+
+// TraceStage names one hop of a batch's journey; TraceSpan.Stage holds
+// one of the Stage* constants below.
+type TraceStage = trace.Stage
+
+// Span stages, re-exported so embedders can match on TraceSpan.Stage
+// without reaching into internal packages.
+const (
+	StageIngest       = trace.StageIngest
+	StageEnqueue      = trace.StageEnqueue
+	StagePickup       = trace.StagePickup
+	StageWindowFire   = trace.StageWindowFire
+	StageCQDeliver    = trace.StageCQDeliver
+	StageWALAppend    = trace.StageWALAppend
+	StageWALFsync     = trace.StageWALFsync
+	StageReplicaApply = trace.StageReplicaApply
+)
+
+// Tracer returns the engine's event tracer, or nil when tracing is
+// disabled (Config.TraceSampleEvery < 0).
+func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
+
+// Traces returns the completed spans currently held in the trace ring,
+// oldest first. Empty when tracing is disabled.
+func (e *Engine) Traces() []TraceSpan { return e.tracer.Snapshot() }
 
 func (e *Engine) walPath() string        { return filepath.Join(e.cfg.Dir, "wal.log") }
 func (e *Engine) checkpointPath() string { return filepath.Join(e.cfg.Dir, "checkpoint") }
