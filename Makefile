@@ -30,12 +30,17 @@ cover:
 check: build fmt vet test race
 
 # bench regenerates the fan-out scaling numbers (experiment E9) into
-# BENCH_fanout.json and the tracing-overhead numbers (E11) into
-# BENCH_trace.json so both trajectories are tracked across PRs.
-# Use `go test -bench .` for the full microbenchmark suite.
+# BENCH_fanout.json, the tracing-overhead numbers (E11) into
+# BENCH_trace.json, and the ingest hot-path ladder (E12) into
+# BENCH_ingest.json — stamped with timestamp+git sha and gated on the
+# checked-in allocs/row budget — so all three trajectories are tracked
+# across PRs. Use `go test -bench .` for the full microbenchmark suite;
+# `go test -bench BenchmarkIngest -benchmem` is the ladder's testing.B
+# counterpart.
 bench:
 	$(GO) run ./cmd/srbench -scale 0.2 -only E9 -json BENCH_fanout.json
 	$(GO) run ./cmd/srbench -scale 0.2 -only E11 -json BENCH_trace.json
+	$(GO) run ./cmd/srbench -scale 0.5 -only E12 -json BENCH_ingest.json -stamp -budget BENCH_budget.json
 
 # fuzz exercises the binary decoders (WAL batches, replication frames)
 # that parse untrusted bytes off disk and off the wire.

@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
@@ -37,6 +39,7 @@ var index = []struct{ id, what string }{
 	{"E9", "parallel CQ fan-out: k CQs serial vs per-pipeline workers (Config.ParallelCQ)"},
 	{"E10", "replication: replica apply-lag quantiles under live ingest (log shipping over loopback TCP)"},
 	{"E11", "tracing overhead: ingest throughput with spans off / 1-in-256 sampled / every batch"},
+	{"E12", "ingest hot path ladder: rows/s + allocs/row across fan-out, workers, Sync on/off"},
 }
 
 // jsonReport is the machine-readable output format for -json: enough
@@ -46,10 +49,83 @@ type jsonReport struct {
 	Suite      string               `json:"suite"`
 	Scale      float64              `json:"scale"`
 	GOMAXPROCS int                  `json:"gomaxprocs"`
+	GitSHA     string               `json:"git_sha,omitempty"`
+	GitDirty   bool                 `json:"git_dirty,omitempty"`
 	Started    time.Time            `json:"started"`
 	ElapsedMS  int64                `json:"elapsed_ms"`
 	Tables     []*experiments.Table `json:"tables"`
 	Durations  map[string]int64     `json:"experiment_ms"`
+}
+
+// gitStamp returns the short HEAD sha and whether the tree is dirty, so
+// BENCH files become a trajectory: each result names the exact code it
+// measured. Outside a git checkout both are zero values.
+func gitStamp() (sha string, dirty bool) {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "", false
+	}
+	sha = strings.TrimSpace(string(out))
+	st, err := exec.Command("git", "status", "--porcelain").Output()
+	if err == nil && len(strings.TrimSpace(string(st))) > 0 {
+		dirty = true
+	}
+	return sha, dirty
+}
+
+// stampedPath derives the trajectory filename for a report, in the
+// bench_canonical-<UTCtimestamp>_<gitsha>[-dirty] style:
+// BENCH_ingest.json → BENCH_ingest-20060102T150405Z_abc1234-dirty.json.
+func stampedPath(base string, started time.Time, sha string, dirty bool) string {
+	ext := filepath.Ext(base)
+	stem := strings.TrimSuffix(base, ext)
+	stamp := started.UTC().Format("20060102T150405Z")
+	name := fmt.Sprintf("%s-%s", stem, stamp)
+	if sha != "" {
+		name += "_" + sha
+		if dirty {
+			name += "-dirty"
+		}
+	}
+	return name + ext
+}
+
+// checkBudget compares every metric the run produced against the maxima
+// in a checked-in budget file (metric name → max allowed value). Metrics
+// absent from the budget are unconstrained; budget entries the run didn't
+// produce are reported but don't fail (a small -scale run may skip rungs).
+func checkBudget(path string, tables []*experiments.Table) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var budget map[string]float64
+	if err := json.Unmarshal(data, &budget); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	got := map[string]float64{}
+	for _, t := range tables {
+		for k, v := range t.Metrics {
+			got[k] = v
+		}
+	}
+	var failures []string
+	for name, limit := range budget {
+		v, ok := got[name]
+		if !ok {
+			fmt.Printf("budget: %s not measured this run (limit %g)\n", name, limit)
+			continue
+		}
+		if v > limit {
+			failures = append(failures, fmt.Sprintf("%s = %.3f exceeds budget %.3f", name, v, limit))
+		} else {
+			fmt.Printf("budget: %s = %.3f within %.3f\n", name, v, limit)
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("budget exceeded:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
 }
 
 func main() {
@@ -57,6 +133,8 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	jsonPath := flag.String("json", "", "also write results as JSON to this file")
+	stamp := flag.Bool("stamp", false, "additionally write a timestamped+git-sha'd copy of the -json file")
+	budgetPath := flag.String("budget", "", "compare run metrics against this budget file (metric → max); exit non-zero on breach")
 	flag.Parse()
 
 	if *list {
@@ -78,14 +156,18 @@ func main() {
 		"E3": experiments.E3, "E4": experiments.E4, "E5": experiments.E5,
 		"E6": experiments.E6, "E7": experiments.E7, "E8": experiments.E8,
 		"E9": experiments.E9, "E10": experiments.E10, "E11": experiments.E11,
+		"E12": experiments.E12,
 	}
 
 	fmt.Printf("streamrel experiment suite (scale %.2g)\n", *scale)
 	fmt.Printf("reproducing: Franklin et al., \"Continuous Analytics\", CIDR 2009\n\n")
+	sha, dirty := gitStamp()
 	report := &jsonReport{
 		Suite:      "streamrel",
 		Scale:      *scale,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GitSHA:     sha,
+		GitDirty:   dirty,
 		Started:    time.Now().UTC(),
 		Durations:  map[string]int64{},
 	}
@@ -124,5 +206,19 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
+		if *stamp {
+			sp := stampedPath(*jsonPath, report.Started, sha, dirty)
+			if err := os.WriteFile(sp, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "json: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", sp)
+		}
+	}
+	if *budgetPath != "" {
+		if err := checkBudget(*budgetPath, report.Tables); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
 	}
 }

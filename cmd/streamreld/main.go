@@ -46,6 +46,7 @@ func main() {
 	dir := flag.String("dir", "", "data directory (empty = in-memory)")
 	initScript := flag.String("init", "", "SQL script to execute at startup")
 	syncWAL := flag.Bool("sync", false, "fsync every commit")
+	groupCommitDelay := flag.Duration("group-commit-delay", 0, "WAL group-commit leader wait before writing, to merge concurrent commits into one fsync (0 = write immediately; needs -sync)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/traces and /debug/pprof on this address (empty = disabled; keep it private)")
 	replicaOf := flag.String("replica-of", "", "follow this primary address as a read replica")
 	traceSample := flag.Int("trace-sample", 0, "trace one in N ingested batches (0 = default 1/256, 1 = every batch, negative = off)")
@@ -62,12 +63,13 @@ func main() {
 	// Replication is always enabled so any node can serve replicas —
 	// including a promoted one.
 	eng, err := streamrel.Open(streamrel.Config{
-		Dir:               *dir,
-		SyncWAL:           *syncWAL,
-		Replicate:         true,
-		TraceSampleEvery:  *traceSample,
-		SlowFireThreshold: *slowFire,
-		Logger:            logger,
+		Dir:                 *dir,
+		SyncWAL:             *syncWAL,
+		GroupCommitMaxDelay: *groupCommitDelay,
+		Replicate:           true,
+		TraceSampleEvery:    *traceSample,
+		SlowFireThreshold:   *slowFire,
+		Logger:              logger,
 	})
 	if err != nil {
 		fatal("engine open failed", err)

@@ -1,0 +1,96 @@
+package streamrel
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// Steady-state allocation regression tests for the ingest hot path:
+// Append → source.prepare (pooled batch block) → window pending buffer.
+// The CQ window is sized so it never fires during the measurement, which
+// isolates the per-row buffering cost from fire-time work. Budgets are
+// deliberately loose (the measured steady state is well under 1
+// alloc/row; the pre-overhaul code sat near 3) so the tests catch a
+// reintroduced per-row allocation, not scheduler noise.
+
+const allocBatch = 256
+
+// measureIngestAllocs returns steady-state allocations per row appending
+// pre-built 256-row batches into one never-firing CQ.
+func measureIngestAllocs(t *testing.T, cfg Config) float64 {
+	t.Helper()
+	cfg.TraceSampleEvery = -1
+	e, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	mustExec(t, e, `CREATE STREAM s (v bigint, at timestamp CQTIME USER)`)
+	cq, err := e.Subscribe(`SELECT v, count(*) FROM s
+		<VISIBLE 100000000 ROWS ADVANCE 100000000 ROWS> GROUP BY v`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cq.Close()
+
+	const runs = 50
+	// Pre-build every batch: row construction must not count against the
+	// engine. AllocsPerRun invokes f runs+1 times; add warmup batches.
+	batches := make([][]Row, runs+4)
+	ts := MustTimestamp("2009-01-04 00:00:00")
+	for i := range batches {
+		rows := make([]Row, allocBatch)
+		for j := range rows {
+			ts = ts.Add(time.Millisecond)
+			rows[j] = Row{Int(int64(j)), Timestamp(ts)}
+		}
+		batches[i] = rows
+	}
+	idx := 0
+	push := func() {
+		if err := e.Append("s", batches[idx]...); err != nil {
+			t.Fatal(err)
+		}
+		idx++
+	}
+	// Warm the batch pools and grow the pending buffer past its first
+	// doublings before measuring.
+	push()
+	push()
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	perRun := testing.AllocsPerRun(runs, push)
+	return perRun / allocBatch
+}
+
+func TestIngestAllocsPerRowSerial(t *testing.T) {
+	perRow := measureIngestAllocs(t, Config{})
+	t.Logf("serial steady-state: %.3f allocs/row", perRow)
+	if perRow > 1.5 {
+		t.Fatalf("serial ingest allocates %.3f/row, budget 1.5", perRow)
+	}
+}
+
+func TestIngestAllocsPerRowWorker(t *testing.T) {
+	perRow := measureIngestAllocs(t, Config{ParallelCQ: 2})
+	t.Logf("worker-mode steady-state: %.3f allocs/row", perRow)
+	if perRow > 1.5 {
+		t.Fatalf("worker-mode ingest allocates %.3f/row, budget 1.5", perRow)
+	}
+}
+
+// TestIngestAllocsReport is a convenience: -run TestIngestAllocsReport -v
+// prints both modes side by side for DESIGN.md / README refreshes.
+func TestIngestAllocsReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reporting only")
+	}
+	for _, m := range []struct {
+		name string
+		cfg  Config
+	}{{"serial", Config{}}, {"worker", Config{ParallelCQ: 2}}} {
+		fmt.Println(m.name, "allocs/row:", measureIngestAllocs(t, m.cfg))
+	}
+}

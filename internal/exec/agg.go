@@ -43,43 +43,51 @@ func (h *HashAgg) Open(ctx *Ctx) error {
 	groups := make(map[string]*group)
 	var order []string
 
+	// Pull whole chunks when the child supports it, hoist one expression
+	// context per chunk, and evaluate group keys into a scratch row that
+	// is cloned only when a new group is born — most rows hit an existing
+	// group, so the steady state allocates nothing per row but the key.
+	ec := expr.Ctx{WindowClose: ctx.WindowClose, Now: ctx.Now}
+	scratch := make(types.Row, len(h.GroupBy))
+	var inBuf []types.Row
 	for {
-		row, err := h.Child.Next()
+		batch, err := nextBatch(h.Child, &inBuf)
 		if err != nil {
 			return err
 		}
-		if row == nil {
+		if batch == nil {
 			break
 		}
-		ec := ctx.exprCtx(row)
-		keys := make(types.Row, len(h.GroupBy))
-		for i, g := range h.GroupBy {
-			if keys[i], err = g.Eval(ec); err != nil {
-				return err
+		for _, row := range batch {
+			ec.Row = row
+			for i, g := range h.GroupBy {
+				if scratch[i], err = g.Eval(&ec); err != nil {
+					return err
+				}
 			}
-		}
-		k := keys.Key()
-		grp, ok := groups[k]
-		if !ok {
-			grp = &group{keys: keys}
-			grp.accs = make([]expr.Acc, len(h.Aggs))
+			k := scratch.Key()
+			grp, ok := groups[k]
+			if !ok {
+				grp = &group{keys: scratch.Clone()}
+				grp.accs = make([]expr.Acc, len(h.Aggs))
+				for i, spec := range h.Aggs {
+					if grp.accs[i], err = expr.NewAcc(spec); err != nil {
+						return err
+					}
+				}
+				groups[k] = grp
+				order = append(order, k)
+			}
 			for i, spec := range h.Aggs {
-				if grp.accs[i], err = expr.NewAcc(spec); err != nil {
+				v := types.True // count(*) placeholder
+				if spec.Arg != nil {
+					if v, err = spec.Arg.Eval(&ec); err != nil {
+						return err
+					}
+				}
+				if err := grp.accs[i].Add(v); err != nil {
 					return err
 				}
-			}
-			groups[k] = grp
-			order = append(order, k)
-		}
-		for i, spec := range h.Aggs {
-			v := types.True // count(*) placeholder
-			if spec.Arg != nil {
-				if v, err = spec.Arg.Eval(ec); err != nil {
-					return err
-				}
-			}
-			if err := grp.accs[i].Add(v); err != nil {
-				return err
 			}
 		}
 	}

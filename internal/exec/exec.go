@@ -38,22 +38,25 @@ type Operator interface {
 	Close() error
 }
 
-// Drain runs an operator to completion and collects its output.
+// Drain runs an operator to completion and collects its output. It
+// pulls whole chunks when the root implements Batcher; the collected
+// rows are copied out of any operator-owned batch container, so the
+// result is safe to retain.
 func Drain(ctx *Ctx, op Operator) ([]types.Row, error) {
 	if err := op.Open(ctx); err != nil {
 		return nil, err
 	}
 	defer op.Close()
-	var out []types.Row
+	var out, buf []types.Row
 	for {
-		row, err := op.Next()
+		batch, err := nextBatch(op, &buf)
 		if err != nil {
 			return nil, err
 		}
-		if row == nil {
+		if batch == nil {
 			return out, nil
 		}
-		out = append(out, row)
+		out = append(out, batch...)
 	}
 }
 

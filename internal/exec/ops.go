@@ -12,7 +12,9 @@ type Filter struct {
 	Child Operator
 	Pred  *expr.Scalar
 
-	ctx *Ctx
+	ctx   *Ctx
+	buf   []types.Row // NextBatch output container, reused per chunk
+	inBuf []types.Row // staging for non-Batcher children
 }
 
 // Open implements Operator.
@@ -46,7 +48,9 @@ type Project struct {
 	Child Operator
 	Exprs []*expr.Scalar
 
-	ctx *Ctx
+	ctx   *Ctx
+	buf   []types.Row // NextBatch output container, reused per chunk
+	inBuf []types.Row // staging for non-Batcher children
 }
 
 // Open implements Operator.

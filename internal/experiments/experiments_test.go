@@ -11,8 +11,8 @@ func TestAllExperimentsSmall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 12 {
-		t.Fatalf("expected 12 experiments, got %d", len(tables))
+	if len(tables) != 13 {
+		t.Fatalf("expected 13 experiments, got %d", len(tables))
 	}
 	seen := map[string]bool{}
 	for _, tab := range tables {

@@ -68,8 +68,12 @@ type Pipeline struct {
 	workerDone chan struct{}
 	stopOnce   sync.Once
 	enqueued   atomic.Int64
-	failed     atomic.Bool // failErr is written before the Store, read after the Load
-	failErr    error
+	// applied counts non-flush tasks the worker has fully processed;
+	// enqueued == applied with an empty queue means the worker is idle,
+	// which lets the producer bypass the queue (soleIdleWorker).
+	applied atomic.Int64
+	failed  atomic.Bool // failErr is written before the Store, read after the Load
+	failErr error
 
 	// id labels this pipeline in metric series and Stats.PerPipeline.
 	id int64
@@ -268,9 +272,11 @@ func (p *Pipeline) alignUp(ts int64) int64 {
 }
 
 // fireTime evaluates the window closing at boundary c: rows with
-// timestamps in [c-VISIBLE, c).
+// timestamps in [c-VISIBLE, c). The window materialization rides in a
+// pooled container, released once the plan has drained — operators copy
+// row references into fresh output rows and never retain the input
+// slice itself.
 func (p *Pipeline) fireTime(c int64) error {
-	var rows []types.Row
 	if p.shared != nil {
 		aggRows, err := p.shared.windowRows(c, p.win.Visible)
 		if err != nil {
@@ -279,13 +285,16 @@ func (p *Pipeline) fireTime(c int64) error {
 		return p.runPost(c, aggRows)
 	}
 	lo := c - p.win.Visible
+	rb := getRowsBlock(len(p.pending))
 	for _, tr := range p.pending {
 		if tr.ts >= lo && tr.ts < c {
-			rows = append(rows, tr.row)
+			rb.rows = append(rb.rows, tr.row)
 		}
 	}
 	p.prune(c)
-	return p.run(c, rows)
+	err := p.run(c, rb.rows)
+	rb.put()
+	return err
 }
 
 // prune drops buffered rows no window after boundary c can see.
@@ -302,15 +311,18 @@ func (p *Pipeline) prune(c int64) {
 
 // fireRows evaluates a row-count window: the last VISIBLE rows as of the
 // row that completed the ADVANCE count. cq_close is that row's timestamp.
+// The materialization is pooled; see fireTime.
 func (p *Pipeline) fireRows(ts int64) error {
 	if ts <= p.resumeAfter {
 		return nil
 	}
-	rows := make([]types.Row, len(p.rowBuf))
-	for i, tr := range p.rowBuf {
-		rows[i] = tr.row
+	rb := getRowsBlock(len(p.rowBuf))
+	for _, tr := range p.rowBuf {
+		rb.rows = append(rb.rows, tr.row)
 	}
-	return p.run(ts, rows)
+	err := p.run(ts, rb.rows)
+	rb.put()
+	return err
 }
 
 // endEmission seals the current derived-stream emission and, for SLICES
@@ -332,11 +344,17 @@ func (p *Pipeline) endEmission(ts int64, rowCount int) error {
 	if ts <= p.resumeAfter {
 		return nil
 	}
-	var rows []types.Row
+	total := 0
 	for _, em := range p.emissions {
-		rows = append(rows, em.rows...)
+		total += len(em.rows)
 	}
-	return p.run(ts, rows)
+	rb := getRowsBlock(total)
+	for _, em := range p.emissions {
+		rb.rows = append(rb.rows, em.rows...)
+	}
+	err := p.run(ts, rb.rows)
+	rb.put()
+	return err
 }
 
 // run executes the full plan over the window's rows and emits the result.

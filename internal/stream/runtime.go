@@ -199,7 +199,6 @@ type source struct {
 	workers int // number of pipes with a worker goroutine
 	taps    []*Sink
 	shared  map[string]*sharedAgg // key: fingerprint + advance
-	scratch []tsRow               // batch buffer reused when no workers hold refs
 
 	// rows counts validated rows accepted into this stream
 	// (streamrel_stream_rows_total{stream=…}; nil without a registry).
@@ -409,25 +408,23 @@ func (r *Runtime) PushBatchCtx(tc trace.Ctx, stream string, rows []types.Row) er
 // prepare validates a batch and stamps each row with its timestamp,
 // applying the late policy against a running high-water mark. On success
 // the source clock advances; on error nothing is delivered and the clock
-// is untouched. Callers hold s.mu.
-func (s *source) prepare(r *Runtime, rows []types.Row, explicitTS int64, explicit bool) ([]tsRow, error) {
-	var batch []tsRow
-	if s.workers > 0 {
-		// Workers hold references to the batch after deliver returns, so
-		// it cannot be reused.
-		batch = make([]tsRow, 0, len(rows))
-	} else {
-		if cap(s.scratch) < len(rows) {
-			s.scratch = make([]tsRow, 0, len(rows))
-		}
-		batch = s.scratch[:0]
+// is untouched. The returned block is pooled and refcounted: the caller
+// owns one reference (release when done) and takes more for each worker
+// the batch is handed to. Callers hold s.mu.
+func (s *source) prepare(r *Runtime, rows []types.Row, explicitTS int64, explicit bool) (*batchBlock, error) {
+	block := getBatchBlock(len(rows))
+	batch := block.rows
+	fail := func(err error) (*batchBlock, error) {
+		block.rows = batch
+		block.release()
+		return nil, err
 	}
 	arity := len(s.schema)
 	hwm, has := s.lastTS, s.hasTS
 	for _, row := range rows {
 		if len(row) != arity {
-			return nil, fmt.Errorf("stream: %s: row has %d columns, schema has %d",
-				s.name, len(row), arity)
+			return fail(fmt.Errorf("stream: %s: row has %d columns, schema has %d",
+				s.name, len(row), arity))
 		}
 		var ts int64
 		switch {
@@ -436,11 +433,11 @@ func (s *source) prepare(r *Runtime, rows []types.Row, explicitTS int64, explici
 		case s.cqtimeCol >= 0:
 			d := row[s.cqtimeCol]
 			if d.Type() != types.TypeTimestamp {
-				return nil, fmt.Errorf("stream: %s: CQTIME column is %s, want TIMESTAMP", s.name, d.Type())
+				return fail(fmt.Errorf("stream: %s: CQTIME column is %s, want TIMESTAMP", s.name, d.Type()))
 			}
 			ts = d.TimestampMicros()
 		default:
-			return nil, fmt.Errorf("stream: %s: no CQTIME column and no explicit timestamp", s.name)
+			return fail(fmt.Errorf("stream: %s: no CQTIME column and no explicit timestamp", s.name))
 		}
 		if has && ts < hwm {
 			switch r.Late {
@@ -450,18 +447,49 @@ func (s *source) prepare(r *Runtime, rows []types.Row, explicitTS int64, explici
 			case LateClamp:
 				ts = hwm
 			default:
-				return nil, fmt.Errorf("stream: %s: out-of-order timestamp %d < %d (streams are ordered on CQTIME)",
-					s.name, ts, hwm)
+				return fail(fmt.Errorf("stream: %s: out-of-order timestamp %d < %d (streams are ordered on CQTIME)",
+					s.name, ts, hwm))
 			}
 		}
 		hwm, has = ts, true
 		batch = append(batch, tsRow{ts, row})
 	}
 	s.lastTS, s.hasTS = hwm, has
-	if s.workers == 0 {
-		s.scratch = batch
+	block.rows = batch
+	return block, nil
+}
+
+// soleIdleWorker returns this source's single subscribing pipeline when
+// its worker can be bypassed: exactly one pipeline, it runs in worker
+// mode, it has not failed, and the worker has no backlog — nothing
+// queued and everything enqueued already applied. In that state the
+// producer applies the task inline, skipping the channel hand-off whose
+// wake-up latency makes k=1 parallel mode slower than serial. Memory
+// ordering: applied is incremented after the worker's last mutation of
+// pipeline state, so enqueued == applied proves those writes are visible
+// here; the next enqueue (channel send) publishes the producer's inline
+// mutations back to the worker. Callers hold s.mu.
+func (s *source) soleIdleWorker() (*Pipeline, bool) {
+	if s.workers != 1 || len(s.pipes) != 1 {
+		return nil, false
 	}
-	return batch, nil
+	p := s.pipes[0]
+	if p.tasks == nil || p.failed.Load() || len(p.tasks) != 0 {
+		return nil, false
+	}
+	if p.enqueued.Load() != p.applied.Load() {
+		return nil, false
+	}
+	return p, true
+}
+
+// failInlineLocked detaches a worker pipeline that failed while being
+// run inline on the producer and stops its (idle) worker. Callers hold
+// s.mu.
+func (s *source) failInlineLocked(pipe *Pipeline, err error) error {
+	s.detachLocked(pipe)
+	pipe.stop()
+	return err
 }
 
 // deliver fans one validated batch out to every subscriber. A row at ts
@@ -473,9 +501,14 @@ func (s *source) deliver(r *Runtime, tc trace.Ctx, rows []types.Row, explicitTS 
 	if err := s.sweepFailedLocked(); err != nil {
 		return err
 	}
-	batch, err := s.prepare(r, rows, explicitTS, explicit)
-	if err != nil || len(batch) == 0 {
+	block, err := s.prepare(r, rows, explicitTS, explicit)
+	if err != nil {
 		return err
+	}
+	defer block.release()
+	batch := block.rows
+	if len(batch) == 0 {
+		return nil
 	}
 	// Sampling decision at ingest: a batch without an externally assigned
 	// context (replica re-injection, derived emission) rolls the dice
@@ -488,7 +521,7 @@ func (s *source) deliver(r *Runtime, tc trace.Ctx, rows []types.Row, explicitTS 
 	if r.OnIngest != nil && s.cqtimeCol >= 0 {
 		// The batch entered the stream (the clock advanced) even if a
 		// subscriber sink fails below, so the event is published before
-		// fan-out. Copy the rows out of the reusable scratch batch: the
+		// fan-out. Copy the rows out of the pooled batch block: the
 		// observer may retain the slice.
 		accepted := make([]types.Row, len(batch))
 		for i := range batch {
@@ -497,11 +530,47 @@ func (s *source) deliver(r *Runtime, tc trace.Ctx, rows []types.Row, explicitTS 
 		r.OnIngest(tc, s.name, accepted)
 	}
 	// Hand the batch to worker pipelines first so they chew on it while
-	// the producer walks the synchronous subscribers.
-	s.fanOutWorkers(r, tc, task{kind: taskBatch, batch: batch})
-	// Shared aggregation members and taps keep exact per-row interleaving
-	// with the shared slice state.
-	if len(s.shared) > 0 || len(s.taps) > 0 {
+	// the producer walks the synchronous subscribers — except when the
+	// source's single subscriber has an idle worker, where applying
+	// inline skips the queue hand-off entirely.
+	if pipe, ok := s.soleIdleWorker(); ok {
+		if tc.ID != 0 {
+			// Inline delivery skips the queue; zero-duration enqueue and
+			// pickup markers keep the parallel-mode span chain uniform.
+			now := time.Now().UnixMicro()
+			r.tracer.Record(trace.Span{Trace: tc.ID, Stage: trace.StageEnqueue,
+				Stream: s.name, Pipe: pipe.id, Start: now, Rows: len(batch)})
+			r.tracer.Record(trace.Span{Trace: tc.ID, Stage: trace.StagePickup,
+				Stream: s.name, Pipe: pipe.id, Start: now, Rows: len(batch)})
+		}
+		if err := pipe.processBatch(batch, tc); err != nil {
+			return s.failInlineLocked(pipe, err)
+		}
+	} else {
+		s.fanOutWorkers(r, tc, task{kind: taskBatch, batch: batch, block: block})
+	}
+	// Base-stream taps archive the raw feed; one call per batch turns
+	// the channel's transaction (and WAL append + fsync) per ROW into
+	// one per BATCH. Taps run before shared members step so a window
+	// firing mid-batch sees the whole batch archived — the ordering
+	// synchronous non-shared pipelines always observed.
+	if !explicit && s.cqtimeCol >= 0 && len(s.taps) > 0 {
+		rb := getRowsBlock(len(batch))
+		for _, tr := range batch {
+			rb.rows = append(rb.rows, tr.row)
+		}
+		last := batch[len(batch)-1].ts
+		for _, tap := range s.taps {
+			if err := (*tap)(tc, last, rb.rows); err != nil {
+				rb.put()
+				return err
+			}
+		}
+		rb.put()
+	}
+	// Shared aggregation members keep exact per-row interleaving with the
+	// shared slice state.
+	if len(s.shared) > 0 {
 		for _, pipe := range s.pipes {
 			if pipe.shared != nil {
 				pipe.noteBatch(tc)
@@ -514,20 +583,9 @@ func (s *source) deliver(r *Runtime, tc trace.Ctx, rows []types.Row, explicitTS 
 				}
 			}
 		}
-		tapRows := !explicit && s.cqtimeCol >= 0
 		for _, tr := range batch {
 			if err := s.stepSharedLocked(tr); err != nil {
 				return err
-			}
-			// Base-stream taps archive raw rows as they arrive
-			// (derived-stream taps fire per emission in emitDerived
-			// instead).
-			if tapRows {
-				for _, tap := range s.taps {
-					if err := (*tap)(tc, tr.ts, []types.Row{tr.row}); err != nil {
-						return err
-					}
-				}
 			}
 		}
 	}
@@ -551,12 +609,17 @@ func (s *source) deliver(r *Runtime, tc trace.Ctx, rows []types.Row, explicitTS 
 }
 
 // fanOutWorkers enqueues one task on every worker pipeline, recording an
-// enqueue span (duration = backpressure wait) for sampled batches.
+// enqueue span (duration = backpressure wait) for sampled batches. Each
+// enqueue takes one reference on the task's batch block; the worker
+// releases it after applying (or dropping) the task.
 func (s *source) fanOutWorkers(r *Runtime, tc trace.Ctx, t task) {
 	t.tc = tc
 	for _, pipe := range s.pipes {
 		if pipe.tasks == nil {
 			continue
+		}
+		if t.block != nil {
+			t.block.retain()
 		}
 		if tc.ID == 0 {
 			pipe.enqueue(t)
@@ -627,6 +690,12 @@ func (s *source) advanceLocked(r *Runtime, ts int64) error {
 	}
 	for _, pipe := range s.pipes {
 		if pipe.tasks != nil {
+			if inline, ok := s.soleIdleWorker(); ok && inline == pipe {
+				if err := pipe.advanceTo(ts); err != nil {
+					return s.failInlineLocked(pipe, err)
+				}
+				continue
+			}
 			pipe.enqueue(task{kind: taskAdvance, ts: ts})
 			continue
 		}
@@ -695,12 +764,24 @@ func (r *Runtime) emitDerived(tc trace.Ctx, stream string, closeTS int64, rows [
 	if err := src.sweepFailedLocked(); err != nil {
 		return err
 	}
-	batch, err := src.prepare(r, rows, closeTS, true)
+	block, err := src.prepare(r, rows, closeTS, true)
 	if err != nil {
 		return err
 	}
+	defer block.release()
+	batch := block.rows
 	src.rows.Add(int64(len(batch)))
-	src.fanOutWorkers(r, tc, task{kind: taskEmission, batch: batch, ts: closeTS, emRows: len(rows)})
+	if pipe, ok := src.soleIdleWorker(); ok {
+		if err := pipe.processBatch(batch, tc); err != nil {
+			return src.failInlineLocked(pipe, err)
+		}
+		if err := pipe.endEmission(closeTS, len(rows)); err != nil {
+			return src.failInlineLocked(pipe, err)
+		}
+	} else {
+		src.fanOutWorkers(r, tc, task{kind: taskEmission, batch: batch, block: block,
+			ts: closeTS, emRows: len(rows)})
+	}
 	for _, pipe := range src.pipes {
 		if pipe.tasks == nil && pipe.shared != nil {
 			pipe.noteBatch(tc)

@@ -32,8 +32,13 @@ const (
 )
 
 type task struct {
-	kind   taskKind
-	batch  []tsRow
+	kind  taskKind
+	batch []tsRow
+	// block owns batch's backing storage when the batch rode in on a
+	// pooled block; the worker releases its reference after the task is
+	// applied (or dropped by a failed worker's drain). nil for advance
+	// and flush tasks.
+	block  *batchBlock
 	ts     int64
 	emRows int // taskEmission: row count of the emission
 	done   chan struct{}
@@ -97,7 +102,10 @@ func (p *Pipeline) takeErr() error {
 // workerLoop applies tasks in order until the queue is closed. After a
 // failure the worker keeps draining (dropping work) so producers never
 // block forever on a poisoned queue; the source sweeps the pipeline out
-// and surfaces the error on the next Push/Advance/Quiesce/Close.
+// and surfaces the error on the next Push/Advance/Quiesce/Close. Block
+// references are released even for dropped work, and applied counts
+// every non-flush task — after its effects are complete — so the
+// producer's idle check (soleIdleWorker) is exact.
 func (p *Pipeline) workerLoop() {
 	defer close(p.workerDone)
 	for t := range p.tasks {
@@ -111,6 +119,10 @@ func (p *Pipeline) workerLoop() {
 				p.failed.Store(true)
 			}
 		}
+		if t.block != nil {
+			t.block.release()
+		}
+		p.applied.Add(1)
 	}
 }
 

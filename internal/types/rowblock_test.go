@@ -1,0 +1,37 @@
+package types
+
+import "testing"
+
+func TestRowBlock(t *testing.T) {
+	b := NewRowBlock(2, 3)
+	r1, r2 := b.Row(), b.Row()
+	if len(r1) != 3 || len(r2) != 3 {
+		t.Fatalf("row widths: %d, %d", len(r1), len(r2))
+	}
+	r1[0] = NewInt(1)
+	// r3 forces a refill past the sized capacity; earlier rows must keep
+	// their storage and values.
+	r3 := b.Row()
+	r3[0] = NewInt(3)
+	if r1[0].Int() != 1 || !r2[0].IsNull() || r3[0].Int() != 3 {
+		t.Fatalf("rows share or lost storage: %v %v %v", r1, r2, r3)
+	}
+	// Full-capacity subslices: appending to one row must not clobber its
+	// neighbour in the same backing array.
+	b2 := NewRowBlock(4, 2)
+	a, c := b2.Row(), b2.Row()
+	a = append(a, NewInt(99))
+	_ = a
+	if !c[0].IsNull() {
+		t.Fatal("append to one row spilled into the next")
+	}
+}
+
+func TestRowBlockZeroWidth(t *testing.T) {
+	b := NewRowBlock(0, 0)
+	for i := 0; i < 10; i++ {
+		if r := b.Row(); len(r) != 0 {
+			t.Fatal("zero-width row")
+		}
+	}
+}

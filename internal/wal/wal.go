@@ -24,6 +24,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"streamrel/internal/metrics"
@@ -102,28 +103,76 @@ func checkHeader(path string, h []byte) error {
 	return nil
 }
 
+// commitGroup is one generation of the group-commit protocol: the frames
+// of every batch staged while the previous generation was being written,
+// flushed to disk as a single Write (and, under Sync, a single Sync).
+// Waiters block on done; err and the span timings are written by the
+// leader before done closes and are read-only afterwards.
+type commitGroup struct {
+	buf  []byte        // concatenated complete frames: [len][crc][payload]...
+	n    int           // batches staged in this group
+	done chan struct{} // closed once the group is durable (or failed)
+	err  error
+
+	// Timings of the single write/sync, so traced committers can record
+	// spans for the group their batch rode in.
+	writeStart time.Time
+	writeDur   time.Duration
+	syncStart  time.Time
+	syncDur    time.Duration
+}
+
 // Log is an append-only write-ahead log over a single file.
+//
+// Commit protocol (group commit): a committer encodes its batch into a
+// complete frame OUTSIDE the lock (pooled buffer), then stages the frame
+// into the current commitGroup under a short critical section. The first
+// committer to find no write in flight becomes the leader: it claims the
+// group, writes all staged frames with one Write and one Sync, wakes the
+// group's waiters, and loops while new batches piled up behind it.
+// Everyone else just waits on its group's done channel. The result is one
+// fsync per group rather than per batch, with no dedicated writer
+// goroutine.
 type Log struct {
 	mu   sync.Mutex
+	cond *sync.Cond // broadcast when writing falls to false
 	f    *os.File
 	path string
-	sync bool // fsync every batch
+	sync bool // fsync every group
 	hdr  bool // format header present on disk
+
+	maxDelay time.Duration // leader's pre-claim wait (Options.GroupCommitMaxDelay)
+
+	cur     *commitGroup // group accepting new frames; nil if none staged
+	writing bool         // a leader is writing/syncing outside mu
+	closing bool         // Close in progress: reject new appends so the leader can drain
+
+	// lastFrame is the previous frame's encoded size, used to pre-size
+	// pooled encode buffers. Invariant (while mu is free): cur != nil ⇒
+	// writing, so Close/Truncate only need to wait for !writing.
+	lastFrame atomic.Int64
 
 	// Metric handles; nil (no-op) without a registry in Options.
 	appends     *metrics.Counter
 	appendBytes *metrics.Counter
 	fsyncHist   *metrics.Histogram
+	groupHist   *metrics.Histogram
 
 	tracer *trace.Tracer
 }
 
 // Options configures log behaviour.
 type Options struct {
-	// Sync forces an fsync after every committed batch. Off by default:
+	// Sync forces an fsync after every committed group. Off by default:
 	// the experiments in the paper concern CPU-path efficiency, and fsync
 	// noise would dominate micro-benchmarks. Crash tests turn it on.
 	Sync bool
+	// GroupCommitMaxDelay is how long a group-commit leader waits before
+	// claiming the current generation, letting concurrent committers pile
+	// more batches into the group it is about to write. 0 (default)
+	// claims immediately — concurrency alone still forms groups. Only
+	// meaningful with Sync, where the fsync is the cost being amortized.
+	GroupCommitMaxDelay time.Duration
 	// Metrics registers append/fsync series in this registry; nil
 	// disables WAL instrumentation.
 	Metrics *metrics.Registry
@@ -131,6 +180,11 @@ type Options struct {
 	// disables them.
 	Trace *trace.Tracer
 }
+
+// encBuf is a pooled frame-encoding buffer; see AppendCtx.
+type encBuf struct{ b []byte }
+
+var encPool = sync.Pool{New: func() any { return new(encBuf) }}
 
 // Open opens (creating if needed) the log at path. A non-empty file whose
 // header is missing (pre-versioning format) or carries a different
@@ -164,19 +218,25 @@ func Open(path string, opts Options) (*Log, error) {
 			return nil, err
 		}
 	}
-	return &Log{
-		f:      f,
-		path:   path,
-		sync:   opts.Sync,
-		hdr:    hdr,
-		tracer: opts.Trace,
+	l := &Log{
+		f:        f,
+		path:     path,
+		sync:     opts.Sync,
+		hdr:      hdr,
+		maxDelay: opts.GroupCommitMaxDelay,
+		tracer:   opts.Trace,
 		appends: opts.Metrics.Counter("streamrel_wal_appends_total",
 			"committed batches appended to the write-ahead log"),
 		appendBytes: opts.Metrics.Counter("streamrel_wal_append_bytes_total",
 			"payload bytes appended to the write-ahead log"),
 		fsyncHist: opts.Metrics.Histogram("streamrel_wal_fsync_seconds",
-			"latency of the fsync after each committed batch", nil),
-	}, nil
+			"latency of the fsync after each committed group", nil),
+		groupHist: opts.Metrics.Histogram("streamrel_wal_group_commit_batches",
+			"committed batches merged into each group-commit write",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128}),
+	}
+	l.cond = sync.NewCond(&l.mu)
+	return l, nil
 }
 
 // Append atomically writes one committed batch of records.
@@ -185,80 +245,163 @@ func (l *Log) Append(recs []Record) error {
 }
 
 // AppendCtx is Append carrying a trace context: a sampled batch records a
-// wal-append span (header + payload write) and, under Sync, a wal-fsync
-// span.
+// wal-append span (the group's write) and, under Sync, a wal-fsync span
+// (the group's sync — shared with every batch that rode the same group).
+//
+// Encoding happens entirely outside the lock, into a pooled buffer
+// pre-sized from the previous frame. The critical section is only "copy
+// the finished frame into the current group"; the file write and fsync
+// happen outside the lock too, serialized by the leader/writing handoff.
 func (l *Log) AppendCtx(tc trace.Ctx, recs []Record) error {
 	if len(recs) == 0 {
 		return nil
 	}
-	traced := tc.ID != 0 && l.tracer != nil
-	payload := EncodeRecords(recs)
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+
+	// Encode the complete frame — [len u32][crc u32][payload] — outside
+	// the lock, in a pooled buffer.
+	eb := encPool.Get().(*encBuf)
+	if hint := int(l.lastFrame.Load()); cap(eb.b) < hint {
+		eb.b = make([]byte, 0, hint)
+	}
+	frame := appendFrame(eb.b[:0], recs)
+	l.lastFrame.Store(int64(len(frame)))
+
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.f == nil {
+	if l.f == nil || l.closing {
+		l.mu.Unlock()
+		eb.b = frame[:0]
+		encPool.Put(eb)
 		return errors.New("wal: closed")
 	}
-	if !l.hdr {
+	if l.cur == nil {
+		l.cur = &commitGroup{done: make(chan struct{})}
+	}
+	g := l.cur
+	g.buf = append(g.buf, frame...)
+	g.n++
+	eb.b = frame[:0]
+	encPool.Put(eb)
+
+	if l.writing {
+		// A leader is already on the file; it will pick this group up
+		// when it finishes the generation in flight.
+		l.mu.Unlock()
+		<-g.done
+	} else {
+		l.lead()
+	}
+	if g.err != nil {
+		return g.err
+	}
+	if tc.ID != 0 && l.tracer != nil {
+		l.tracer.Record(trace.Span{Trace: tc.ID, Stage: trace.StageWALAppend,
+			Stream: recs[0].Table, Start: g.writeStart.UnixMicro(),
+			Dur: g.writeDur.Nanoseconds(), Rows: len(recs)})
+		if l.sync {
+			l.tracer.Record(trace.Span{Trace: tc.ID, Stage: trace.StageWALFsync,
+				Stream: recs[0].Table, Start: g.syncStart.UnixMicro(),
+				Dur: g.syncDur.Nanoseconds(), Rows: len(recs)})
+		}
+	}
+	return nil
+}
+
+// lead runs the group-commit leader loop. Called with mu held and
+// l.writing false; returns with mu released, after every group staged up
+// to the moment it stops has been written (or failed) and its waiters
+// woken. While the leader is outside the lock, l.writing guards the file
+// against concurrent Close/Truncate.
+func (l *Log) lead() {
+	l.writing = true
+	for l.cur != nil {
+		if l.maxDelay > 0 && l.sync {
+			// Hold the door: let concurrent committers stage into the
+			// group we are about to write, amortizing the fsync further.
+			l.mu.Unlock()
+			time.Sleep(l.maxDelay)
+			l.mu.Lock()
+		}
+		g := l.cur
+		l.cur = nil
+		needHdr := !l.hdr
+		l.mu.Unlock()
+
+		g.err = l.writeGroup(g, needHdr)
+
+		l.mu.Lock()
+		if g.err == nil && needHdr {
+			l.hdr = true
+		}
+		close(g.done)
+	}
+	l.writing = false
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// writeGroup flushes one claimed group with a single Write (plus the
+// one-time file header) and, under Sync, a single Sync. Runs outside mu;
+// the caller's writing flag keeps the file exclusively ours.
+func (l *Log) writeGroup(g *commitGroup, needHdr bool) error {
+	if needHdr {
 		// First batch in this file: lead with the format header. A crash
 		// between these writes leaves a torn header or torn first batch,
 		// both of which read back as an empty log.
 		if _, err := l.f.Write(fileHeader()); err != nil {
 			return fmt.Errorf("wal: %w", err)
 		}
-		l.hdr = true
 	}
-	var writeStart time.Time
-	if traced {
-		writeStart = time.Now()
-	}
-	if _, err := l.f.Write(hdr[:]); err != nil {
+	g.writeStart = time.Now()
+	if _, err := l.f.Write(g.buf); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
-	if _, err := l.f.Write(payload); err != nil {
-		return fmt.Errorf("wal: %w", err)
-	}
-	if traced {
-		l.tracer.Record(trace.Span{Trace: tc.ID, Stage: trace.StageWALAppend,
-			Stream: recs[0].Table, Start: writeStart.UnixMicro(),
-			Dur: time.Since(writeStart).Nanoseconds(), Rows: len(recs)})
-	}
+	g.writeDur = time.Since(g.writeStart)
 	if l.sync {
-		start := time.Now()
+		g.syncStart = time.Now()
 		if err := l.f.Sync(); err != nil {
 			return fmt.Errorf("wal: %w", err)
 		}
-		l.fsyncHist.ObserveSince(start)
-		if traced {
-			l.tracer.Record(trace.Span{Trace: tc.ID, Stage: trace.StageWALFsync,
-				Stream: recs[0].Table, Start: start.UnixMicro(),
-				Dur: time.Since(start).Nanoseconds(), Rows: len(recs)})
-		}
+		g.syncDur = time.Since(g.syncStart)
+		l.fsyncHist.Observe(g.syncDur.Seconds())
 	}
-	l.appends.Inc()
-	l.appendBytes.Add(int64(len(hdr) + len(payload)))
+	l.appends.Add(int64(g.n))
+	l.appendBytes.Add(int64(len(g.buf)))
+	l.groupHist.Observe(float64(g.n))
 	return nil
 }
 
-// Close closes the log file.
+// Close closes the log file. New appends are rejected immediately, then
+// the in-flight group-commit leader drains every staged batch, so all
+// acknowledged (and staged) work is on disk before the file handle goes
+// away — and Close cannot be starved by a continuous commit storm.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.f == nil {
 		return nil
 	}
+	l.closing = true
+	for l.writing {
+		l.cond.Wait()
+	}
+	// Invariant: !writing ⇒ cur == nil, so no staged group is stranded.
 	err := l.f.Close()
 	l.f = nil
 	return err
 }
 
 // Truncate discards the log contents; called after a checkpoint captures
-// the state the log described.
+// the state the log described. Waits out any in-flight group commit so
+// the truncation cannot interleave with a leader's write.
 func (l *Log) Truncate() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	for l.writing {
+		l.cond.Wait()
+	}
+	if l.f == nil {
+		return errors.New("wal: closed")
+	}
 	if err := l.f.Truncate(0); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
@@ -353,10 +496,31 @@ func ReplayFrom(path string, offset int64, apply func(Record) error) (int64, err
 
 // ----------------------------------------------------------- encoding
 
+// appendFrame appends one complete on-disk frame — [length u32][crc32
+// u32][payload] — for a batch of records to dst and returns the extended
+// slice. The 8-byte header is reserved up front and back-filled once the
+// payload length and checksum are known, so the whole frame is built in
+// one buffer with no intermediate copy.
+func appendFrame(dst []byte, recs []Record) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0)
+	dst = AppendRecords(dst, recs)
+	payload := dst[start+8:]
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.ChecksumIEEE(payload))
+	return dst
+}
+
 // EncodeRecords serializes a batch of records into the WAL payload
 // format. Exported because replication frames carry the same encoding.
 func EncodeRecords(recs []Record) []byte {
-	buf := binary.AppendUvarint(nil, uint64(len(recs)))
+	return AppendRecords(nil, recs)
+}
+
+// AppendRecords is EncodeRecords appending into an existing buffer, for
+// callers (the WAL hot path) that reuse pooled buffers across batches.
+func AppendRecords(buf []byte, recs []Record) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(recs)))
 	for _, r := range recs {
 		buf = append(buf, byte(r.Kind))
 		switch r.Kind {

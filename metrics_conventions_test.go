@@ -53,8 +53,8 @@ func TestMetricNamingConventions(t *testing.T) {
 				t.Errorf("counter %q should end in _total", s.Name)
 			}
 		case metrics.KindHistogram:
-			if !strings.HasSuffix(s.Name, "_seconds") {
-				t.Errorf("histogram %q should end in a unit suffix (_seconds)", s.Name)
+			if !strings.HasSuffix(s.Name, "_seconds") && !strings.HasSuffix(s.Name, "_batches") {
+				t.Errorf("histogram %q should end in a unit suffix (_seconds, _batches)", s.Name)
 			}
 		case metrics.KindGauge:
 			if strings.HasSuffix(s.Name, "_total") {

@@ -104,6 +104,11 @@ type Config struct {
 	// SyncWAL fsyncs every committed batch. Off by default; crash-safety
 	// tests and production deployments turn it on.
 	SyncWAL bool
+	// GroupCommitMaxDelay is how long a WAL group-commit leader waits
+	// before writing, letting concurrent committers merge into the same
+	// fsync (see internal/wal). 0 writes immediately; concurrency alone
+	// still forms groups. Only meaningful with SyncWAL.
+	GroupCommitMaxDelay time.Duration
 	// DisableSharing turns off shared slice aggregation across continuous
 	// queries; experiment E3 measures its benefit.
 	DisableSharing bool
@@ -240,7 +245,8 @@ func Open(cfg Config) (*Engine, error) {
 		e.reg.Gauge("streamrel_recovery_replay_seconds",
 			"duration of the last checkpoint+WAL replay and CQ resume").
 			Set(time.Since(start).Seconds())
-		log, err := wal.Open(e.walPath(), wal.Options{Sync: cfg.SyncWAL, Metrics: e.reg, Trace: e.tracer})
+		log, err := wal.Open(e.walPath(), wal.Options{Sync: cfg.SyncWAL,
+			GroupCommitMaxDelay: cfg.GroupCommitMaxDelay, Metrics: e.reg, Trace: e.tracer})
 		if err != nil {
 			return nil, err
 		}
