@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt cover bench check fuzz repl-smoke
+.PHONY: all build test race vet fmt staticcheck cover bench check fuzz repl-smoke cluster-smoke
 
 all: build
 
@@ -23,17 +23,27 @@ fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# staticcheck runs if the binary is on PATH and is skipped (loudly)
+# otherwise, so `make check` works in minimal environments. CI installs
+# the pinned version (see .github/workflows/ci.yml) and always runs it.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; fi
+
 cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -1
 
-check: build fmt vet test race
+check: build fmt vet staticcheck test race
 
 # bench regenerates the fan-out scaling numbers (experiment E9) into
 # BENCH_fanout.json, the tracing-overhead numbers (E11) into
-# BENCH_trace.json, and the ingest hot-path ladder (E12) into
-# BENCH_ingest.json — stamped with timestamp+git sha and gated on the
-# checked-in allocs/row budget — so all three trajectories are tracked
+# BENCH_trace.json, the ingest hot-path ladder (E12) into
+# BENCH_ingest.json, and the shard scale-out ladder (E13) into
+# BENCH_shard.json — stamped with timestamp+git sha and gated on the
+# checked-in allocs/row budget — so all four trajectories are tracked
 # across PRs. Use `go test -bench .` for the full microbenchmark suite;
 # `go test -bench BenchmarkIngest -benchmem` is the ladder's testing.B
 # counterpart.
@@ -41,16 +51,27 @@ bench:
 	$(GO) run ./cmd/srbench -scale 0.2 -only E9 -json BENCH_fanout.json
 	$(GO) run ./cmd/srbench -scale 0.2 -only E11 -json BENCH_trace.json
 	$(GO) run ./cmd/srbench -scale 0.5 -only E12 -json BENCH_ingest.json -stamp -budget BENCH_budget.json
+	$(GO) run ./cmd/srbench -scale 0.5 -only E13 -json BENCH_shard.json -stamp
 
 # fuzz exercises the binary decoders (WAL batches, replication frames)
-# that parse untrusted bytes off disk and off the wire.
+# that parse untrusted bytes off disk and off the wire, plus the shard
+# router's batch split/merge round-trip.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeRecords -fuzztime=$(FUZZTIME) ./internal/wal
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeEvent -fuzztime=$(FUZZTIME) ./internal/repl
+	$(GO) test -run=^$$ -fuzz=FuzzShardSplitMerge -fuzztime=$(FUZZTIME) ./internal/shard
 
 # repl-smoke boots a primary and a replica streamreld as separate
 # processes, ingests through the primary, and asserts the replica
 # converges with settled lag metrics.
 repl-smoke:
 	$(GO) run ./cmd/replsmoke
+
+# cluster-smoke boots two shard streamrelds, a router, a replica of one
+# shard, and a single-node reference daemon as separate processes,
+# ingests the same keyed workload into both paths, and asserts the
+# router's scatter-gather query and merged CQ output match the
+# single-node run byte for byte.
+cluster-smoke:
+	$(GO) run ./cmd/clustersmoke

@@ -25,23 +25,31 @@ type (
 	Column = types.Column
 )
 
-// Rows is a materialized query result.
+// Rows is a materialized query result. Partial marks a scatter-gathered
+// result from a shard router that is missing one or more downed shards'
+// contributions (single-node servers never set it).
 type Rows struct {
 	Columns []Column
 	Data    []Row
+	Partial bool
 }
 
-// Batch is one continuous-query window result.
+// Batch is one continuous-query window result. Partial has the same
+// meaning as Rows.Partial: some shards' window contributions are missing.
 type Batch struct {
-	Close time.Time
-	Rows  []Row
+	Close   time.Time
+	Rows    []Row
+	Partial bool
 }
 
 // Subscription is a running continuous query on the server. Batches
-// arrive on C; Close terminates it.
+// arrive on C; Close terminates it. WireColumns preserves the schema in
+// wire form (with type names) for consumers that re-encode frames, such
+// as the shard router.
 type Subscription struct {
-	Columns []Column
-	C       <-chan Batch
+	Columns     []Column
+	WireColumns []server.WireColumn
+	C           <-chan Batch
 
 	c      *Client
 	handle int64
@@ -169,7 +177,7 @@ func (c *Client) readLoop() {
 					rows[i] = r
 				}
 				if ok {
-					sub.ch <- Batch{Close: time.UnixMicro(resp.Close).UTC(), Rows: rows}
+					sub.ch <- Batch{Close: time.UnixMicro(resp.Close).UTC(), Rows: rows, Partial: resp.Partial}
 				}
 			}
 			continue
@@ -264,7 +272,7 @@ func encodeArgs(args []Value) []server.WireValue {
 }
 
 func decodeRows(resp *server.Response) (*Rows, error) {
-	out := &Rows{}
+	out := &Rows{Partial: resp.Partial}
 	for _, wc := range resp.Columns {
 		out.Columns = append(out.Columns, Column{Name: wc.Name})
 	}
@@ -288,6 +296,22 @@ func (c *Client) Append(stream string, rows ...Row) error {
 	return err
 }
 
+// Do sends one raw protocol request and returns the raw response. It is
+// the escape hatch for proxies (the shard router) that forward wire rows
+// without decoding them; normal applications use the typed methods. The
+// request's ID is assigned by the client.
+func (c *Client) Do(req *server.Request) (*server.Response, error) {
+	return c.roundTrip(req)
+}
+
+// AppendWire pushes already-encoded rows into a stream, optionally
+// carrying a trace ID (16-hex) across the hop. It avoids the
+// decode/re-encode cost of Append for callers that hold wire rows.
+func (c *Client) AppendWire(stream string, rows [][]server.WireValue, traceID string) error {
+	_, err := c.roundTrip(&server.Request{Op: "append", Stream: stream, Rows: rows, Trace: traceID})
+	return err
+}
+
 // Advance delivers a heartbeat moving the stream's clock to ts.
 func (c *Client) Advance(stream string, ts time.Time) error {
 	_, err := c.roundTrip(&server.Request{Op: "advance", Stream: stream, TS: ts.UnixMicro()})
@@ -302,7 +326,7 @@ func (c *Client) Subscribe(sql string, args ...Value) (*Subscription, error) {
 		return nil, err
 	}
 	ch := make(chan Batch, 1024)
-	sub := &Subscription{c: c, handle: resp.CQ, ch: ch, C: ch}
+	sub := &Subscription{c: c, handle: resp.CQ, ch: ch, C: ch, WireColumns: resp.Columns}
 	for _, wc := range resp.Columns {
 		sub.Columns = append(sub.Columns, Column{Name: wc.Name})
 	}

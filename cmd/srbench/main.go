@@ -40,6 +40,7 @@ var index = []struct{ id, what string }{
 	{"E10", "replication: replica apply-lag quantiles under live ingest (log shipping over loopback TCP)"},
 	{"E11", "tracing overhead: ingest throughput with spans off / 1-in-256 sampled / every batch"},
 	{"E12", "ingest hot path ladder: rows/s + allocs/row across fan-out, workers, Sync on/off"},
+	{"E13", "shard scale-out ladder: keyed ingest rows/s + window fire latency, direct vs router over 1/2/4 shards"},
 }
 
 // jsonReport is the machine-readable output format for -json: enough
@@ -93,7 +94,9 @@ func stampedPath(base string, started time.Time, sha string, dirty bool) string 
 // checkBudget compares every metric the run produced against the maxima
 // in a checked-in budget file (metric name → max allowed value). Metrics
 // absent from the budget are unconstrained; budget entries the run didn't
-// produce are reported but don't fail (a small -scale run may skip rungs).
+// produce warn loudly on stderr but don't fail (a small -scale run may
+// legitimately skip rungs) — a silently vanished metric must never read
+// as a passing gate.
 func checkBudget(path string, tables []*experiments.Table) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -110,10 +113,16 @@ func checkBudget(path string, tables []*experiments.Table) error {
 		}
 	}
 	var failures []string
+	missing := 0
 	for name, limit := range budget {
 		v, ok := got[name]
 		if !ok {
-			fmt.Printf("budget: %s not measured this run (limit %g)\n", name, limit)
+			missing++
+			fmt.Fprintf(os.Stderr,
+				"srbench: WARNING: budget key %q was not measured this run (limit %g) — "+
+					"the gate did not check it; run the experiment that produces it "+
+					"(or at a scale that does), or prune the key from the budget file\n",
+				name, limit)
 			continue
 		}
 		if v > limit {
@@ -121,6 +130,10 @@ func checkBudget(path string, tables []*experiments.Table) error {
 		} else {
 			fmt.Printf("budget: %s = %.3f within %.3f\n", name, v, limit)
 		}
+	}
+	if missing > 0 {
+		fmt.Fprintf(os.Stderr, "srbench: WARNING: %d of %d budget keys unchecked this run\n",
+			missing, len(budget))
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("budget exceeded:\n  %s", strings.Join(failures, "\n  "))
@@ -156,7 +169,7 @@ func main() {
 		"E3": experiments.E3, "E4": experiments.E4, "E5": experiments.E5,
 		"E6": experiments.E6, "E7": experiments.E7, "E8": experiments.E8,
 		"E9": experiments.E9, "E10": experiments.E10, "E11": experiments.E11,
-		"E12": experiments.E12,
+		"E12": experiments.E12, "E13": experiments.E13,
 	}
 
 	fmt.Printf("streamrel experiment suite (scale %.2g)\n", *scale)

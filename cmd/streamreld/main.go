@@ -6,11 +6,20 @@
 //
 //	streamreld -addr 127.0.0.1:7475 -dir data/ [-init schema.sql] [-metrics-addr 127.0.0.1:9090]
 //	streamreld -addr 127.0.0.1:7476 -dir rep/ -replica-of 127.0.0.1:7475
+//	streamreld -addr 127.0.0.1:7480 -shards 127.0.0.1:7475,127.0.0.1:7476
 //
 // With -replica-of the node follows the given primary: it applies the
 // primary's replication stream (tables, streams and DDL), runs its own
 // continuous queries, serves read-only queries, and can be promoted to
 // primary with the client's "promote" op.
+//
+// With -shards the process runs no engine at all: it becomes the shard
+// router, speaking the same client protocol in front of the listed shard
+// servers — appends split by each stream's PARTITION BY key, snapshot
+// queries scatter-gather with a merge step, CQ subscriptions merge
+// per-shard windows on close. The shard list order is the shard map;
+// keep it stable across router restarts. DDL must flow through the
+// router so every shard holds the same schema.
 //
 // The -metrics-addr listener serves Prometheus text at /metrics, the
 // trace ring as JSON at /debug/traces, and Go profiling handlers under
@@ -49,6 +58,7 @@ func main() {
 	groupCommitDelay := flag.Duration("group-commit-delay", 0, "WAL group-commit leader wait before writing, to merge concurrent commits into one fsync (0 = write immediately; needs -sync)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/traces and /debug/pprof on this address (empty = disabled; keep it private)")
 	replicaOf := flag.String("replica-of", "", "follow this primary address as a read replica")
+	shards := flag.String("shards", "", "run as a shard router over this comma-separated list of shard servers (order is the shard map)")
 	traceSample := flag.Int("trace-sample", 0, "trace one in N ingested batches (0 = default 1/256, 1 = every batch, negative = off)")
 	slowFire := flag.Duration("slow-fire", 0, "force-record and log window fires slower than this push-to-fire latency (0 = off)")
 	flag.Parse()
@@ -58,6 +68,15 @@ func main() {
 	fatal := func(msg string, err error) {
 		logger.Error(msg, "error", err.Error())
 		os.Exit(1)
+	}
+
+	if *shards != "" {
+		if *replicaOf != "" || *dir != "" {
+			logger.Error("-shards is mutually exclusive with -dir and -replica-of (the router runs no engine)")
+			os.Exit(1)
+		}
+		runRouter(*addr, *shards, *initScript, *metricsAddr, *traceSample, logger, fatal)
+		return
 	}
 
 	// Replication is always enabled so any node can serve replicas —

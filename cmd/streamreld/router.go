@@ -1,0 +1,113 @@
+package main
+
+import (
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"streamrel/client"
+	"streamrel/internal/metrics"
+	"streamrel/internal/shard"
+	"streamrel/internal/sql"
+	"streamrel/internal/trace"
+)
+
+// runRouter is streamreld's -shards mode: no engine, just the shard
+// router in front of the listed shard servers.
+func runRouter(addr, shardList, initScript, metricsAddr string, traceSample int, logger *slog.Logger, fatal func(string, error)) {
+	var addrs []string
+	for _, a := range strings.Split(shardList, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	r, err := shard.NewRouter(shard.Options{
+		Addrs:            addrs,
+		Log:              logger,
+		TraceSampleEvery: traceSample,
+	})
+	if err != nil {
+		fatal("router setup failed", err)
+	}
+	defer r.Close()
+	if up := r.WaitReady(10 * time.Second); up < len(addrs) {
+		logger.Warn("not all shards reachable at startup; routing degrades to partial results", "up", up, "shards", len(addrs))
+	}
+
+	bound, err := r.Listen(addr)
+	if err != nil {
+		fatal("listen failed", err)
+	}
+	fmt.Printf("streamreld listening on %s (router over %d shards: %s)\n", bound, len(addrs), shardList)
+
+	if initScript != "" {
+		if err := routerInit(bound, initScript); err != nil {
+			fatal("init script failed", err)
+		}
+	}
+
+	if metricsAddr != "" {
+		mlis, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			fatal("metrics listen failed", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", metrics.Handler(r.Metrics()))
+		mux.Handle("/debug/traces", trace.Handler(r.Tracer()))
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Printf("metrics on http://%s/metrics\n", mlis.Addr())
+		go func() {
+			if err := http.Serve(mlis, mux); err != nil {
+				logger.Warn("metrics server stopped", "error", err.Error())
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Println("\nshutting down")
+		r.Close()
+	}()
+	if err := r.Serve(); err != nil {
+		fatal("serve failed", err)
+	}
+}
+
+// routerInit replays a SQL script through the router's own client
+// protocol, so DDL broadcasts to every shard and the router's catalog
+// mirror learns the schema — the supported way to re-seed a restarted
+// router.
+func routerInit(addr, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	stmts, err := sql.ParseScript(string(data))
+	if err != nil {
+		return err
+	}
+	c, err := client.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	for _, st := range stmts {
+		if _, err := c.Exec(st.Text); err != nil {
+			return fmt.Errorf("%s: %w", st.Text, err)
+		}
+	}
+	return nil
+}

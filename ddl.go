@@ -66,7 +66,19 @@ func (e *Engine) applyDDL(stmt sql.Statement) (skipped bool, err error) {
 			return false, fmt.Errorf("streamrel: stream %q needs a CQTIME column (e.g. atime timestamp CQTIME USER)", s.Name)
 		}
 		system := s.Columns[cqCol].CQTimeSystem
-		if _, err := e.cat.CreateStream(s.Name, schema, cqCol, system); err != nil {
+		partCol := -1
+		if s.PartitionBy != "" {
+			for i, c := range s.Columns {
+				if c.Name == s.PartitionBy {
+					partCol = i
+					break
+				}
+			}
+			if partCol < 0 {
+				return false, fmt.Errorf("streamrel: stream %q: PARTITION BY column %q not found", s.Name, s.PartitionBy)
+			}
+		}
+		if _, err := e.cat.CreateStreamPartitioned(s.Name, schema, cqCol, system, partCol); err != nil {
 			if s.IfNotExists && errors.As(err, &catalog.ErrExists{}) {
 				return true, nil
 			}

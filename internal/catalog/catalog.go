@@ -49,6 +49,10 @@ type Stream struct {
 	Schema     types.Schema
 	CQTimeCol  int
 	SystemTime bool
+	// PartitionCol is the schema position of the declared PARTITION BY
+	// column (-1 when the stream is unpartitioned). Single-node engines
+	// only record it; the shard router hashes it to place rows.
+	PartitionCol int
 }
 
 // DerivedStream is a CREATE STREAM … AS object: an always-on continuous
@@ -147,8 +151,14 @@ func (c *Catalog) CreateTable(name string, schema types.Schema) (*Table, error) 
 	return t, nil
 }
 
-// CreateStream registers a base stream.
+// CreateStream registers an unpartitioned base stream.
 func (c *Catalog) CreateStream(name string, schema types.Schema, cqtimeCol int, systemTime bool) (*Stream, error) {
+	return c.CreateStreamPartitioned(name, schema, cqtimeCol, systemTime, -1)
+}
+
+// CreateStreamPartitioned registers a base stream with an optional
+// PARTITION BY column (partitionCol = -1 for none).
+func (c *Catalog) CreateStreamPartitioned(name string, schema types.Schema, cqtimeCol int, systemTime bool, partitionCol int) (*Stream, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.relationExists(name) {
@@ -160,7 +170,13 @@ func (c *Catalog) CreateStream(name string, schema types.Schema, cqtimeCol int, 
 	if schema[cqtimeCol].Type != types.TypeTimestamp {
 		return nil, fmt.Errorf("catalog: stream %q: CQTIME column must be TIMESTAMP", name)
 	}
-	s := &Stream{Name: name, Schema: schema, CQTimeCol: cqtimeCol, SystemTime: systemTime}
+	if partitionCol >= len(schema) || (partitionCol >= 0 && partitionCol == cqtimeCol) {
+		return nil, fmt.Errorf("catalog: stream %q: invalid PARTITION BY column", name)
+	}
+	if partitionCol < 0 {
+		partitionCol = -1
+	}
+	s := &Stream{Name: name, Schema: schema, CQTimeCol: cqtimeCol, SystemTime: systemTime, PartitionCol: partitionCol}
 	c.streams[name] = s
 	return s, nil
 }

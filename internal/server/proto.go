@@ -46,6 +46,9 @@ type Request struct {
 	// frames (see internal/repl).
 	LSN uint64 `json:"lsn,omitempty"`
 	Run string `json:"run,omitempty"`
+	// Trace carries a sampled trace ID (16-hex, see internal/trace)
+	// across a router hop so shard-side spans join the router's trace.
+	Trace string `json:"trace,omitempty"`
 }
 
 // Response is one server frame. Async CQ batches have ID 0 and CQ set.
@@ -66,6 +69,9 @@ type Response struct {
 	// Spans answers the "trace" op: the engine's completed trace spans,
 	// oldest first.
 	Spans []WireSpan `json:"spans,omitempty"`
+	// Partial marks a scatter-gathered result that is missing the
+	// contribution of one or more downed shards (router responses only).
+	Partial bool `json:"partial,omitempty"`
 }
 
 // WireSpan is one completed trace span on the wire; field names match the

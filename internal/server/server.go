@@ -257,7 +257,12 @@ func (sess *session) dispatch(req *Request) *Response {
 			}
 			rows[i] = r
 		}
-		if err := eng.Append(req.Stream, rows...); err != nil {
+		var traceID uint64
+		if req.Trace != "" {
+			// A bad ID only costs the span linkage, never the data.
+			traceID, _ = trace.ParseID(req.Trace)
+		}
+		if err := eng.AppendTraced(traceID, req.Stream, rows...); err != nil {
 			return fail(err)
 		}
 		return &Response{OK: true, Affected: len(rows)}

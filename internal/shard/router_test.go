@@ -1,0 +1,311 @@
+package shard
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"streamrel"
+	"streamrel/client"
+	"streamrel/internal/server"
+	"streamrel/internal/types"
+)
+
+// testCluster is N in-process shard engines behind a router.
+type testCluster struct {
+	engines []*streamrel.Engine
+	servers []*server.Server
+	router  *Router
+	addr    string
+}
+
+func startCluster(t *testing.T, n int) *testCluster {
+	t.Helper()
+	tc := &testCluster{}
+	var addrs []string
+	for i := 0; i < n; i++ {
+		eng, err := streamrel.Open(streamrel.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := server.New(eng)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve()
+		tc.engines = append(tc.engines, eng)
+		tc.servers = append(tc.servers, srv)
+		addrs = append(addrs, addr)
+	}
+	r, err := NewRouter(Options{Addrs: addrs, TraceSampleEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up := r.WaitReady(5 * time.Second); up != n {
+		t.Fatalf("only %d of %d shards came up", up, n)
+	}
+	addr, err := r.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go r.Serve()
+	tc.router = r
+	tc.addr = addr
+	t.Cleanup(func() {
+		r.Close()
+		for i := range tc.servers {
+			tc.servers[i].Close()
+			tc.engines[i].Close()
+		}
+	})
+	return tc
+}
+
+func ts(t *testing.T, s string) time.Time {
+	t.Helper()
+	return streamrel.MustTimestamp(s)
+}
+
+func nextBatch(t *testing.T, sub *client.Subscription) client.Batch {
+	t.Helper()
+	select {
+	case b, ok := <-sub.C:
+		if !ok {
+			t.Fatal("subscription closed")
+		}
+		return b
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for CQ batch")
+	}
+	return client.Batch{}
+}
+
+func TestRouterEndToEnd(t *testing.T) {
+	tc := startCluster(t, 2)
+	c, err := client.Dial(tc.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for _, ddl := range []string{
+		`CREATE STREAM s (k varchar(20), v bigint, at timestamp CQTIME USER) PARTITION BY k`,
+		`CREATE STREAM s_now AS SELECT count(*) AS n, sum(v) AS sv, cq_close(*) AS stime
+			FROM s <ADVANCE '1 minute'>`,
+		`CREATE TABLE s_archive (n bigint, sv bigint, stime timestamp)`,
+		`CREATE CHANNEL s_ch FROM s_now INTO s_archive APPEND`,
+	} {
+		if _, err := c.Exec(ddl); err != nil {
+			t.Fatalf("%s: %v", ddl, err)
+		}
+	}
+	// DDL must exist on every shard.
+	for i, eng := range tc.engines {
+		if _, err := eng.Query(`SELECT n FROM s_archive`); err != nil {
+			t.Fatalf("shard %d missing s_archive: %v", i, err)
+		}
+	}
+
+	aggSub, err := c.Subscribe(`SELECT count(*) AS n, sum(v) AS sv, cq_close(*) FROM s <ADVANCE '1 minute'>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keySub, err := c.Subscribe(`SELECT k, count(*) AS n FROM s <ADVANCE '1 minute'> GROUP BY k`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := ts(t, "2009-01-04 00:00:00")
+	keys := []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot"}
+	var rows []client.Row
+	for i := 0; i < 30; i++ {
+		rows = append(rows, client.Row{
+			types.NewString(keys[i%len(keys)]),
+			types.NewInt(int64(i)),
+			types.NewTimestamp(base.Add(time.Duration(i) * time.Second)),
+		})
+	}
+	if err := c.Append("s", rows...); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Advance("s", base.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+
+	b := nextBatch(t, aggSub)
+	if b.Close.UnixMicro() != base.Add(time.Minute).UnixMicro() {
+		t.Fatalf("close = %v", b.Close)
+	}
+	if len(b.Rows) != 1 {
+		t.Fatalf("agg batch rows = %v", b.Rows)
+	}
+	if n := b.Rows[0][0].Int(); n != 30 {
+		t.Fatalf("merged count = %d, want 30", n)
+	}
+	if sv := b.Rows[0][1].Int(); sv != 435 { // 0+1+…+29
+		t.Fatalf("merged sum = %d, want 435", sv)
+	}
+	if b.Partial {
+		t.Fatal("batch should not be partial")
+	}
+
+	kb := nextBatch(t, keySub)
+	if len(kb.Rows) != len(keys) {
+		t.Fatalf("per-key batch = %v", kb.Rows)
+	}
+	// Canonical order: sorted by key.
+	for i := 1; i < len(kb.Rows); i++ {
+		if strings.Compare(kb.Rows[i-1][0].Str(), kb.Rows[i][0].Str()) >= 0 {
+			t.Fatalf("per-key rows not in canonical order: %v", kb.Rows)
+		}
+	}
+	for _, r := range kb.Rows {
+		if r[1].Int() != 5 {
+			t.Fatalf("per-key count = %v", r)
+		}
+	}
+
+	// Both shards got a sub-batch (keys spread across shards).
+	counts := make([]int, 2)
+	for i, eng := range tc.engines {
+		res, err := eng.Query(`SELECT sum(n) FROM s_archive`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Data) != 1 || res.Data[0][0].IsNull() {
+			t.Fatalf("shard %d archived nothing: %v", i, res.Data)
+		}
+		counts[i] = int(res.Data[0][0].Int())
+	}
+	if counts[0]+counts[1] != 30 || counts[0] == 0 || counts[1] == 0 {
+		t.Fatalf("per-shard archived counts = %v, want a split of 30", counts)
+	}
+
+	// Scatter-gathered snapshot over the partitioned Active Table.
+	res, err := c.Query(`SELECT count(*), sum(n) FROM s_archive`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partial {
+		t.Fatal("query should not be partial")
+	}
+	if got := res.Data[0][1].Int(); got != 30 {
+		t.Fatalf("scatter sum(n) = %d, want 30", got)
+	}
+
+	// Merge-rejected shapes produce clear errors.
+	if _, err := c.Query(`SELECT avg(n) FROM s_archive`); err == nil || !strings.Contains(err.Error(), "re-combined") {
+		t.Fatalf("avg over shards: %v", err)
+	}
+
+	// Unpartitioned relations route to shard 0 only.
+	if _, err := c.Exec(`CREATE TABLE plain (x bigint)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec(`INSERT INTO plain VALUES (1), (2)`); err != nil {
+		t.Fatal(err)
+	}
+	pr, err := c.Query(`SELECT count(*) FROM plain`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Data[0][0].Int() != 2 {
+		t.Fatalf("plain count = %v", pr.Data)
+	}
+
+	// INSERT into a partitioned stream is rejected with guidance.
+	if _, err := c.Exec(`INSERT INTO s VALUES ('x', 1, TIMESTAMP '2009-01-04 00:02:00')`); err == nil ||
+		!strings.Contains(err.Error(), "append") {
+		t.Fatalf("insert into partitioned stream: %v", err)
+	}
+}
+
+func TestRouterPartialOnShardDown(t *testing.T) {
+	tc := startCluster(t, 2)
+	c, err := client.Dial(tc.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for _, ddl := range []string{
+		`CREATE STREAM s (k bigint, v bigint, at timestamp CQTIME USER) PARTITION BY k`,
+		`CREATE STREAM s_now AS SELECT k, count(*) AS n, cq_close(*) AS stime
+			FROM s <ADVANCE '1 minute'> GROUP BY k`,
+		`CREATE TABLE s_archive (k bigint, n bigint, stime timestamp)`,
+		`CREATE CHANNEL s_ch FROM s_now INTO s_archive APPEND`,
+	} {
+		if _, err := c.Exec(ddl); err != nil {
+			t.Fatalf("%s: %v", ddl, err)
+		}
+	}
+	base := ts(t, "2009-01-04 00:00:00")
+	var rows []client.Row
+	for i := 0; i < 64; i++ {
+		rows = append(rows, client.Row{
+			types.NewInt(int64(i)), types.NewInt(1), types.NewTimestamp(base.Add(time.Second)),
+		})
+	}
+	if err := c.Append("s", rows...); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Advance("s", base.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+
+	full, err := c.Query(`SELECT count(*) FROM s_archive`)
+	if err != nil || full.Partial {
+		t.Fatalf("full query: %v partial=%v", err, full.Partial)
+	}
+	if full.Data[0][0].Int() != 64 {
+		t.Fatalf("full count = %v", full.Data)
+	}
+
+	// Kill shard 1; scatter queries degrade to partial.
+	tc.servers[1].Close()
+	tc.engines[1].Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		res, err := c.Query(`SELECT count(*) FROM s_archive`)
+		if err == nil && res.Partial {
+			if res.Data[0][0].Int() >= 64 {
+				t.Fatalf("partial count should be < 64: %v", res.Data)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never saw a partial result (err=%v)", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Keyed appends keep flowing to the surviving shard, flagged partial
+	// at the response level. (Timestamps must be past the advance above —
+	// streams are ordered on CQTIME.)
+	var later []client.Row
+	for i := 0; i < 64; i++ {
+		later = append(later, client.Row{
+			types.NewInt(int64(i)), types.NewInt(1), types.NewTimestamp(base.Add(2 * time.Minute)),
+		})
+	}
+	resp, err := c.Do(&server.Request{Op: "append", Stream: "s", Rows: encodeWire(later)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Partial {
+		t.Fatal("append with a downed shard should be partial")
+	}
+	if resp.Affected == 0 || resp.Affected >= 64 {
+		t.Fatalf("partial append affected = %d", resp.Affected)
+	}
+}
+
+func encodeWire(rows []client.Row) [][]server.WireValue {
+	out := make([][]server.WireValue, len(rows))
+	for i, r := range rows {
+		out[i] = server.EncodeRow(r)
+	}
+	return out
+}

@@ -1,0 +1,225 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+
+	"streamrel/internal/server"
+	"streamrel/internal/sql"
+	"streamrel/internal/types"
+)
+
+func TestHashDatumStable(t *testing.T) {
+	m := Map{Addrs: []string{"a", "b", "c"}}
+	for _, d := range []types.Datum{
+		types.NewInt(42), types.NewString("client-7"), types.NewFloat(3.5),
+		types.NewBool(true), types.NewTimestampMicros(1e6), types.Null,
+	} {
+		s1, s2 := m.ShardOf(d), m.ShardOf(d)
+		if s1 != s2 {
+			t.Fatalf("ShardOf(%v) unstable: %d vs %d", d, s1, s2)
+		}
+		if s1 < 0 || s1 >= 3 {
+			t.Fatalf("ShardOf(%v) = %d out of range", d, s1)
+		}
+	}
+	// Distinct int and string values must not all land on one shard.
+	hit := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		hit[m.ShardOf(types.NewInt(int64(i)))] = true
+	}
+	if len(hit) != 3 {
+		t.Fatalf("64 int keys hit only %d of 3 shards", len(hit))
+	}
+}
+
+func TestSplitWire(t *testing.T) {
+	m := Map{Addrs: []string{"a", "b"}}
+	var rows [][]server.WireValue
+	for i := int64(0); i < 20; i++ {
+		rows = append(rows, server.EncodeRow(types.Row{types.NewInt(i % 5), types.NewInt(i)}))
+	}
+	parts, err := m.SplitWire(rows, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for s, part := range parts {
+		total += len(part)
+		for _, r := range part {
+			d, _ := server.DecodeValue(r[0])
+			if m.ShardOf(d) != s {
+				t.Fatalf("key %v on shard %d, want %d", d, s, m.ShardOf(d))
+			}
+		}
+	}
+	if total != len(rows) {
+		t.Fatalf("split lost rows: %d of %d", total, len(rows))
+	}
+	if _, err := m.SplitWire(rows, 9); err == nil {
+		t.Fatal("out-of-range key column should fail")
+	}
+}
+
+func planFor(t *testing.T, q, partCol string) (*MergePlan, error) {
+	t.Helper()
+	stmt, err := sql.Parse(q)
+	if err != nil {
+		t.Fatalf("parse %q: %v", q, err)
+	}
+	return PlanMerge(stmt.(*sql.Select), partCol)
+}
+
+func TestPlanMergeRules(t *testing.T) {
+	p, err := planFor(t, `SELECT count(*), sum(v), min(v), max(v), cq_close(*) FROM s <ADVANCE '1 minute'>`, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ColMerge{ColCount, ColSum, ColMin, ColMax, ColKey}
+	if p.Kind != MergeAggregate || !reflect.DeepEqual(p.Cols, want) {
+		t.Fatalf("plan = %+v, want aggregate %v", p, want)
+	}
+
+	p, err = planFor(t, `SELECT k, v FROM s`, "k")
+	if err != nil || p.Kind != MergeConcat {
+		t.Fatalf("plain projection: %+v, %v", p, err)
+	}
+
+	// GROUP BY the partition key confines groups to one shard: any
+	// aggregate concatenates, including AVG.
+	p, err = planFor(t, `SELECT k, avg(v) FROM s GROUP BY k`, "k")
+	if err != nil || p.Kind != MergeConcat {
+		t.Fatalf("group-by-partition-key: %+v, %v", p, err)
+	}
+
+	p, err = planFor(t, `SELECT u, count(*) FROM s GROUP BY u`, "k")
+	if err != nil || p.Kind != MergeAggregate || !reflect.DeepEqual(p.Cols, []ColMerge{ColKey, ColCount}) {
+		t.Fatalf("group-by-other: %+v, %v", p, err)
+	}
+
+	for _, bad := range []string{
+		`SELECT avg(v) FROM s`,
+		`SELECT count(DISTINCT v) FROM s`,
+		`SELECT DISTINCT k FROM s`,
+		`SELECT k FROM s ORDER BY k`,
+		`SELECT k FROM s LIMIT 5`,
+		`SELECT u, count(*) FROM s GROUP BY u HAVING count(*) > 1`,
+		`SELECT k FROM s UNION SELECT k FROM t`,
+		`SELECT sum(v) + 1 FROM s`,
+	} {
+		if _, err := planFor(t, bad, "k"); err == nil {
+			t.Errorf("PlanMerge(%q) should fail", bad)
+		}
+	}
+}
+
+func rowsOf(vals ...[]any) []types.Row {
+	out := make([]types.Row, len(vals))
+	for i, rv := range vals {
+		row := make(types.Row, len(rv))
+		for j, v := range rv {
+			switch x := v.(type) {
+			case int:
+				row[j] = types.NewInt(int64(x))
+			case string:
+				row[j] = types.NewString(x)
+			case nil:
+				row[j] = types.Null
+			case float64:
+				row[j] = types.NewFloat(x)
+			}
+		}
+		out[i] = row
+	}
+	return out
+}
+
+func TestMergeAggregate(t *testing.T) {
+	p := &MergePlan{Kind: MergeAggregate, Cols: []ColMerge{ColKey, ColCount, ColSum, ColMin, ColMax}}
+	shard0 := rowsOf([]any{"a", 2, 10, 1, 7}, []any{"b", 1, 5, 5, 5})
+	shard1 := rowsOf([]any{"a", 3, 20, 0, 9}, []any{"c", 1, nil, 2, 2})
+	got := p.Merge([][]types.Row{shard0, shard1})
+	want := rowsOf([]any{"a", 5, 30, 0, 9}, []any{"b", 1, 5, 5, 5}, []any{"c", 1, nil, 2, 2})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged = %v, want %v", got, want)
+	}
+}
+
+func TestMergeAggregateNullSum(t *testing.T) {
+	p := &MergePlan{Kind: MergeAggregate, Cols: []ColMerge{ColCount, ColSum}}
+	got := p.Merge([][]types.Row{rowsOf([]any{0, nil}), rowsOf([]any{0, nil})})
+	want := rowsOf([]any{0, nil})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("empty-window merge = %v, want %v", got, want)
+	}
+}
+
+func TestMergeConcatCanonicalOrder(t *testing.T) {
+	p := &MergePlan{Kind: MergeConcat}
+	got := p.Merge([][]types.Row{rowsOf([]any{"b", 2}), rowsOf([]any{"a", 1}, []any{"c", 3})})
+	want := rowsOf([]any{"a", 1}, []any{"b", 2}, []any{"c", 3})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("concat = %v, want %v", got, want)
+	}
+}
+
+func TestCQMergerWatermark(t *testing.T) {
+	type emitted struct {
+		close   int64
+		rows    []types.Row
+		partial bool
+	}
+	var got []emitted
+	m := newCQMerger(&MergePlan{Kind: MergeAggregate, Cols: []ColMerge{ColCount}}, 2, false,
+		func(c int64, rows []types.Row, partial bool) {
+			got = append(got, emitted{c, rows, partial})
+		})
+
+	m.onBatch(0, 100, rowsOf([]any{3}))
+	if len(got) != 0 {
+		t.Fatal("emitted before shard 1 reached close 100")
+	}
+	m.onBatch(1, 100, rowsOf([]any{4}))
+	if len(got) != 1 || got[0].close != 100 || got[0].rows[0][0].Int() != 7 {
+		t.Fatalf("close 100: %+v", got)
+	}
+
+	// Shard 1 skips close 200 (fires 300 directly): 200 emits with only
+	// shard 0's contribution once shard 1's watermark passes it.
+	m.onBatch(0, 200, rowsOf([]any{1}))
+	m.onBatch(1, 300, rowsOf([]any{2}))
+	if len(got) != 2 || got[1].close != 200 || got[1].rows[0][0].Int() != 1 {
+		t.Fatalf("skipped close: %+v", got)
+	}
+
+	// Shard 0 catches up to 300: both contributions merge.
+	m.onBatch(0, 300, rowsOf([]any{5}))
+	if len(got) != 3 || got[2].close != 300 || got[2].rows[0][0].Int() != 7 || got[2].partial {
+		t.Fatalf("close 300: %+v", got)
+	}
+
+	// Shard 1 dies: it stops gating the watermark and everything after
+	// is flagged partial.
+	m.markDead(1)
+	m.onBatch(0, 400, rowsOf([]any{6}))
+	if len(got) != 4 || got[3].close != 400 || got[3].rows[0][0].Int() != 6 || !got[3].partial {
+		t.Fatalf("after death: %+v", got)
+	}
+}
+
+func TestCQMergerOrdering(t *testing.T) {
+	var closes []int64
+	m := newCQMerger(&MergePlan{Kind: MergeConcat}, 2, false,
+		func(c int64, rows []types.Row, partial bool) { closes = append(closes, c) })
+	m.onBatch(0, 100, rowsOf([]any{1}))
+	m.onBatch(0, 200, rowsOf([]any{2}))
+	m.onBatch(0, 300, rowsOf([]any{3}))
+	m.onBatch(1, 300, rowsOf([]any{4}))
+	m.onBatch(1, 100, rowsOf([]any{9})) // late frame for an emitted close: dropped
+	if want := []int64{100, 200, 300}; !reflect.DeepEqual(closes, want) {
+		t.Fatalf("closes = %v, want %v", closes, want)
+	}
+	if left := m.closesOf(1); len(left) != 0 {
+		t.Fatalf("shard 1 leftover closes = %v", left)
+	}
+}

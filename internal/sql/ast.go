@@ -36,9 +36,12 @@ type CreateTable struct {
 }
 
 // CreateStream is CREATE STREAM name (cols…) with exactly one CQTIME column.
+// PartitionBy names the column a shard router hashes to place rows
+// (CREATE STREAM … PARTITION BY col); empty means unpartitioned.
 type CreateStream struct {
 	Name        string
 	Columns     []ColumnDef
+	PartitionBy string
 	IfNotExists bool
 }
 

@@ -55,6 +55,7 @@ var keywords = map[string]bool{
 	"tables":  true, "streams": true, "views": true, "channels": true,
 	"begin": true, "commit": true, "rollback": true, "truncate": true,
 	"nulls": true, "first": true, "last": true, "primary": true, "key": true,
+	"partition": true,
 }
 
 // Lexer splits SQL text into tokens.

@@ -306,7 +306,29 @@ func (p *Parser) parseCreateStream() (Statement, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &CreateStream{Name: name, Columns: cols, IfNotExists: ine}, nil
+	var partBy string
+	if p.acceptKeyword("partition") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		partBy, err = p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		found := false
+		for _, c := range cols {
+			if c.Name == partBy {
+				if c.CQTime {
+					return nil, p.errf("PARTITION BY column %q cannot be the CQTIME column", partBy)
+				}
+				found = true
+			}
+		}
+		if !found {
+			return nil, p.errf("PARTITION BY column %q is not a column of the stream", partBy)
+		}
+	}
+	return &CreateStream{Name: name, Columns: cols, PartitionBy: partBy, IfNotExists: ine}, nil
 }
 
 func (p *Parser) parseColumnDefs(stream bool) ([]ColumnDef, error) {

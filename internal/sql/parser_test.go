@@ -78,6 +78,31 @@ func TestPaperExample1(t *testing.T) {
 	}
 }
 
+// TestPartitionBy parses the sharded-stream DDL variant.
+func TestPartitionBy(t *testing.T) {
+	s := mustParse(t, `CREATE STREAM url_stream (
+		url varchar(1024),
+		atime timestamp CQTIME USER,
+		client_ip varchar(50)
+	) PARTITION BY client_ip`).(*CreateStream)
+	if s.PartitionBy != "client_ip" {
+		t.Fatalf("PartitionBy = %q, want client_ip", s.PartitionBy)
+	}
+	plain := mustParse(t, `CREATE STREAM s (v int, at timestamp CQTIME USER)`).(*CreateStream)
+	if plain.PartitionBy != "" {
+		t.Fatalf("PartitionBy = %q, want empty", plain.PartitionBy)
+	}
+	for _, bad := range []string{
+		`CREATE STREAM s (v int, at timestamp CQTIME USER) PARTITION BY missing`,
+		`CREATE STREAM s (v int, at timestamp CQTIME USER) PARTITION BY at`,
+		`CREATE STREAM s (v int, at timestamp CQTIME USER) PARTITION`,
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
 // TestPaperExample2 parses the paper's Example 2 continuous query verbatim.
 func TestPaperExample2(t *testing.T) {
 	q := mustParseSelect(t, `SELECT url, count(*) url_count

@@ -25,6 +25,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"log/slog"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,6 +38,10 @@ type Stage string
 
 // Span stages, in pipeline order.
 const (
+	// StageRouterIngest is a shard router accepting and splitting a keyed
+	// batch before any engine sees it; the same trace ID then crosses the
+	// router→shard hop in the append request.
+	StageRouterIngest Stage = "router-ingest"
 	// StageIngest is the batch's acceptance into a base stream.
 	StageIngest Stage = "ingest"
 	// StageEnqueue is the hand-off to one pipeline: queue submission in
@@ -88,6 +93,18 @@ type Span struct {
 // FormatID renders a trace ID the way every surface (REPL, wire, JSON)
 // displays it.
 func FormatID(id uint64) string { return fmt.Sprintf("%016x", id) }
+
+// ParseID reverses FormatID. It accepts any hex string up to 16 digits.
+func ParseID(s string) (uint64, error) {
+	if s == "" || len(s) > 16 {
+		return 0, fmt.Errorf("trace: bad trace ID %q", s)
+	}
+	id, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("trace: bad trace ID %q", s)
+	}
+	return id, nil
+}
 
 // DefaultSampleEvery is the default sampling rate: one traced batch per
 // this many ingested batches.

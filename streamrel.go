@@ -485,6 +485,14 @@ func (e *Engine) AdvanceTime(streamName string, ts time.Time) error {
 // non-decreasing CQTIME; on CQTIME SYSTEM streams the engine stamps
 // arrival time itself.
 func (e *Engine) Append(streamName string, rows ...Row) error {
+	return e.AppendTraced(0, streamName, rows...)
+}
+
+// AppendTraced is Append with an externally assigned trace ID: a shard
+// router that sampled a batch forwards its trace ID so the shard-side
+// hops (enqueue, window fire, WAL fsync, …) join the router's span
+// chain. traceID 0 lets the engine's own tracer sample as usual.
+func (e *Engine) AppendTraced(traceID uint64, streamName string, rows ...Row) error {
 	if err := e.writeGate(); err != nil {
 		return err
 	}
@@ -493,6 +501,9 @@ func (e *Engine) Append(streamName string, rows ...Row) error {
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	if traceID != 0 {
+		return e.rt.PushBatchCtx(e.tracer.Adopt(traceID), streamName, rows)
+	}
 	return e.rt.PushBatch(streamName, rows)
 }
 
