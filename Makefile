@@ -41,26 +41,31 @@ check: build fmt vet staticcheck test race
 # bench regenerates the fan-out scaling numbers (experiment E9) into
 # BENCH_fanout.json, the tracing-overhead numbers (E11) into
 # BENCH_trace.json, the ingest hot-path ladder (E12) into
-# BENCH_ingest.json, and the shard scale-out ladder (E13) into
-# BENCH_shard.json — stamped with timestamp+git sha and gated on the
-# checked-in allocs/row budget — so all four trajectories are tracked
-# across PRs. Use `go test -bench .` for the full microbenchmark suite;
-# `go test -bench BenchmarkIngest -benchmem` is the ladder's testing.B
-# counterpart.
+# BENCH_ingest.json, the shard scale-out ladder (E13) into
+# BENCH_shard.json, and the incremental-maintenance ladder (E14) into
+# BENCH_ivm.json — stamped with timestamp+git sha and gated on the
+# checked-in allocs budget — so the trajectories are tracked across PRs.
+# Dirty-tree stamps land in bench-stamps/ (gitignored). Use `go test
+# -bench .` for the full microbenchmark suite; `go test -bench
+# BenchmarkIngest -benchmem` is the ladder's testing.B counterpart.
 bench:
 	$(GO) run ./cmd/srbench -scale 0.2 -only E9 -json BENCH_fanout.json
 	$(GO) run ./cmd/srbench -scale 0.2 -only E11 -json BENCH_trace.json
 	$(GO) run ./cmd/srbench -scale 0.5 -only E12 -json BENCH_ingest.json -stamp -budget BENCH_budget.json
 	$(GO) run ./cmd/srbench -scale 0.5 -only E13 -json BENCH_shard.json -stamp
+	$(GO) run ./cmd/srbench -scale 0.5 -only E14 -json BENCH_ivm.json -stamp -budget BENCH_budget.json
 
 # fuzz exercises the binary decoders (WAL batches, replication frames)
-# that parse untrusted bytes off disk and off the wire, plus the shard
-# router's batch split/merge round-trip.
+# that parse untrusted bytes off disk and off the wire, the shard
+# router's batch split/merge round-trip, and the incremental-maintenance
+# equivalence property (delta-maintained fires == re-executed fires for
+# arbitrary append/advance sequences).
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeRecords -fuzztime=$(FUZZTIME) ./internal/wal
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeEvent -fuzztime=$(FUZZTIME) ./internal/repl
 	$(GO) test -run=^$$ -fuzz=FuzzShardSplitMerge -fuzztime=$(FUZZTIME) ./internal/shard
+	$(GO) test -run=^$$ -fuzz=FuzzIVMEquivalence -fuzztime=$(FUZZTIME) .
 
 # repl-smoke boots a primary and a replica streamreld as separate
 # processes, ingests through the primary, and asserts the replica

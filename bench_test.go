@@ -167,7 +167,7 @@ func BenchmarkE2GrowthActive(b *testing.B) {
 
 // benchSharing measures per-event ingest cost with k identical CQs.
 func benchSharing(b *testing.B, k int, share bool) {
-	e := mustOpen(b, Config{DisableSharing: !share})
+	e := mustOpen(b, Config{DisableSharing: !share, DisableIVM: true})
 	mustScript(b, e, `CREATE STREAM url_stream (url varchar, atime timestamp CQTIME USER, client_ip varchar)`)
 	for i := 0; i < k; i++ {
 		cq, err := e.Subscribe(`SELECT url, count(*), sum(length(client_ip))

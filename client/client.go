@@ -426,6 +426,9 @@ type Span struct {
 	Rows int
 	// Slow marks spans force-recorded by slow-fire detection.
 	Slow bool
+	// Mode tags window-fire spans with the fire strategy ("incremental",
+	// "shared", "reexec"); empty on other stages.
+	Mode string
 }
 
 // Traces returns the server's completed trace spans, oldest first. Empty
@@ -446,6 +449,7 @@ func (c *Client) Traces() ([]Span, error) {
 			Dur:    time.Duration(ws.DurNS),
 			Rows:   ws.Rows,
 			Slow:   ws.Slow,
+			Mode:   ws.Mode,
 		}
 	}
 	return out, nil

@@ -230,6 +230,11 @@ func main() {
 	for _, q := range []string{
 		`SELECT count(*), sum(n), sum(sv), min(stime), max(stime) FROM s_archive`,
 		`SELECT k, sum(n) FROM s_archive GROUP BY k`,
+		// avg is scattered as SUM+COUNT and recombined by the router: the
+		// merged value must be the global average the single node computes,
+		// not an average of per-shard averages.
+		`SELECT avg(sv) FROM s_archive`,
+		`SELECT k, avg(sv) AS m, count(*) FROM s_archive GROUP BY k`,
 	} {
 		rres, err := router.Query(q)
 		if err != nil {

@@ -41,6 +41,7 @@ var index = []struct{ id, what string }{
 	{"E11", "tracing overhead: ingest throughput with spans off / 1-in-256 sampled / every batch"},
 	{"E12", "ingest hot path ladder: rows/s + allocs/row across fan-out, workers, Sync on/off"},
 	{"E13", "shard scale-out ladder: keyed ingest rows/s + window fire latency, direct vs router over 1/2/4 shards"},
+	{"E14", "incremental maintenance: fire latency vs window width, re-exec vs delta-maintained (internal/ivm)"},
 }
 
 // jsonReport is the machine-readable output format for -json: enough
@@ -77,6 +78,9 @@ func gitStamp() (sha string, dirty bool) {
 // stampedPath derives the trajectory filename for a report, in the
 // bench_canonical-<UTCtimestamp>_<gitsha>[-dirty] style:
 // BENCH_ingest.json → BENCH_ingest-20060102T150405Z_abc1234-dirty.json.
+// Dirty-tree stamps land under bench-stamps/ (gitignored scratch space)
+// so uncommitted runs never end up checked in next to the canonical
+// trajectory files; clean stamps stay beside the base file.
 func stampedPath(base string, started time.Time, sha string, dirty bool) string {
 	ext := filepath.Ext(base)
 	stem := strings.TrimSuffix(base, ext)
@@ -88,7 +92,11 @@ func stampedPath(base string, started time.Time, sha string, dirty bool) string 
 			name += "-dirty"
 		}
 	}
-	return name + ext
+	name += ext
+	if dirty {
+		return filepath.Join(filepath.Dir(base), "bench-stamps", filepath.Base(name))
+	}
+	return name
 }
 
 // checkBudget compares every metric the run produced against the maxima
@@ -169,7 +177,7 @@ func main() {
 		"E3": experiments.E3, "E4": experiments.E4, "E5": experiments.E5,
 		"E6": experiments.E6, "E7": experiments.E7, "E8": experiments.E8,
 		"E9": experiments.E9, "E10": experiments.E10, "E11": experiments.E11,
-		"E12": experiments.E12, "E13": experiments.E13,
+		"E12": experiments.E12, "E13": experiments.E13, "E14": experiments.E14,
 	}
 
 	fmt.Printf("streamrel experiment suite (scale %.2g)\n", *scale)
@@ -221,6 +229,12 @@ func main() {
 		fmt.Printf("wrote %s\n", *jsonPath)
 		if *stamp {
 			sp := stampedPath(*jsonPath, report.Started, sha, dirty)
+			if dir := filepath.Dir(sp); dir != "." {
+				if err := os.MkdirAll(dir, 0o755); err != nil {
+					fmt.Fprintf(os.Stderr, "json: %v\n", err)
+					os.Exit(1)
+				}
+			}
 			if err := os.WriteFile(sp, append(data, '\n'), 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "json: %v\n", err)
 				os.Exit(1)

@@ -32,6 +32,10 @@ type CQ struct {
 	// SharedAggregation reports whether this CQ computes via shared window
 	// slices (the paper's shared processing).
 	SharedAggregation bool
+	// Incremental reports whether this CQ is maintained incrementally:
+	// fires emit from materialized per-group state (internal/ivm) instead
+	// of re-executing the plan over the window's rows.
+	Incremental bool
 
 	eng  *Engine
 	pipe *stream.Pipeline
@@ -83,6 +87,7 @@ func (e *Engine) SubscribeArgs(sqlText string, args ...Value) (*CQ, error) {
 	}
 	cq.pipe = pipe
 	cq.SharedAggregation = pipe.Shared()
+	cq.Incremental = pipe.Incremental()
 	return cq, nil
 }
 

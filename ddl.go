@@ -251,10 +251,13 @@ func (e *Engine) createChannel(s *sql.CreateChannel) (bool, error) {
 }
 
 // channelWrite applies one derived-stream emission to the channel's table
-// in a transaction: REPLACE clears the visible contents first, APPEND just
-// adds. The write transaction makes the update atomic at the window
-// boundary; in parallel mode it runs on the producing pipeline's worker
-// goroutine (heap, index and WAL are internally locked).
+// in a transaction: REPLACE diffs the emission against the visible
+// contents and applies a replace delta — delete only vanished rows,
+// insert only new ones — so an unchanged group costs no heap or WAL
+// churn; APPEND just adds. The write transaction makes the update atomic
+// at the window boundary; in parallel mode it runs on the producing
+// pipeline's worker goroutine (heap, index and WAL are internally
+// locked).
 func (e *Engine) channelWrite(tc trace.Ctx, ch *catalog.Channel, rows []types.Row) error {
 	if e.replicaMode.Load() {
 		// A replica's channels stay quiet: the primary's channel writes
@@ -268,24 +271,50 @@ func (e *Engine) channelWrite(tc trace.Ctx, ch *catalog.Channel, rows []types.Ro
 	}
 	w := e.beginWrite()
 	w.tc = tc
+	coerced := make([]types.Row, len(rows))
+	for i, row := range rows {
+		cr, err := coerceRow(row, t.Schema)
+		if err != nil {
+			return w.fail(err)
+		}
+		coerced[i] = cr
+	}
 	if ch.Mode == sql.ChannelReplace {
-		var rids []storage.RowID
-		t.Heap.Scan(w.tx.Snap, func(rid storage.RowID, _ types.Row) bool {
-			rids = append(rids, rid)
+		// Replace delta: want holds each new row's multiplicity. Visible
+		// rows matching a wanted row are kept (decrement); the rest are
+		// deleted. Whatever multiplicity remains is inserted. The table
+		// converges to exactly the emission's multiset, as the old
+		// delete-all-insert-all did, touching only changed rows.
+		want := make(map[string]int, len(coerced))
+		for _, cr := range coerced {
+			want[cr.Key()]++
+		}
+		var stale []storage.RowID
+		t.Heap.Scan(w.tx.Snap, func(rid storage.RowID, r types.Row) bool {
+			if k := r.Key(); want[k] > 0 {
+				want[k]--
+			} else {
+				stale = append(stale, rid)
+			}
 			return true
 		})
-		for _, rid := range rids {
+		for _, rid := range stale {
 			if err := w.deleteRow(t, rid); err != nil {
 				return w.fail(err)
 			}
 		}
-	}
-	for _, row := range rows {
-		coerced, err := coerceRow(row, t.Schema)
-		if err != nil {
-			return w.fail(err)
+		for _, cr := range coerced {
+			if k := cr.Key(); want[k] > 0 {
+				want[k]--
+				if err := w.insertRow(t, cr); err != nil {
+					return w.fail(err)
+				}
+			}
 		}
-		if err := w.insertRow(t, coerced); err != nil {
+		return w.commit()
+	}
+	for _, cr := range coerced {
+		if err := w.insertRow(t, cr); err != nil {
 			return w.fail(err)
 		}
 	}

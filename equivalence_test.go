@@ -49,9 +49,9 @@ func TestContinuousEqualsSnapshot(t *testing.T) {
 	}
 
 	for qi, q := range queries {
-		for _, sharing := range []bool{true, false} {
+		for _, mode := range []string{"incremental", "shared", "reexec"} {
 			rng := rand.New(rand.NewSource(int64(qi) + 100))
-			eng := openMemSharing(t, sharing)
+			eng := openMemMode(t, mode)
 			mustExec(t, eng, `CREATE STREAM s (url varchar, at timestamp CQTIME USER, v bigint)`)
 			mustExec(t, eng, `CREATE TABLE w (url varchar, at timestamp, v bigint)`)
 			cq, err := eng.Subscribe(q.cq)
@@ -103,8 +103,8 @@ func TestContinuousEqualsSnapshot(t *testing.T) {
 					want[i] = r.String()
 				}
 				if strings.Join(got, "\n") != strings.Join(want, "\n") {
-					t.Fatalf("query %d sharing=%v window %s:\ncontinuous:\n%s\nsnapshot:\n%s",
-						qi, sharing, b.Close, strings.Join(got, "\n"), strings.Join(want, "\n"))
+					t.Fatalf("query %d mode=%s window %s:\ncontinuous:\n%s\nsnapshot:\n%s",
+						qi, mode, b.Close, strings.Join(got, "\n"), strings.Join(want, "\n"))
 				}
 				checked++
 			}
@@ -117,9 +117,22 @@ func TestContinuousEqualsSnapshot(t *testing.T) {
 	}
 }
 
-func openMemSharing(t *testing.T, sharing bool) *Engine {
+// openMemMode opens an engine pinned to one window-fire strategy:
+// "incremental" (IVM where eligible), "shared" (slice sharing, no IVM),
+// or "reexec" (per-fire plan re-execution only).
+func openMemMode(t *testing.T, mode string) *Engine {
 	t.Helper()
-	e, err := Open(Config{DisableSharing: !sharing})
+	cfg := Config{}
+	switch mode {
+	case "incremental":
+	case "shared":
+		cfg.DisableIVM = true
+	case "reexec":
+		cfg.DisableIVM, cfg.DisableSharing = true, true
+	default:
+		t.Fatalf("unknown mode %q", mode)
+	}
+	e, err := Open(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -34,6 +34,13 @@ func (e *Engine) execExplain(s *sql.Explain) (*Result, error) {
 	} else {
 		lines = append(lines, "Continuous Query (CQ): runs per window close")
 		lines = append(lines, fmt.Sprintf("  stream: %s %s", p.Stream.Name, p.Stream.Window.String()))
+		if _, reason := p.DeltaProgram(); reason != "" {
+			lines = append(lines, "  mode: reexec ("+reason+")")
+		} else if e.cfg.DisableIVM {
+			lines = append(lines, "  mode: reexec (incremental maintenance disabled)")
+		} else {
+			lines = append(lines, "  mode: incremental (delta-maintained per-group state; fires emit without re-scanning the window)")
+		}
 		if p.StreamAgg != nil {
 			lines = append(lines, "  shared slice aggregation: eligible")
 			lines = append(lines, "  fingerprint: "+p.StreamAgg.Fingerprint)

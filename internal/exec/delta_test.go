@@ -1,0 +1,196 @@
+package exec
+
+import (
+	"testing"
+	"time"
+
+	"streamrel/internal/expr"
+	"streamrel/internal/types"
+)
+
+func mustAdd(t *testing.T, a DeltaAcc, vs ...types.Datum) {
+	t.Helper()
+	for _, v := range vs {
+		if err := a.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDeltaCount covers star vs column semantics and exact retraction.
+func TestDeltaCount(t *testing.T) {
+	star := NewDeltaAcc(DeltaCount, expr.AggSpec{Star: true})
+	col := NewDeltaAcc(DeltaCount, expr.AggSpec{})
+	for _, a := range []DeltaAcc{star, col} {
+		mustAdd(t, a, types.NewInt(1), types.Null, types.NewInt(2))
+	}
+	if got := star.Result(); got.Int() != 3 {
+		t.Errorf("count(*) = %v, want 3", got)
+	}
+	if got := col.Result(); got.Int() != 2 {
+		t.Errorf("count(x) = %v, want 2 (NULL skipped)", got)
+	}
+
+	// Retract a slice partial: count drops by the slice's contribution.
+	slice := NewDeltaAcc(DeltaCount, expr.AggSpec{Star: true})
+	mustAdd(t, slice, types.NewInt(1), types.NewInt(2))
+	if err := star.Sub(slice); err != nil {
+		t.Fatal(err)
+	}
+	if got := star.Result(); got.Int() != 1 {
+		t.Errorf("after Sub: %v, want 1", got)
+	}
+}
+
+// TestDeltaSumWidening checks that retraction also retracts the type
+// widening: a window that saw a float keeps reporting float sums only
+// while a float remains visible, exactly like re-running expr.sumAcc
+// over the surviving rows.
+func TestDeltaSumWidening(t *testing.T) {
+	w := NewDeltaAcc(DeltaSum, expr.AggSpec{})
+	sliceInt := NewDeltaAcc(DeltaSum, expr.AggSpec{})
+	sliceFloat := NewDeltaAcc(DeltaSum, expr.AggSpec{})
+	mustAdd(t, sliceInt, types.NewInt(3), types.NewInt(4))
+	mustAdd(t, sliceFloat, types.NewFloat(1.5))
+	if err := w.Merge(sliceInt); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Merge(sliceFloat); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Result(); got.Type() != types.TypeFloat || got.Float() != 8.5 {
+		t.Fatalf("mixed sum = %v, want float 8.5", got)
+	}
+	// Expire the float slice: the window holds only ints again, so the
+	// sum must narrow back to an integer — sticky-boolean state can't do
+	// this; per-type counts can.
+	if err := w.Sub(sliceFloat); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Result(); got.Type() != types.TypeInt || got.Int() != 7 {
+		t.Fatalf("after float retract = %v (%s), want int 7", got, got.Type())
+	}
+	// Expire the int slice too: empty window sums to NULL.
+	if err := w.Sub(sliceInt); err != nil {
+		t.Fatal(err)
+	}
+	if !w.Result().IsNull() {
+		t.Fatalf("empty sum = %v, want NULL", w.Result())
+	}
+}
+
+// TestDeltaSumInterval pins the interval branch: intervals win the
+// widening precedence and retract exactly.
+func TestDeltaSumInterval(t *testing.T) {
+	w := NewDeltaAcc(DeltaSum, expr.AggSpec{})
+	slice := NewDeltaAcc(DeltaSum, expr.AggSpec{})
+	mustAdd(t, w, types.NewInterval(2*time.Second))
+	mustAdd(t, slice, types.NewInterval(500*time.Millisecond))
+	if err := w.Merge(slice); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Result(); got.Type() != types.TypeInterval || got.IntervalMicros() != 2_500_000 {
+		t.Fatalf("interval sum = %v, want 2.5s", got)
+	}
+	if err := w.Sub(slice); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Result(); got.IntervalMicros() != 2_000_000 {
+		t.Fatalf("after retract = %v, want 2s", got)
+	}
+	if err := w.Add(types.NewString("x")); err == nil {
+		t.Fatal("sum over varchar should error")
+	}
+}
+
+// TestDeltaAvg checks the SUM+COUNT decomposition, NULL inputs, and the
+// NULL result over an empty window.
+func TestDeltaAvg(t *testing.T) {
+	w := NewDeltaAcc(DeltaAvg, expr.AggSpec{})
+	slice := NewDeltaAcc(DeltaAvg, expr.AggSpec{})
+	mustAdd(t, w, types.NewInt(1), types.Null, types.NewInt(2))
+	mustAdd(t, slice, types.NewFloat(6))
+	if err := w.Merge(slice); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Result(); got.Float() != 3 {
+		t.Fatalf("avg = %v, want 3", got)
+	}
+	if err := w.Sub(slice); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Result(); got.Float() != 1.5 {
+		t.Fatalf("after retract = %v, want 1.5", got)
+	}
+	empty := NewDeltaAcc(DeltaAvg, expr.AggSpec{})
+	if !empty.Result().IsNull() {
+		t.Fatal("avg over empty window should be NULL")
+	}
+	if err := w.Add(types.NewString("x")); err == nil {
+		t.Fatal("avg over varchar should error")
+	}
+}
+
+// TestDeltaMinMax checks merge order independence for values, the
+// explicit Sub error, and NULL handling.
+func TestDeltaMinMax(t *testing.T) {
+	min := NewDeltaAcc(DeltaMin, expr.AggSpec{})
+	max := NewDeltaAcc(DeltaMax, expr.AggSpec{})
+	for _, a := range []DeltaAcc{min, max} {
+		mustAdd(t, a, types.NewInt(5), types.Null, types.NewInt(2), types.NewInt(9))
+	}
+	if got := min.Result(); got.Int() != 2 {
+		t.Errorf("min = %v, want 2", got)
+	}
+	if got := max.Result(); got.Int() != 9 {
+		t.Errorf("max = %v, want 9", got)
+	}
+	if err := min.Sub(max); err == nil {
+		t.Fatal("min/max Sub must refuse: no retract form")
+	}
+	// Re-merge path used on slice expiry: combining surviving partials
+	// reproduces the window value; an empty partial is a no-op.
+	survivor := NewDeltaAcc(DeltaMax, expr.AggSpec{})
+	mustAdd(t, survivor, types.NewInt(7))
+	rebuilt := NewDeltaAcc(DeltaMax, expr.AggSpec{})
+	if err := rebuilt.Merge(survivor); err != nil {
+		t.Fatal(err)
+	}
+	if err := rebuilt.Merge(NewDeltaAcc(DeltaMax, expr.AggSpec{})); err != nil {
+		t.Fatal(err)
+	}
+	if got := rebuilt.Result(); got.Int() != 7 {
+		t.Errorf("rebuilt max = %v, want 7", got)
+	}
+	if err := rebuilt.Add(types.NewString("x")); err == nil {
+		t.Fatal("min/max over mixed types should error")
+	}
+	if !NewDeltaAcc(DeltaMin, expr.AggSpec{}).Result().IsNull() {
+		t.Fatal("min over empty window should be NULL")
+	}
+}
+
+// TestDeltaKindMismatch: combining different kinds is a bug and must
+// error rather than corrupt state.
+func TestDeltaKindMismatch(t *testing.T) {
+	c := NewDeltaAcc(DeltaCount, expr.AggSpec{Star: true})
+	s := NewDeltaAcc(DeltaSum, expr.AggSpec{})
+	if err := c.Merge(s); err == nil {
+		t.Fatal("count.Merge(sum) should error")
+	}
+	if err := s.Sub(c); err == nil {
+		t.Fatal("sum.Sub(count) should error")
+	}
+}
+
+// TestDeltaSubtractable pins which kinds claim an exact inverse.
+func TestDeltaSubtractable(t *testing.T) {
+	for k, want := range map[DeltaKind]bool{
+		DeltaCount: true, DeltaSum: true, DeltaAvg: true,
+		DeltaMin: false, DeltaMax: false,
+	} {
+		if k.Subtractable() != want {
+			t.Errorf("kind %d Subtractable = %v, want %v", k, k.Subtractable(), want)
+		}
+	}
+}

@@ -23,7 +23,7 @@ func E3(s Scale) (*Table, error) {
 		Header: []string{"k CQs", "unshared ingest", "shared ingest", "speedup", "shared aggs"},
 	}
 	run := func(k int, share bool) (time.Duration, int, error) {
-		eng, err := streamrel.Open(streamrel.Config{DisableSharing: !share})
+		eng, err := streamrel.Open(streamrel.Config{DisableSharing: !share, DisableIVM: true})
 		if err != nil {
 			return 0, 0, err
 		}

@@ -248,8 +248,8 @@ func (b *builder) buildAggregate(sel *sql.Select, rel *relNode, streamOnly bool)
 			GroupBy:     compiledGroups,
 			Aggs:        aggSpecs,
 			Fingerprint: fp,
-			PostBuild: func(aggRows []types.Row) exec.Operator {
-				if sortedOutput {
+			PostBuild: func(aggRows []types.Row, presorted bool) exec.Operator {
+				if sortedOutput && !presorted {
 					return buildAbove(&exec.Sort{Child: &exec.Relation{Rows: aggRows}, Keys: sortKeysForWidth(len(compiledGroups), compiledGroups)})
 				}
 				return buildAbove(&exec.Relation{Rows: aggRows})

@@ -46,8 +46,10 @@ type StreamAgg struct {
 	GroupBy []*expr.Scalar
 	Aggs    []expr.AggSpec
 	// PostBuild assembles the operators that run over the aggregated rows
-	// (group keys ++ agg results).
-	PostBuild func(aggRows []types.Row) exec.Operator
+	// (group keys ++ agg results). presorted says the rows already arrive
+	// in group-key order (the incremental path emits straight from its
+	// sorted state), letting the plan skip the determinism re-sort.
+	PostBuild func(aggRows []types.Row, presorted bool) exec.Operator
 	// Fingerprint identifies the sliceable computation: two CQs with equal
 	// fingerprints over the same stream can share slice partials.
 	Fingerprint string

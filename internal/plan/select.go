@@ -78,8 +78,8 @@ func (b *builder) buildSelect(sel *sql.Select, top bool) (*node, error) {
 		}
 		if n.streamAgg != nil {
 			post := n.streamAgg.PostBuild
-			n.streamAgg.PostBuild = func(rows []types.Row) exec.Operator {
-				return &exec.Limit{Child: post(rows), Count: limit, Offset: offset}
+			n.streamAgg.PostBuild = func(rows []types.Row, presorted bool) exec.Operator {
+				return &exec.Limit{Child: post(rows, presorted), Count: limit, Offset: offset}
 			}
 		}
 	}
@@ -286,8 +286,8 @@ func (b *builder) applyOrderBy(n *node, sel *sql.Select) (*node, error) {
 			GroupBy:     n.streamAgg.GroupBy,
 			Aggs:        n.streamAgg.Aggs,
 			Fingerprint: n.streamAgg.Fingerprint,
-			PostBuild: func(rows []types.Row) exec.Operator {
-				return &exec.Sort{Child: post(rows), Keys: keys}
+			PostBuild: func(rows []types.Row, presorted bool) exec.Operator {
+				return &exec.Sort{Child: post(rows, presorted), Keys: keys}
 			},
 		}
 	} else if n.streamAgg != nil {

@@ -86,6 +86,7 @@ type WireSpan struct {
 	DurNS   int64  `json:"dur_ns"`
 	Rows    int    `json:"rows,omitempty"`
 	Slow    bool   `json:"slow,omitempty"`
+	Mode    string `json:"mode,omitempty"`
 }
 
 // WireColumn is a schema column on the wire.

@@ -341,6 +341,7 @@ func (sess *session) dispatch(req *Request) *Response {
 				DurNS:   sp.Dur,
 				Rows:    sp.Rows,
 				Slow:    sp.Slow,
+				Mode:    sp.Mode,
 			}
 		}
 		return out

@@ -46,8 +46,30 @@ const (
 // MergePlan is the compiled merge step for one scatter-gathered query.
 type MergePlan struct {
 	Kind MergeKind
-	// Cols has one combine rule per output column (MergeAggregate only).
+	// Cols has one combine rule per scatter column (MergeAggregate only).
+	// With no AVG rewrite the scatter columns are the output columns.
 	Cols []ColMerge
+	// Out maps each client-visible output column onto the merged scatter
+	// columns; nil when the scatter projection IS the output projection.
+	// AVG makes them differ: avg(x) scatters as sum(x), count(x) and is
+	// recombined here after the global merge.
+	Out []OutCol
+	// ScatterSQL is the rewritten query text the router must send to the
+	// shards instead of the client's SQL; "" when no rewrite happened.
+	ScatterSQL string
+}
+
+// OutCol is one client-visible output column of a rewritten scatter plan.
+type OutCol struct {
+	// Src is the scatter column to emit (the SUM part for an AVG pair).
+	Src int
+	// Count is the scatter column holding the AVG pair's COUNT, or -1 to
+	// pass Src through unchanged. When set, the output value is
+	// sum/count as DOUBLE, NULL when the global count is zero.
+	Count int
+	// Name is the client-visible column name for a synthesized column
+	// (the query alias, or the engine's default "avg").
+	Name string
 }
 
 // PlanMerge compiles the merge step for a query that will be scattered
@@ -100,10 +122,30 @@ func PlanMerge(sel *sql.Select, partCol string) (*MergePlan, error) {
 		keys[g.String()] = true
 	}
 	plan := &MergePlan{Kind: MergeAggregate, Cols: make([]ColMerge, 0, len(sel.Items))}
+	var scatterItems []string
+	rewrote := false
 	for _, it := range sel.Items {
 		if it.Star || it.TableStar != "" {
 			return nil, fmt.Errorf("shard: * projection cannot be combined with aggregates across shards")
 		}
+		// avg(x) is not itself combinable — the average of per-shard
+		// averages is wrong — but its SUM+COUNT decomposition is: scatter
+		// sum(x), count(x) instead and recombine sum/count after the
+		// global merge.
+		if fc, ok := it.Expr.(*sql.FuncCall); ok && strings.EqualFold(fc.Name, "avg") && !fc.Distinct && len(fc.Args) == 1 {
+			arg := fc.Args[0].String()
+			scatterItems = append(scatterItems, "sum("+arg+")", "count("+arg+")")
+			name := it.Alias
+			if name == "" {
+				name = "avg"
+			}
+			plan.Out = append(plan.Out, OutCol{Src: len(plan.Cols), Count: len(plan.Cols) + 1, Name: name})
+			plan.Cols = append(plan.Cols, ColSum, ColCount)
+			rewrote = true
+			continue
+		}
+		scatterItems = append(scatterItems, itemText(it))
+		plan.Out = append(plan.Out, OutCol{Src: len(plan.Cols), Count: -1})
 		if cm, ok := aggColMerge(it.Expr); ok {
 			var err error
 			if cm, err = checkAgg(it.Expr.(*sql.FuncCall), cm); err != nil {
@@ -116,9 +158,64 @@ func PlanMerge(sel *sql.Select, partCol string) (*MergePlan, error) {
 			plan.Cols = append(plan.Cols, ColKey)
 			continue
 		}
-		return nil, fmt.Errorf("shard: output column %s is neither a combinable aggregate (count/sum/min/max) nor a GROUP BY key", it.Expr.String())
+		return nil, fmt.Errorf("shard: output column %s is neither a combinable aggregate (count/sum/avg/min/max) nor a GROUP BY key", it.Expr.String())
 	}
+	if !rewrote {
+		plan.Out = nil
+		return plan, nil
+	}
+	text, err := scatterText(sel, scatterItems)
+	if err != nil {
+		return nil, err
+	}
+	plan.ScatterSQL = text
 	return plan, nil
+}
+
+// itemText renders one projection item for the scatter query, keeping the
+// alias so per-shard output columns keep their client-visible names.
+func itemText(it sql.SelectItem) string {
+	s := it.Expr.String()
+	if it.Alias != "" {
+		s += " AS " + it.Alias
+	}
+	return s
+}
+
+// scatterText renders the rewritten per-shard query. Only the shape the
+// rewrite applies to — a single windowed-or-plain base relation with
+// optional WHERE and GROUP BY (joins and subqueries never reach here:
+// they have no single partitioned base) — needs rendering.
+func scatterText(sel *sql.Select, items []string) (string, error) {
+	if len(sel.From) != 1 {
+		return "", fmt.Errorf("shard: avg over a multi-relation FROM cannot be scatter-gathered")
+	}
+	bt, ok := sel.From[0].(*sql.BaseTable)
+	if !ok {
+		return "", fmt.Errorf("shard: avg over a %T FROM cannot be scatter-gathered", sel.From[0])
+	}
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	b.WriteString(strings.Join(items, ", "))
+	b.WriteString(" FROM ")
+	b.WriteString(bt.Name)
+	if bt.Window != nil {
+		b.WriteString(" " + bt.Window.String())
+	}
+	if bt.Alias != "" {
+		b.WriteString(" " + bt.Alias)
+	}
+	if sel.Where != nil {
+		b.WriteString(" WHERE " + sel.Where.String())
+	}
+	if len(sel.GroupBy) > 0 {
+		gs := make([]string, len(sel.GroupBy))
+		for i, g := range sel.GroupBy {
+			gs[i] = g.String()
+		}
+		b.WriteString(" GROUP BY " + strings.Join(gs, ", "))
+	}
+	return b.String(), nil
 }
 
 // groupsByColumn reports whether any GROUP BY expression is a bare
@@ -203,7 +300,32 @@ func (p *MergePlan) Merge(parts [][]types.Row) []types.Row {
 	for _, k := range order {
 		out = append(out, groups[k])
 	}
+	if p.Out != nil {
+		for i, r := range out {
+			out[i] = p.project(r)
+		}
+	}
 	sortRows(out)
+	return out
+}
+
+// project maps one merged scatter row to the client-visible projection,
+// recombining AVG's sum/count pairs: sum/count as DOUBLE, NULL when no
+// non-NULL input survived anywhere (SQL avg of nothing).
+func (p *MergePlan) project(r types.Row) types.Row {
+	out := make(types.Row, len(p.Out))
+	for i, oc := range p.Out {
+		if oc.Count < 0 {
+			out[i] = r[oc.Src]
+			continue
+		}
+		n := r[oc.Count].Int()
+		if n == 0 || r[oc.Src].IsNull() {
+			out[i] = types.Null
+			continue
+		}
+		out[i] = types.NewFloat(numeric(r[oc.Src]) / float64(n))
+	}
 	return out
 }
 

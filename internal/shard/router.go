@@ -388,13 +388,19 @@ func (r *Router) scatter(req *server.Request, plan *MergePlan) *server.Response 
 		resp *server.Response
 		err  error
 	}
+	// An AVG rewrite scatters a different query text (sum+count pairs)
+	// than the client sent; the merge step recombines.
+	sqlText := req.SQL
+	if plan.ScatterSQL != "" {
+		sqlText = plan.ScatterSQL
+	}
 	results := make([]result, len(r.shards))
 	var wg sync.WaitGroup
 	for i, sc := range r.shards {
 		wg.Add(1)
 		go func(i int, sc *shardConn) {
 			defer wg.Done()
-			resp, err := sc.do(&server.Request{Op: req.Op, SQL: req.SQL, Args: req.Args})
+			resp, err := sc.do(&server.Request{Op: req.Op, SQL: sqlText, Args: req.Args})
 			results[i] = result{resp, err}
 		}(i, sc)
 	}
@@ -429,7 +435,7 @@ func (r *Router) scatter(req *server.Request, plan *MergePlan) *server.Response 
 		return fail(fmt.Errorf("router: all shards down"))
 	}
 	merged := plan.Merge(parts)
-	out := &server.Response{OK: true, Columns: columns, Partial: partial}
+	out := &server.Response{OK: true, Columns: outColumns(plan, columns), Partial: partial}
 	for _, row := range merged {
 		out.Rows = append(out.Rows, server.EncodeRow(row))
 	}
@@ -576,6 +582,10 @@ func (sess *rsession) subscribe(req *server.Request) *server.Response {
 	if err != nil {
 		return fail(err)
 	}
+	sqlText := req.SQL
+	if plan.ScatterSQL != "" {
+		sqlText = plan.ScatterSQL
+	}
 	subs := make([]*client.Subscription, len(r.shards))
 	var columns []server.WireColumn
 	live := 0
@@ -584,7 +594,7 @@ func (sess *rsession) subscribe(req *server.Request) *server.Response {
 		if err != nil {
 			continue // downed shard: merge flags partial
 		}
-		sub, err := cli.Subscribe(req.SQL)
+		sub, err := cli.Subscribe(sqlText)
 		if err != nil {
 			for _, s := range subs {
 				if s != nil {
@@ -630,7 +640,27 @@ func (sess *rsession) subscribe(req *server.Request) *server.Response {
 			m.markDead(i)
 		}(i, sub)
 	}
-	return &server.Response{OK: true, CQ: handle, Columns: columns, Partial: live < len(r.shards)}
+	return &server.Response{OK: true, CQ: handle, Columns: outColumns(plan, columns), Partial: live < len(r.shards)}
+}
+
+// outColumns maps the per-shard scatter schema to the client-visible
+// schema: passthrough columns keep the shard's name and type; an AVG
+// pair collapses to one synthesized DOUBLE column.
+func outColumns(plan *MergePlan, scatter []server.WireColumn) []server.WireColumn {
+	if plan.Out == nil {
+		return scatter
+	}
+	out := make([]server.WireColumn, len(plan.Out))
+	for i, oc := range plan.Out {
+		if oc.Count < 0 {
+			if oc.Src < len(scatter) {
+				out[i] = scatter[oc.Src]
+			}
+			continue
+		}
+		out[i] = server.WireColumn{Name: oc.Name, Type: types.TypeFloat.String()}
+	}
+	return out
 }
 
 // statsResponse mirrors server.statsResponse for the router's registry.

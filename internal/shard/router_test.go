@@ -194,9 +194,23 @@ func TestRouterEndToEnd(t *testing.T) {
 		t.Fatalf("scatter sum(n) = %d, want 30", got)
 	}
 
+	// avg scatters as its SUM+COUNT decomposition and recombines at the
+	// router — the global average, not an average of per-shard averages.
+	av, err := c.Query(`SELECT avg(n) FROM s_archive`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAvg := float64(res.Data[0][1].Int()) / float64(res.Data[0][0].Int())
+	if got := av.Data[0][0].Float(); got != wantAvg {
+		t.Fatalf("scatter avg(n) = %v, want %v", got, wantAvg)
+	}
+	if av.Columns[0].Name != "avg" {
+		t.Fatalf("avg column = %+v", av.Columns[0])
+	}
+
 	// Merge-rejected shapes produce clear errors.
-	if _, err := c.Query(`SELECT avg(n) FROM s_archive`); err == nil || !strings.Contains(err.Error(), "re-combined") {
-		t.Fatalf("avg over shards: %v", err)
+	if _, err := c.Query(`SELECT stddev(n) FROM s_archive`); err == nil || !strings.Contains(err.Error(), "re-combined") {
+		t.Fatalf("stddev over shards: %v", err)
 	}
 
 	// Unpartitioned relations route to shard 0 only.

@@ -97,8 +97,30 @@ func TestPlanMergeRules(t *testing.T) {
 		t.Fatalf("group-by-other: %+v, %v", p, err)
 	}
 
+	// avg over a non-partition-key grouping rewrites to a SUM+COUNT
+	// scatter recombined at the router.
+	p, err = planFor(t, `SELECT u, avg(v) AS m, count(*) FROM s <ADVANCE '1 minute'> GROUP BY u`, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != MergeAggregate || !reflect.DeepEqual(p.Cols, []ColMerge{ColKey, ColSum, ColCount, ColCount}) {
+		t.Fatalf("avg rewrite cols = %+v", p.Cols)
+	}
+	wantOut := []OutCol{{Src: 0, Count: -1}, {Src: 1, Count: 2, Name: "m"}, {Src: 3, Count: -1}}
+	if !reflect.DeepEqual(p.Out, wantOut) {
+		t.Fatalf("avg rewrite out = %+v, want %+v", p.Out, wantOut)
+	}
+	wantSQL := `SELECT u, sum(v), count(v), count(*) FROM s <VISIBLE '1 minute' ADVANCE '1 minute'> GROUP BY u`
+	if p.ScatterSQL != wantSQL {
+		t.Fatalf("scatter sql = %q, want %q", p.ScatterSQL, wantSQL)
+	}
+	if _, err := sql.Parse(p.ScatterSQL); err != nil {
+		t.Fatalf("scatter sql does not re-parse: %v", err)
+	}
+
 	for _, bad := range []string{
-		`SELECT avg(v) FROM s`,
+		`SELECT avg(DISTINCT v) FROM s`,
+		`SELECT stddev(v) FROM s`,
 		`SELECT count(DISTINCT v) FROM s`,
 		`SELECT DISTINCT k FROM s`,
 		`SELECT k FROM s ORDER BY k`,
@@ -142,6 +164,25 @@ func TestMergeAggregate(t *testing.T) {
 	want := rowsOf([]any{"a", 5, 30, 0, 9}, []any{"b", 1, 5, 5, 5}, []any{"c", 1, nil, 2, 2})
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("merged = %v, want %v", got, want)
+	}
+}
+
+func TestMergeAvgRecombine(t *testing.T) {
+	// Scatter rows are (key, sum, count); the plan recombines each pair
+	// into one DOUBLE column. Group "a" proves it is the global average
+	// (35/5 = 7), not the average of per-shard averages ((5+6.67)/2);
+	// group "c" saw only NULL inputs everywhere and must stay NULL.
+	p := &MergePlan{
+		Kind: MergeAggregate,
+		Cols: []ColMerge{ColKey, ColSum, ColCount},
+		Out:  []OutCol{{Src: 0, Count: -1}, {Src: 1, Count: 2, Name: "avg"}},
+	}
+	shard0 := rowsOf([]any{"a", 10, 2}, []any{"b", 4, 4}, []any{"c", nil, 0})
+	shard1 := rowsOf([]any{"a", 25, 3}, []any{"c", nil, 0})
+	got := p.Merge([][]types.Row{shard0, shard1})
+	want := rowsOf([]any{"a", 7.0}, []any{"b", 1.0}, []any{"c", nil})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("avg merge = %v, want %v", got, want)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"streamrel/internal/exec"
+	"streamrel/internal/ivm"
 	"streamrel/internal/metrics"
 	"streamrel/internal/plan"
 	"streamrel/internal/sql"
@@ -46,6 +47,16 @@ type Pipeline struct {
 
 	// Shared slice aggregation (nil when not applicable or disabled).
 	shared *sharedAgg
+
+	// Incremental view maintenance (nil when not applicable or disabled):
+	// the pipeline maintains materialized per-group aggregates and fires
+	// from state instead of re-executing the plan over the window.
+	ivm *ivm.State
+	// ivmTouched counts distinct groups changed per fire
+	// (streamrel_ivm_groups_touched_total); nil without a registry.
+	ivmTouched *metrics.Counter
+	// unregIVMGauges detaches the state-size gauges on stop.
+	unregIVMGauges func()
 
 	// resumeAfter suppresses closes at or before this boundary; recovery
 	// sets it from the Active Table's high-water mark (paper §4).
@@ -133,6 +144,35 @@ func newPipeline(rt *Runtime, src *source, p *plan.Plan, sink Sink) (*Pipeline, 
 		}
 	}
 
+	// Incremental view maintenance: delta-eligible plans maintain
+	// materialized per-group aggregates and fire in O(groups) instead of
+	// re-scanning O(window rows). Takes precedence over shared slices when
+	// both apply — a fire from state beats a per-fire slice merge on the
+	// wide-window/small-advance dashboard shape (E14); identical-shape CQs
+	// give up slice sharing's per-row dedup in exchange.
+	if rt.ivm {
+		if st, reason := ivm.Compile(p); reason == "" {
+			pipe.ivm = st
+			if rt.reg != nil {
+				pipe.ivmTouched = rt.reg.Counter("streamrel_ivm_groups_touched_total",
+					"distinct groups changed between incremental window fires",
+					metrics.L("stream", src.name))
+				labels := []metrics.Label{
+					metrics.L("stream", src.name),
+					metrics.L("pipe", strconv.FormatInt(pipe.id, 10)),
+				}
+				unregGroups := rt.reg.GaugeFunc("streamrel_ivm_state_groups",
+					"materialized groups held by an incremental pipeline",
+					func() float64 { return float64(st.GroupsN.Load()) }, labels...)
+				unregSlices := rt.reg.GaugeFunc("streamrel_ivm_state_slices",
+					"live slices held by an incremental pipeline",
+					func() float64 { return float64(st.SlicesN.Load()) }, labels...)
+				pipe.unregIVMGauges = func() { unregGroups(); unregSlices() }
+			}
+			return pipe, nil
+		}
+	}
+
 	// Shared slice aggregation: time windows whose VISIBLE is a multiple
 	// of ADVANCE, with the shareable plan shape.
 	if rt.sharing && p.StreamAgg != nil && w.Kind == sql.WindowTime && w.Visible%w.Advance == 0 {
@@ -153,6 +193,22 @@ func (p *Pipeline) Plan() *plan.Plan { return p.plan }
 
 // Shared reports whether this pipeline aggregates via shared slices.
 func (p *Pipeline) Shared() bool { return p.shared != nil }
+
+// Incremental reports whether this pipeline maintains its aggregate
+// incrementally and fires from materialized state.
+func (p *Pipeline) Incremental() bool { return p.ivm != nil }
+
+// mode names the fire strategy for trace spans and stats.
+func (p *Pipeline) mode() string {
+	switch {
+	case p.ivm != nil:
+		return "incremental"
+	case p.shared != nil:
+		return "shared"
+	default:
+		return "reexec"
+	}
+}
 
 // ResumeAfter suppresses window closes at or before ts; used by recovery
 // so an Active Table is not fed duplicate windows after restart.
@@ -207,6 +263,9 @@ func (p *Pipeline) push(row types.Row, ts int64) error {
 			p.nextClose = p.alignUp(ts + 1)
 			p.started = true
 		}
+		if p.ivm != nil {
+			return p.ivm.Insert(row, ts)
+		}
 		if p.shared == nil {
 			p.pending = append(p.pending, tsRow{ts, row})
 		}
@@ -252,6 +311,13 @@ func (p *Pipeline) advanceTo(ts int64) error {
 		p.nextClose += p.win.Advance
 		if c <= p.resumeAfter {
 			p.prune(c)
+			if p.ivm != nil {
+				// Suppressed closes still expire slices, so the state
+				// tracks the window even while recovery mutes output.
+				if err := p.ivm.Expire(c + p.win.Advance - p.win.Visible); err != nil {
+					return err
+				}
+			}
 			continue
 		}
 		if err := p.fireTime(c); err != nil {
@@ -277,12 +343,26 @@ func (p *Pipeline) alignUp(ts int64) int64 {
 // row references into fresh output rows and never retain the input
 // slice itself.
 func (p *Pipeline) fireTime(c int64) error {
+	if p.ivm != nil {
+		aggRows, touched, err := p.ivm.Fire()
+		if err != nil {
+			return err
+		}
+		if p.ivmTouched != nil {
+			p.ivmTouched.Add(int64(touched))
+		}
+		if err := p.runPost(c, aggRows, true); err != nil {
+			return err
+		}
+		// Retract the slice that just left the window.
+		return p.ivm.Expire(c + p.win.Advance - p.win.Visible)
+	}
 	if p.shared != nil {
 		aggRows, err := p.shared.windowRows(c, p.win.Visible)
 		if err != nil {
 			return err
 		}
-		return p.runPost(c, aggRows)
+		return p.runPost(c, aggRows, false)
 	}
 	lo := c - p.win.Visible
 	rb := getRowsBlock(len(p.pending))
@@ -364,8 +444,8 @@ func (p *Pipeline) run(c int64, rows []types.Row) error {
 
 // runPost executes only the post-aggregation stage over merged shared
 // slice results.
-func (p *Pipeline) runPost(c int64, aggRows []types.Row) error {
-	return p.fire(c, func() exec.Operator { return p.plan.StreamAgg.PostBuild(aggRows) })
+func (p *Pipeline) runPost(c int64, aggRows []types.Row, presorted bool) error {
+	return p.fire(c, func() exec.Operator { return p.plan.StreamAgg.PostBuild(aggRows, presorted) })
 }
 
 // fire evaluates one window close and delivers the result to the sink,
@@ -401,7 +481,7 @@ func (p *Pipeline) fire(c int64, build func() exec.Operator) error {
 	if tc.ID != 0 {
 		tr.Record(trace.Span{Trace: tc.ID, Stage: trace.StageWindowFire, Stream: p.src.name,
 			Pipe: p.id, Start: start.UnixMicro(), Dur: execDone.Sub(start).Nanoseconds(),
-			Rows: len(out), Slow: slow})
+			Rows: len(out), Slow: slow, Mode: p.mode()})
 		tr.Record(trace.Span{Trace: tc.ID, Stage: trace.StageCQDeliver, Stream: p.src.name,
 			Pipe: p.id, Start: execDone.UnixMicro(), Dur: end.Sub(execDone).Nanoseconds(),
 			Rows: len(out), Slow: slow})

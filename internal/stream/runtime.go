@@ -81,6 +81,9 @@ type Runtime struct {
 	// fingerprints (the paper's "Jellybean" shared processing). It can be
 	// disabled to measure its benefit (experiment E3).
 	sharing bool
+	// ivm enables incremental view maintenance: delta-eligible pipelines
+	// maintain materialized per-group aggregates and fire from state.
+	ivm bool
 	// parallel is the per-pipeline worker queue depth in micro-batches;
 	// 0 keeps the fully synchronous engine.
 	parallel int
@@ -167,6 +170,14 @@ func (r *Runtime) SetMetrics(reg *metrics.Registry) {
 // trace contexts and every hop records spans. Call once, before pushing
 // begins; nil keeps tracing disabled.
 func (r *Runtime) SetTracer(t *trace.Tracer) { r.tracer = t }
+
+// SetIVM enables incremental view maintenance: every subsequently
+// subscribed pipeline whose plan is delta-eligible (plan.DeltaProgram)
+// maintains materialized per-group aggregates — insert deltas per row,
+// retract deltas per expired slice — and fires from state in O(groups)
+// instead of re-executing over O(window rows). Eligible pipelines prefer
+// this over shared slice aggregation. Call once, before subscribing.
+func (r *Runtime) SetIVM(on bool) { r.ivm = on }
 
 // SetParallel switches the runtime into parallel continuous-query mode:
 // every subsequently subscribed non-shared pipeline runs on a dedicated
@@ -931,14 +942,16 @@ func (r *Runtime) snapshotCtx(closeTS int64) *exec.Ctx {
 
 // Stats reports runtime counters for tests and the REPL.
 type Stats struct {
-	Sources        int
-	Pipelines      int
-	SharedAggs     int
-	SharedMembers  int
-	WindowsFired   int64
-	RowsProcessed  int64
-	SliceHitShares int64
-	LateDropped    int64
+	Sources       int
+	Pipelines     int
+	SharedAggs    int
+	SharedMembers int
+	// IncrementalPipes counts pipelines firing from materialized IVM state.
+	IncrementalPipes int
+	WindowsFired     int64
+	RowsProcessed    int64
+	SliceHitShares   int64
+	LateDropped      int64
 	// PerPipeline lists one consistent counter snapshot per live
 	// pipeline; the totals above are sums over it.
 	PerPipeline []PipelineStats
@@ -958,6 +971,8 @@ type PipelineStats struct {
 	// mode); 0 for synchronous pipelines.
 	QueueDepth int
 	Shared     bool
+	// Incremental marks pipelines firing from materialized IVM state.
+	Incremental bool
 }
 
 // statsSnapshot reads this pipeline's counters as one consistent pass.
@@ -966,9 +981,10 @@ type PipelineStats struct {
 // pair never shows more fires than its rows justify.
 func (p *Pipeline) statsSnapshot() PipelineStats {
 	ps := PipelineStats{
-		Stream: p.src.name,
-		ID:     p.id,
-		Shared: p.shared != nil,
+		Stream:      p.src.name,
+		ID:          p.id,
+		Shared:      p.shared != nil,
+		Incremental: p.ivm != nil,
 	}
 	ps.WindowsFired = p.windowsFired.Value()
 	ps.RowsSeen = p.rowsSeen.Value()
@@ -999,6 +1015,9 @@ func (r *Runtime) Stats() Stats {
 			ps := pipe.statsSnapshot()
 			s.WindowsFired += ps.WindowsFired
 			s.RowsProcessed += ps.RowsSeen
+			if ps.Incremental {
+				s.IncrementalPipes++
+			}
 			s.PerPipeline = append(s.PerPipeline, ps)
 		}
 	}

@@ -73,13 +73,17 @@ func (p *Pipeline) enqueue(t task) {
 	p.tasks <- t
 }
 
-// stop closes the queue and waits for the worker to exit. Safe to call
-// multiple times and on synchronous pipelines (no-op).
+// stop closes the queue and waits for the worker to exit, detaching any
+// per-pipeline gauges. Safe to call multiple times; synchronous pipelines
+// only detach gauges.
 func (p *Pipeline) stop() {
-	if p.tasks == nil {
-		return
-	}
 	p.stopOnce.Do(func() {
+		if p.unregIVMGauges != nil {
+			p.unregIVMGauges()
+		}
+		if p.tasks == nil {
+			return
+		}
 		close(p.tasks)
 		<-p.workerDone
 		if p.unregQueueGauge != nil {

@@ -17,6 +17,7 @@ type wireSpan struct {
 	DurNS   int64  `json:"dur_ns"`
 	Rows    int    `json:"rows,omitempty"`
 	Slow    bool   `json:"slow,omitempty"`
+	Mode    string `json:"mode,omitempty"`
 }
 
 // Handler serves the span ring as a JSON array, oldest span first. Safe
@@ -35,6 +36,7 @@ func Handler(t *Tracer) http.Handler {
 				DurNS:   s.Dur,
 				Rows:    s.Rows,
 				Slow:    s.Slow,
+				Mode:    s.Mode,
 			}
 		}
 		w.Header().Set("Content-Type", "application/json")

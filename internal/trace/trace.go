@@ -78,7 +78,9 @@ type Ctx struct {
 func (c Ctx) Sampled() bool { return c.ID != 0 }
 
 // Span is one completed hop. Start is wall-clock microseconds since the
-// epoch (the engine's timestamp unit); Dur is nanoseconds.
+// epoch (the engine's timestamp unit); Dur is nanoseconds. Mode tags
+// window-fire spans with the fire strategy ("incremental", "shared",
+// "reexec"); it is empty on other stages.
 type Span struct {
 	Trace  uint64
 	Stage  Stage
@@ -88,6 +90,7 @@ type Span struct {
 	Dur    int64
 	Rows   int
 	Slow   bool
+	Mode   string
 }
 
 // FormatID renders a trace ID the way every surface (REPL, wire, JSON)

@@ -112,6 +112,10 @@ type Config struct {
 	// DisableSharing turns off shared slice aggregation across continuous
 	// queries; experiment E3 measures its benefit.
 	DisableSharing bool
+	// DisableIVM turns off incremental view maintenance: delta-eligible
+	// continuous queries then fall back to shared slices or re-execution.
+	// Experiment E14 measures the incremental path's benefit.
+	DisableIVM bool
 	// LateRows chooses what happens to out-of-order stream input:
 	// reject (default), drop, or clamp to the high-water mark.
 	LateRows LateRowPolicy
@@ -217,6 +221,7 @@ func Open(cfg Config) (*Engine, error) {
 		e.reg = metrics.NewRegistry()
 	}
 	e.rt = stream.NewRuntime(e.mgr, !cfg.DisableSharing)
+	e.rt.SetIVM(!cfg.DisableIVM)
 	e.rt.SetMetrics(e.reg)
 	e.rt.Late = stream.LatePolicy(cfg.LateRows)
 	e.rt.SetParallel(cfg.ParallelCQ)
