@@ -1,6 +1,6 @@
 // Command srbench regenerates the paper's evaluation: every figure and
 // quantified claim mapped to an experiment in DESIGN.md §4 (F1, E1–E8),
-// plus the engine's own scaling experiments (E9).
+// plus the engine's own scaling experiments (E9–E15).
 //
 // Usage:
 //
@@ -9,7 +9,7 @@
 //	srbench -only E1,E3     # a subset
 //	srbench -list           # show the experiment index
 //	srbench -only E9 -json BENCH_fanout.json   # machine-readable results
-//	srbench -only E11 -json BENCH_trace.json   # tracing overhead report
+//	srbench -only E15 -compare BENCH_sched.json  # deltas vs last stamped run
 package main
 
 import (
@@ -20,6 +20,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -42,6 +43,7 @@ var index = []struct{ id, what string }{
 	{"E12", "ingest hot path ladder: rows/s + allocs/row across fan-out, workers, Sync on/off"},
 	{"E13", "shard scale-out ladder: keyed ingest rows/s + window fire latency, direct vs router over 1/2/4 shards"},
 	{"E14", "incremental maintenance: fire latency vs window width, re-exec vs delta-maintained (internal/ivm)"},
+	{"E15", "work-stealing scheduler + plan sharing: 100/1k/10k CQs, registration + ingest + fire latency, serial-equivalence gated"},
 }
 
 // jsonReport is the machine-readable output format for -json: enough
@@ -97,6 +99,101 @@ func stampedPath(base string, started time.Time, sha string, dirty bool) string 
 		return filepath.Join(filepath.Dir(base), "bench-stamps", filepath.Base(name))
 	}
 	return name
+}
+
+// baselineFor picks the comparison baseline for -compare: the most recent
+// stamped sibling of the named trajectory file — bench-stamps/ scratch
+// runs and clean stamps beside the base are both considered, newest
+// modification time wins — falling back to the committed base file
+// itself when no stamped run exists yet.
+func baselineFor(base string) (string, error) {
+	ext := filepath.Ext(base)
+	stem := strings.TrimSuffix(filepath.Base(base), ext)
+	var newest string
+	var newestMod time.Time
+	for _, dir := range []string{filepath.Join(filepath.Dir(base), "bench-stamps"), filepath.Dir(base)} {
+		matches, _ := filepath.Glob(filepath.Join(dir, stem+"-*"+ext))
+		for _, m := range matches {
+			fi, err := os.Stat(m)
+			if err != nil {
+				continue
+			}
+			if newest == "" || fi.ModTime().After(newestMod) {
+				newest, newestMod = m, fi.ModTime()
+			}
+		}
+	}
+	if newest != "" {
+		return newest, nil
+	}
+	if _, err := os.Stat(base); err != nil {
+		return "", fmt.Errorf("no baseline: %s has no stamped runs and does not exist itself", base)
+	}
+	return base, nil
+}
+
+// compareReport prints per-metric deltas between a baseline report and
+// this run. It states facts (old → new, Δ%) without judging direction:
+// rows_per_s metrics improve upward, _seconds and _ms metrics downward,
+// and the reader (or -budget) decides what counts as a regression.
+func compareReport(path string, tables []*experiments.Table) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var old jsonReport
+	if err := json.Unmarshal(data, &old); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	oldM := map[string]float64{}
+	for _, t := range old.Tables {
+		for k, v := range t.Metrics {
+			oldM[k] = v
+		}
+	}
+	newM := map[string]float64{}
+	for _, t := range tables {
+		for k, v := range t.Metrics {
+			newM[k] = v
+		}
+	}
+	order := make([]string, 0, len(newM))
+	for k := range newM {
+		order = append(order, k)
+	}
+	sort.Strings(order)
+	fmt.Printf("\ncompare vs %s (sha %s, %s):\n", path, old.GitSHA, old.Started.Format("2006-01-02"))
+	matched := 0
+	for _, k := range order {
+		ov, ok := oldM[k]
+		if !ok {
+			fmt.Printf("  %-44s %12s -> %12.3f  (new metric)\n", k, "-", newM[k])
+			continue
+		}
+		matched++
+		nv := newM[k]
+		switch {
+		case ov == 0 && nv == 0:
+			fmt.Printf("  %-44s %12.3f -> %12.3f\n", k, ov, nv)
+		case ov == 0:
+			fmt.Printf("  %-44s %12.3f -> %12.3f  (baseline zero)\n", k, ov, nv)
+		default:
+			fmt.Printf("  %-44s %12.3f -> %12.3f  %+7.1f%%\n", k, ov, nv, (nv-ov)/ov*100)
+		}
+	}
+	stale := 0
+	for k := range oldM {
+		if _, ok := newM[k]; !ok {
+			stale++
+		}
+	}
+	if stale > 0 {
+		fmt.Printf("  (%d baseline metrics not measured this run — rerun the matching experiments to compare them)\n", stale)
+	}
+	if matched == 0 {
+		return fmt.Errorf("compare: no overlapping metrics between this run and %s — wrong baseline file for -only selection?", path)
+	}
+	return nil
 }
 
 // checkBudget compares every metric the run produced against the maxima
@@ -156,6 +253,7 @@ func main() {
 	jsonPath := flag.String("json", "", "also write results as JSON to this file")
 	stamp := flag.Bool("stamp", false, "additionally write a timestamped+git-sha'd copy of the -json file")
 	budgetPath := flag.String("budget", "", "compare run metrics against this budget file (metric → max); exit non-zero on breach")
+	comparePath := flag.String("compare", "", "print per-metric deltas vs the most recent stamped run of this trajectory file (falls back to the file itself)")
 	flag.Parse()
 
 	if *list {
@@ -178,6 +276,7 @@ func main() {
 		"E6": experiments.E6, "E7": experiments.E7, "E8": experiments.E8,
 		"E9": experiments.E9, "E10": experiments.E10, "E11": experiments.E11,
 		"E12": experiments.E12, "E13": experiments.E13, "E14": experiments.E14,
+		"E15": experiments.E15,
 	}
 
 	fmt.Printf("streamrel experiment suite (scale %.2g)\n", *scale)
@@ -240,6 +339,17 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("wrote %s\n", sp)
+		}
+	}
+	if *comparePath != "" {
+		base, err := baselineFor(*comparePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "compare: %v\n", err)
+			os.Exit(1)
+		}
+		if err := compareReport(base, report.Tables); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
 		}
 	}
 	if *budgetPath != "" {

@@ -61,6 +61,8 @@ func main() {
 	shards := flag.String("shards", "", "run as a shard router over this comma-separated list of shard servers (order is the shard map)")
 	traceSample := flag.Int("trace-sample", 0, "trace one in N ingested batches (0 = default 1/256, 1 = every batch, negative = off)")
 	slowFire := flag.Duration("slow-fire", 0, "force-record and log window fires slower than this push-to-fire latency (0 = off)")
+	parallelCQ := flag.Int("parallel-cq", 0, "run continuous queries on the work-stealing pool with this mailbox backpressure bound in micro-batches (0 = synchronous engine)")
+	schedWorkers := flag.Int("sched-workers", 0, "work-stealing pool size for -parallel-cq (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
@@ -88,6 +90,8 @@ func main() {
 		Replicate:           true,
 		TraceSampleEvery:    *traceSample,
 		SlowFireThreshold:   *slowFire,
+		ParallelCQ:          *parallelCQ,
+		SchedWorkers:        *schedWorkers,
 		Logger:              logger,
 	})
 	if err != nil {

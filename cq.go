@@ -23,9 +23,10 @@ type Batch struct {
 // read them with Next (blocking) or TryNext (non-blocking). In the default
 // synchronous mode every batch produced by an Append or AdvanceTime call
 // is already queued when that call returns. With Config.ParallelCQ the
-// query runs on its own worker goroutine: batches arrive in the same order
-// with the same contents, but asynchronously — call Engine.Flush (or read
-// with Next) to wait for them.
+// query's batches flow through a mailbox drained by the work-stealing
+// scheduler pool: they arrive in the same order with the same contents,
+// but asynchronously — call Engine.Flush (or read with Next) to wait for
+// them.
 type CQ struct {
 	// Columns names and types the result rows.
 	Columns Schema

@@ -44,8 +44,25 @@ func (e *Engine) execExplain(s *sql.Explain) (*Result, error) {
 		if p.StreamAgg != nil {
 			lines = append(lines, "  shared slice aggregation: eligible")
 			lines = append(lines, "  fingerprint: "+p.StreamAgg.Fingerprint)
+			gkey, subs, skey, sm := e.rt.SharingInfo(p)
+			if gkey != "" {
+				// Live plan-sharing group this CQ would subscribe to (count
+				// is current subscribers; this CQ would be subs+1).
+				lines = append(lines, fmt.Sprintf("  shared: %s (%d subscribers)", gkey, subs))
+			} else if e.cfg.DisablePlanSharing || e.cfg.DisableSharing {
+				lines = append(lines, "  shared: plan sharing disabled")
+			}
+			if skey != "" {
+				lines = append(lines, fmt.Sprintf("  shared slices: %s (%d members)", skey, sm))
+			}
 		} else {
 			lines = append(lines, "  shared slice aggregation: not applicable (per-window plan)")
+		}
+		if e.cfg.ParallelCQ > 0 {
+			lines = append(lines, fmt.Sprintf("  sched: stealing (%d workers, mailbox bound %d)",
+				e.rt.SchedWorkers(), e.cfg.ParallelCQ))
+		} else {
+			lines = append(lines, "  sched: synchronous (producer-driven)")
 		}
 		if p.CloseCol >= 0 {
 			lines = append(lines, fmt.Sprintf("  cq_close(*) output column: %d", p.CloseCol+1))

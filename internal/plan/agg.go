@@ -2,6 +2,7 @@ package plan
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"streamrel/internal/exec"
@@ -234,12 +235,41 @@ func (b *builder) buildAggregate(sel *sql.Select, rel *relNode, streamOnly bool)
 	// directly over the windowed stream. The runtime computes per-slice
 	// partials once per (stream, fingerprint) and merges at window close;
 	// PostBuild runs everything above the aggregation.
+	//
+	// Subsumption widening: WHERE conjuncts expressible over the
+	// post-aggregation scope — they reference only GROUP BY expressions,
+	// so they are constant within a group — are hoisted out of the slice
+	// computation (and its fingerprint) into the post stage. A group
+	// whose key fails such a predicate would contribute no output either
+	// way, so filtering the merged group rows is equivalent to filtering
+	// the input rows; this lets `WHERE url='/a' … GROUP BY url` share
+	// slice state (and a plan-level pipeline) with the unfiltered
+	// `… GROUP BY url`. The full plan (Build) keeps the WHERE pre-agg.
 	if streamOnly && b.stream != nil && !anyUsesWindowContext(sel, groupExprs, aggCalls) {
-		fp := fingerprint(b.stream.Name, sel, groupExprs, aggCalls)
+		var baseConjs, residConjs []sql.Expr
+		var residual []*expr.Scalar
+		for _, c := range splitConjuncts(sel.Where) {
+			// Scalar aggregates (no GROUP BY) never hoist: they emit a
+			// default row over an empty window, and a pre-agg filter that
+			// empties the window must NOT suppress that row the way a
+			// post-agg filter would.
+			if len(groupExprs) > 0 && !containsAggregate(c) && !usesCQClose(c) {
+				if r, rerr := rewrite(c); rerr == nil {
+					if s, cerr := expr.Compile(r, postScope); cerr == nil {
+						residConjs = append(residConjs, c)
+						residual = append(residual, s)
+						continue
+					}
+				}
+			}
+			baseConjs = append(baseConjs, c)
+		}
+		baseWhere := andAll(baseConjs)
+		fp := fingerprint(b.stream.Name, baseWhere, groupExprs, aggCalls)
 		var pred *expr.Scalar
-		if sel.Where != nil {
+		if baseWhere != nil {
 			var err error
-			if pred, err = expr.Compile(sel.Where, inScope); err != nil {
+			if pred, err = expr.Compile(baseWhere, inScope); err != nil {
 				return nil, err
 			}
 		}
@@ -248,16 +278,54 @@ func (b *builder) buildAggregate(sel *sql.Select, rel *relNode, streamOnly bool)
 			GroupBy:     compiledGroups,
 			Aggs:        aggSpecs,
 			Fingerprint: fp,
+			PostKey:     postKeyString(residConjs, sel),
 			PostBuild: func(aggRows []types.Row, presorted bool) exec.Operator {
+				var op exec.Operator = &exec.Relation{Rows: aggRows}
 				if sortedOutput && !presorted {
-					return buildAbove(&exec.Sort{Child: &exec.Relation{Rows: aggRows}, Keys: sortKeysForWidth(len(compiledGroups), compiledGroups)})
+					op = &exec.Sort{Child: op, Keys: sortKeysForWidth(len(compiledGroups), compiledGroups)}
 				}
-				return buildAbove(&exec.Relation{Rows: aggRows})
+				for _, rs := range residual {
+					op = &exec.Filter{Child: op, Pred: rs}
+				}
+				return buildAbove(op)
 			},
 		}
 		n.aggPostScope = postScope
 	}
 	return n, nil
+}
+
+// postKeyString canonically identifies a plan's post-aggregation stage:
+// hoisted residual conjuncts (sorted — conjunction commutes), HAVING,
+// projection expressions (aliases excluded: they name, not compute) and
+// DISTINCT. ORDER BY and LIMIT are appended by the callers that plan
+// them. Two CQs with equal fingerprints and equal post keys are
+// identical after canonicalization and can share one post execution.
+func postKeyString(resid []sql.Expr, sel *sql.Select) string {
+	rs := make([]string, len(resid))
+	for i, c := range resid {
+		rs[i] = c.String()
+	}
+	sort.Strings(rs)
+	var b strings.Builder
+	b.WriteString("R:")
+	for _, s := range rs {
+		b.WriteString(s)
+		b.WriteByte(';')
+	}
+	b.WriteString("|H:")
+	if sel.Having != nil {
+		b.WriteString(sel.Having.String())
+	}
+	b.WriteString("|S:")
+	for _, item := range sel.Items {
+		b.WriteString(item.Expr.String())
+		b.WriteByte(';')
+	}
+	if sel.Distinct {
+		b.WriteString("|D")
+	}
+	return b.String()
 }
 
 // sortKeysForWidth sorts agg output rows by their group-key columns so the
@@ -286,13 +354,14 @@ func sameExpr(a, c sql.Expr, sc *scope) bool {
 	return a.String() == c.String()
 }
 
-// fingerprint canonically identifies a shareable slice computation.
-func fingerprint(stream string, sel *sql.Select, groups []sql.Expr, aggs []*sql.FuncCall) string {
+// fingerprint canonically identifies a shareable slice computation. where
+// is the base (non-hoisted) part of the WHERE clause.
+func fingerprint(stream string, where sql.Expr, groups []sql.Expr, aggs []*sql.FuncCall) string {
 	var b strings.Builder
 	b.WriteString(stream)
 	b.WriteString("|W:")
-	if sel.Where != nil {
-		b.WriteString(sel.Where.String())
+	if where != nil {
+		b.WriteString(where.String())
 	}
 	b.WriteString("|G:")
 	for _, g := range groups {
@@ -312,31 +381,34 @@ func fingerprint(stream string, sel *sql.Select, groups []sql.Expr, aggs []*sql.
 // which is only known at window close — such plans cannot take the shared
 // slice path.
 func anyUsesWindowContext(sel *sql.Select, groups []sql.Expr, aggs []*sql.FuncCall) bool {
-	uses := func(e sql.Expr) bool {
-		found := false
-		sql.WalkExprs(e, func(x sql.Expr) bool {
-			if fc, ok := x.(*sql.FuncCall); ok && strings.ToLower(fc.Name) == "cq_close" {
-				found = true
-				return false
-			}
-			return true
-		})
-		return found
-	}
-	if sel.Where != nil && uses(sel.Where) {
+	if sel.Where != nil && usesCQClose(sel.Where) {
 		return true
 	}
 	for _, g := range groups {
-		if uses(g) {
+		if usesCQClose(g) {
 			return true
 		}
 	}
 	for _, fc := range aggs {
 		for _, arg := range fc.Args {
-			if uses(arg) {
+			if usesCQClose(arg) {
 				return true
 			}
 		}
 	}
 	return false
+}
+
+// usesCQClose reports whether the expression references cq_close(*),
+// which is only known at window close.
+func usesCQClose(e sql.Expr) bool {
+	found := false
+	sql.WalkExprs(e, func(x sql.Expr) bool {
+		if fc, ok := x.(*sql.FuncCall); ok && strings.ToLower(fc.Name) == "cq_close" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
 }

@@ -51,8 +51,17 @@ type StreamAgg struct {
 	// sorted state), letting the plan skip the determinism re-sort.
 	PostBuild func(aggRows []types.Row, presorted bool) exec.Operator
 	// Fingerprint identifies the sliceable computation: two CQs with equal
-	// fingerprints over the same stream can share slice partials.
+	// fingerprints over the same stream can share slice partials. WHERE
+	// conjuncts hoisted into the post stage (see PostKey) are excluded, so
+	// subsumed plans — same grouping, per-subscriber residual filter —
+	// fingerprint identically and share state.
 	Fingerprint string
+	// PostKey canonically identifies the post-aggregation stage (hoisted
+	// residual WHERE conjuncts, HAVING, projection, DISTINCT, ORDER BY,
+	// LIMIT). Plan-level sharing groups CQs by (Fingerprint, window) —
+	// one shared pipeline and state — and runs one post stage per
+	// distinct PostKey within the group.
+	PostKey string
 }
 
 // Plan is a compiled query.

@@ -81,6 +81,7 @@ func (b *builder) buildSelect(sel *sql.Select, top bool) (*node, error) {
 			n.streamAgg.PostBuild = func(rows []types.Row, presorted bool) exec.Operator {
 				return &exec.Limit{Child: post(rows, presorted), Count: limit, Offset: offset}
 			}
+			n.streamAgg.PostKey += fmt.Sprintf("|L:%d,%d", limit, offset)
 		}
 	}
 	return n, nil
@@ -281,11 +282,27 @@ func (b *builder) applyOrderBy(n *node, sel *sql.Select) (*node, error) {
 	if n.streamAgg != nil && n.aggPostScope != nil && len(hidden) == 0 {
 		// Mirror the sort into the shared-aggregation fast path.
 		post := n.streamAgg.PostBuild
+		var ob strings.Builder
+		ob.WriteString("|O:")
+		for _, item := range sel.OrderBy {
+			ob.WriteString(item.Expr.String())
+			if item.Desc {
+				ob.WriteString(" desc")
+			}
+			switch item.Nulls {
+			case sql.NullsFirst:
+				ob.WriteString(" nf")
+			case sql.NullsLast:
+				ob.WriteString(" nl")
+			}
+			ob.WriteByte(';')
+		}
 		out.streamAgg = &StreamAgg{
 			Pred:        n.streamAgg.Pred,
 			GroupBy:     n.streamAgg.GroupBy,
 			Aggs:        n.streamAgg.Aggs,
 			Fingerprint: n.streamAgg.Fingerprint,
+			PostKey:     n.streamAgg.PostKey + ob.String(),
 			PostBuild: func(rows []types.Row, presorted bool) exec.Operator {
 				return &exec.Sort{Child: post(rows, presorted), Keys: keys}
 			},

@@ -48,6 +48,13 @@ type Pipeline struct {
 	// Shared slice aggregation (nil when not applicable or disabled).
 	shared *sharedAgg
 
+	// Plan-level sharing (see planshare.go). pg is set on a member: the
+	// pipeline is a subscriber of a shared host and receives no row
+	// delivery of its own. hosting is set on the host pipeline that owns
+	// the group's window state and fans post stages out at each close.
+	pg      *planGroup
+	hosting *planGroup
+
 	// Incremental view maintenance (nil when not applicable or disabled):
 	// the pipeline maintains materialized per-group aggregates and fires
 	// from state instead of re-executing the plan over the window.
@@ -71,14 +78,14 @@ type Pipeline struct {
 	tc           trace.Ctx
 	oldestIngest int64
 
-	// Worker execution (parallel mode only; tasks == nil means the
-	// pipeline runs synchronously on the producer). The single worker
+	// Worker execution (parallel mode only; mbox == nil means the
+	// pipeline runs synchronously on the producer). The work-stealing
+	// pool runs at most one worker inside the mailbox at a time and
 	// applies tasks in queue order, so per-pipeline results match the
 	// synchronous engine exactly.
-	tasks      chan task
-	workerDone chan struct{}
-	stopOnce   sync.Once
-	enqueued   atomic.Int64
+	mbox     *mailbox
+	stopOnce sync.Once
+	enqueued atomic.Int64
 	// applied counts non-flush tasks the worker has fully processed;
 	// enqueued == applied with an empty queue means the worker is idle,
 	// which lets the producer bypass the queue (soleIdleWorker).
@@ -105,9 +112,19 @@ type emission struct {
 	rows []types.Row
 }
 
-// newPipeline validates the window against the source and joins a shared
-// aggregation when the plan shape allows it.
+// newPipeline validates the window against the source and joins a plan
+// group, an incremental state or a shared slice aggregation when the plan
+// shape allows it.
 func newPipeline(rt *Runtime, src *source, p *plan.Plan, sink Sink) (*Pipeline, error) {
+	return buildPipeline(rt, src, p, sink, true)
+}
+
+// buildPipeline is newPipeline with plan-group membership controllable:
+// group hosts are themselves built through it with allowGroup=false so
+// the host gets real window state (IVM preferred, shared slices
+// otherwise) instead of recursively joining its own group. Callers hold
+// src.mu.
+func buildPipeline(rt *Runtime, src *source, p *plan.Plan, sink Sink, allowGroup bool) (*Pipeline, error) {
 	w := p.Stream.Window
 	pipe := &Pipeline{rt: rt, src: src, plan: p, win: w, sink: sink, resumeAfter: -1 << 62}
 	pipe.id = rt.nextPipeID.Add(1)
@@ -142,6 +159,35 @@ func newPipeline(rt *Runtime, src *source, p *plan.Plan, sink Sink) (*Pipeline, 
 		if src.cqtimeCol >= 0 {
 			return nil, fmt.Errorf("stream: <SLICES n WINDOWS> applies to derived streams")
 		}
+	}
+
+	// Plan-level sharing: CQs with the shareable aggregate shape, the same
+	// slice fingerprint and the same window geometry subscribe to one host
+	// pipeline (the first such CQ creates it) instead of building their own
+	// window state. The check runs before IVM so 10k identical dashboards
+	// maintain ONE delta state; the host itself is built through the normal
+	// tail below and so prefers IVM, falling back to shared slices.
+	if allowGroup && rt.planShare && rt.sharing && p.StreamAgg != nil &&
+		w.Kind == sql.WindowTime && w.Visible%w.Advance == 0 {
+		key := planGroupKey(p.StreamAgg.Fingerprint, w.Advance, w.Visible)
+		g, ok := src.groups[key]
+		if !ok {
+			host, err := buildPipeline(rt, src, p, nil, false)
+			if err != nil {
+				return nil, err
+			}
+			g = &planGroup{key: key, host: host}
+			host.hosting = g
+			src.groups[key] = g
+			if rt.parallel > 0 && host.shared == nil {
+				host.startWorker(rt.parallel)
+				src.workers++
+			}
+			src.pipes = append(src.pipes, host)
+		}
+		g.attach(pipe, p.StreamAgg.PostKey)
+		pipe.pg = g
+		return pipe, nil
 	}
 
 	// Incremental view maintenance: delta-eligible plans maintain
@@ -191,12 +237,51 @@ func newPipeline(rt *Runtime, src *source, p *plan.Plan, sink Sink) (*Pipeline, 
 // Plan returns the pipeline's compiled plan.
 func (p *Pipeline) Plan() *plan.Plan { return p.plan }
 
-// Shared reports whether this pipeline aggregates via shared slices.
-func (p *Pipeline) Shared() bool { return p.shared != nil }
+// Shared reports whether this pipeline aggregates via shared slices. A
+// plan-group member reports its host's strategy: that is where its
+// aggregation actually runs.
+func (p *Pipeline) Shared() bool {
+	if p.pg != nil {
+		return p.pg.host.shared != nil
+	}
+	return p.shared != nil
+}
 
 // Incremental reports whether this pipeline maintains its aggregate
-// incrementally and fires from materialized state.
-func (p *Pipeline) Incremental() bool { return p.ivm != nil }
+// incrementally and fires from materialized state (delegated to the host
+// for plan-group members).
+func (p *Pipeline) Incremental() bool {
+	if p.pg != nil {
+		return p.pg.host.ivm != nil
+	}
+	return p.ivm != nil
+}
+
+// PlanShared reports plan-level sharing membership: the group key
+// (fingerprint@advance/visible) and the current subscriber count.
+func (p *Pipeline) PlanShared() (key string, members int, ok bool) {
+	if p.pg == nil {
+		return "", 0, false
+	}
+	return p.pg.key, int(p.pg.n.Load()), true
+}
+
+// SliceShared reports shared-slice membership for EXPLAIN: the slice key
+// (fingerprint@advance) and how many pipelines feed off that state. A
+// plan-group member reports through its host.
+func (p *Pipeline) SliceShared() (key string, members int, ok bool) {
+	host := p
+	if p.pg != nil {
+		host = p.pg.host
+	}
+	if host.shared == nil {
+		return "", 0, false
+	}
+	p.src.mu.Lock()
+	n := len(host.shared.members)
+	p.src.mu.Unlock()
+	return host.shared.key, n, true
+}
 
 // mode names the fire strategy for trace spans and stats.
 func (p *Pipeline) mode() string {
@@ -218,6 +303,19 @@ func (p *Pipeline) ResumeAfter(ts int64) {
 		// Start the boundary clock just past the resume point.
 		p.nextClose = p.alignUp(ts + 1)
 		p.started = true
+		if p.pg != nil {
+			// A plan-group member never fires itself: the host's clock must
+			// cover the member's resume point, and when members resume from
+			// different high-water marks the earliest one wins so no close
+			// any member still needs is skipped (fanout suppresses per
+			// member).
+			h := p.pg.host
+			nc := h.alignUp(ts + 1)
+			if !h.started || nc < h.nextClose {
+				h.nextClose = nc
+				h.started = true
+			}
+		}
 	}
 }
 
@@ -343,6 +441,9 @@ func (p *Pipeline) alignUp(ts int64) int64 {
 // row references into fresh output rows and never retain the input
 // slice itself.
 func (p *Pipeline) fireTime(c int64) error {
+	if p.hosting != nil {
+		return p.fireGroup(p.hosting, c)
+	}
 	if p.ivm != nil {
 		aggRows, touched, err := p.ivm.Fire()
 		if err != nil {

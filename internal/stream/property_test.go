@@ -111,13 +111,15 @@ func TestPruneKeepsExactlyTheLiveExtent(t *testing.T) {
 func TestSharedSliceGC(t *testing.T) {
 	e := newEnv(t, true)
 	pipe, _ := e.subscribe(t, `SELECT url, count(*) FROM url_stream <VISIBLE '2 minutes' ADVANCE '1 minute'> GROUP BY url`)
-	if pipe.shared == nil {
+	if !pipe.Shared() {
 		t.Fatal("expected shared path")
 	}
+	// The CQ is a plan-group member; the slice state lives on its host.
+	host := pipe.pg.host
 	for m := 0; m < 30; m++ {
 		e.hit(t, "/x", int64(100+m)*minute+1, "ip")
 	}
-	if got := len(pipe.shared.slices); got > 5 {
+	if got := len(host.shared.slices); got > 5 {
 		t.Fatalf("shared slice map grew to %d entries (GC not working)", got)
 	}
 }

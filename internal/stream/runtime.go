@@ -15,16 +15,27 @@
 // streams never contend. Within one source, delivery has two modes. In the
 // default synchronous mode every subscribed pipeline runs on the pushing
 // goroutine in subscription order, which makes whole-engine execution
-// deterministic. With SetParallel, each non-shared pipeline instead runs on
-// its own worker goroutine fed by a bounded queue of micro-batches with
-// blocking backpressure: rows for a given pipeline are still applied in
-// arrival order, so per-CQ results are identical to the synchronous mode,
-// while fan-out to N continuous queries uses N cores instead of one.
+// deterministic. With SetParallel, each non-shared pipeline instead gets a
+// bounded mailbox of micro-batches (blocking backpressure on producers)
+// drained by a work-stealing scheduler: a fixed pool of workers (default
+// GOMAXPROCS, see SetSchedWorkers) with per-worker deques and steal-half
+// rebalancing, so 10k mostly idle pipelines cost 10k mailboxes, not 10k
+// goroutines. A mailbox is executed by at most one worker at a time and
+// rows for a given pipeline are still applied in arrival order, so per-CQ
+// results are identical to the synchronous mode, while fan-out to N
+// continuous queries uses up to GOMAXPROCS cores instead of one.
+//
+// On top of delivery, plan-level sharing (SetPlanSharing) folds continuous
+// queries whose canonical plans are identical — or subsumed, differing
+// only in residual filters/projections hoisted past the aggregate — into
+// one host pipeline that owns the window state; subscribers receive the
+// host's fires through per-shape post stages (see planshare.go).
 package stream
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,6 +43,7 @@ import (
 	"streamrel/internal/exec"
 	"streamrel/internal/metrics"
 	"streamrel/internal/plan"
+	"streamrel/internal/sql"
 	"streamrel/internal/trace"
 	"streamrel/internal/txn"
 	"streamrel/internal/types"
@@ -41,9 +53,9 @@ import (
 // query, together with the trace context of the sampled batch that
 // proved the window complete (the zero Ctx when none was sampled) — so
 // downstream hops (channel WAL writes, derived-stream deliveries) join
-// the same span chain. In parallel mode a sink runs on its pipeline's
-// worker goroutine; it must not call back into the pipeline's own
-// stream.
+// the same span chain. In parallel mode a sink runs on whichever
+// scheduler worker is executing its pipeline's mailbox; it must not call
+// back into the pipeline's own stream.
 type Sink func(tc trace.Ctx, closeTS int64, rows []types.Row) error
 
 // LatePolicy decides what happens to a row whose timestamp precedes the
@@ -84,10 +96,20 @@ type Runtime struct {
 	// ivm enables incremental view maintenance: delta-eligible pipelines
 	// maintain materialized per-group aggregates and fire from state.
 	ivm bool
-	// parallel is the per-pipeline worker queue depth in micro-batches;
-	// 0 keeps the fully synchronous engine.
+	// planShare enables plan-level sharing: CQs with identical (or
+	// subsumed) canonical plans subscribe to one shared host pipeline
+	// instead of spawning their own (see planshare.go). Defaults to the
+	// sharing flag; requires sharing for the host's fallback state.
+	planShare bool
+	// parallel is the per-pipeline mailbox backpressure bound in
+	// micro-batches; 0 keeps the fully synchronous engine.
 	parallel int
-	now      func() time.Time
+	// schedWorkers sizes the work-stealing pool (0 = GOMAXPROCS); the
+	// pool itself is created lazily on the first worker-mode subscribe.
+	schedWorkers int
+	schedMu      sync.Mutex
+	sched        *scheduler
+	now          func() time.Time
 	// Late is the disorder policy applied to all sources. Set before
 	// pushing begins.
 	Late LatePolicy
@@ -125,10 +147,17 @@ func NewRuntime(mgr *txn.Manager, sharing bool) *Runtime {
 		sources:     make(map[string]*source),
 		mgr:         mgr,
 		sharing:     sharing,
+		planShare:   sharing,
 		now:         time.Now,
 		lateDropped: &metrics.Counter{},
 	}
 }
+
+// SetPlanSharing toggles plan-level sharing independently of slice
+// sharing (experiments isolate the two layers). It has no effect when
+// slice sharing is disabled — a group host needs the shared machinery as
+// its fallback window state. Call once, before subscribing.
+func (r *Runtime) SetPlanSharing(on bool) { r.planShare = on }
 
 // SetMetrics binds the runtime to a metrics registry so stream, pipeline
 // and window-fire series register there. Call once, before sources are
@@ -151,13 +180,33 @@ func (r *Runtime) SetMetrics(reg *metrics.Registry) {
 		n := 0
 		for _, src := range r.snapshotSources() {
 			src.mu.Lock()
-			n += len(src.pipes)
+			n += len(src.pipes) - len(src.groups) + len(src.members)
 			src.mu.Unlock()
 		}
 		return float64(n)
 	}
 	reg.GaugeFunc("streamrel_stream_sources", "registered stream sources", sources)
 	reg.GaugeFunc("streamrel_stream_pipelines", "live continuous-query pipelines", pipelines)
+	reg.GaugeFunc("streamrel_plan_groups",
+		"plan-sharing groups (one shared host pipeline each)", func() float64 {
+			n := 0
+			for _, src := range r.snapshotSources() {
+				src.mu.Lock()
+				n += len(src.groups)
+				src.mu.Unlock()
+			}
+			return float64(n)
+		})
+	reg.GaugeFunc("streamrel_plan_subscribers",
+		"continuous queries subscribed to plan-sharing groups", func() float64 {
+			n := 0
+			for _, src := range r.snapshotSources() {
+				src.mu.Lock()
+				n += len(src.members)
+				src.mu.Unlock()
+			}
+			return float64(n)
+		})
 	// Deprecated aliases, kept for one release: these pre-date the
 	// streamrel_stream_* naming audit and will be removed.
 	reg.GaugeFunc("streamrel_sources",
@@ -180,16 +229,39 @@ func (r *Runtime) SetTracer(t *trace.Tracer) { r.tracer = t }
 func (r *Runtime) SetIVM(on bool) { r.ivm = on }
 
 // SetParallel switches the runtime into parallel continuous-query mode:
-// every subsequently subscribed non-shared pipeline runs on a dedicated
-// worker goroutine fed by a bounded queue of depth micro-batch tasks
-// (blocking backpressure). Pipelines that join a shared slice aggregation
-// keep running synchronously on the producer — the shared state is the
-// point of sharing. Call once, before subscribing.
+// every subsequently subscribed non-shared pipeline gets a mailbox fed
+// with micro-batch tasks (bounded at depth on the producer path —
+// blocking backpressure) and is executed by the shared work-stealing
+// worker pool. Pipelines that join a shared slice aggregation keep
+// running synchronously on the producer — the shared state is the point
+// of sharing. Call once, before subscribing.
 func (r *Runtime) SetParallel(depth int) {
 	if depth < 1 {
 		depth = 0
 	}
 	r.parallel = depth
+}
+
+// SetSchedWorkers sizes the work-stealing pool used in parallel mode; 0
+// (the default) means GOMAXPROCS. Call once, before subscribing.
+func (r *Runtime) SetSchedWorkers(n int) { r.schedWorkers = n }
+
+// SchedWorkers reports the effective pool size for EXPLAIN and stats.
+func (r *Runtime) SchedWorkers() int {
+	if r.schedWorkers > 0 {
+		return r.schedWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ensureSched creates the work-stealing pool on the first worker-mode
+// subscribe (by then SetMetrics and SetSchedWorkers have run).
+func (r *Runtime) ensureSched() {
+	r.schedMu.Lock()
+	if r.sched == nil {
+		r.sched = newScheduler(r.schedWorkers, r.reg)
+	}
+	r.schedMu.Unlock()
 }
 
 // Parallel reports whether parallel continuous-query mode is enabled.
@@ -211,6 +283,18 @@ type source struct {
 	taps    []*Sink
 	shared  map[string]*sharedAgg // key: fingerprint + advance
 
+	// Plan-level sharing. Group hosts live in pipes (they are the ones
+	// fed rows); members live only here, so delivery cost is O(hosts) no
+	// matter how many CQs subscribe. failedMembers counts members whose
+	// post stage or sink failed asynchronously during a fanout, letting
+	// sweepFailedLocked skip the member scan on the common path. retired
+	// holds hosts detached under the source lock (a host must never be
+	// stopped while it is held); whoever drops the lock stops them.
+	groups        map[string]*planGroup // key: fingerprint @ advance / visible
+	members       []*Pipeline
+	failedMembers atomic.Int64
+	retired       []*Pipeline
+
 	// rows counts validated rows accepted into this stream
 	// (streamrel_stream_rows_total{stream=…}; nil without a registry).
 	rows *metrics.Counter
@@ -229,6 +313,7 @@ func (r *Runtime) RegisterSource(name string, schema types.Schema, cqtimeCol int
 		schema:    schema,
 		cqtimeCol: cqtimeCol,
 		shared:    make(map[string]*sharedAgg),
+		groups:    make(map[string]*planGroup),
 		rows: r.reg.Counter("streamrel_stream_rows_total",
 			"rows accepted into a stream after validation", metrics.L("stream", name)),
 	}
@@ -247,7 +332,11 @@ func (r *Runtime) DropSource(name string) {
 	}
 	src.mu.Lock()
 	pipes := src.pipes
+	pipes = append(pipes, src.members...)
+	pipes = append(pipes, src.retired...)
 	src.pipes, src.workers = nil, 0
+	src.members, src.retired = nil, nil
+	src.groups = make(map[string]*planGroup)
 	src.mu.Unlock()
 	for _, pipe := range pipes {
 		pipe.stop()
@@ -313,6 +402,15 @@ func (r *Runtime) Subscribe(p *plan.Plan, sink Sink) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
+	if pipe.pg != nil {
+		// Plan-group member: the host (created on demand inside
+		// newPipeline) is the subscriber the source delivers to; the
+		// member only receives post-stage fanout, so it joins the member
+		// list and nothing else — registration cost is O(1) in the
+		// existing subscriber count.
+		src.members = append(src.members, pipe)
+		return pipe, nil
+	}
 	if r.parallel > 0 && pipe.shared == nil {
 		pipe.startWorker(r.parallel)
 		src.workers++
@@ -327,17 +425,59 @@ func (r *Runtime) Unsubscribe(pipe *Pipeline) {
 	src := pipe.src
 	src.mu.Lock()
 	src.detachLocked(pipe)
+	retired := src.retired
+	src.retired = nil
 	src.mu.Unlock()
 	pipe.stop()
+	for _, h := range retired {
+		h.stop()
+	}
 }
 
-// detachLocked removes a pipeline from the fan-out lists. Callers hold
-// s.mu.
+// detachLocked removes a pipeline from the fan-out lists. Detaching the
+// last member of a plan group retires its host (the caller stops retired
+// hosts after releasing s.mu); detaching a failed host orphans its
+// members. Callers hold s.mu.
 func (s *source) detachLocked(pipe *Pipeline) {
+	if g := pipe.pg; g != nil {
+		for i, m := range s.members {
+			if m == pipe {
+				s.members = append(s.members[:i], s.members[i+1:]...)
+				break
+			}
+		}
+		if pipe.failed.Load() {
+			s.failedMembers.Add(-1)
+		}
+		g.detach(pipe)
+		if g.n.Load() == 0 && s.groups[g.key] == g {
+			s.detachLocked(g.host)
+			s.retired = append(s.retired, g.host)
+		}
+		return
+	}
+	if g := pipe.hosting; g != nil {
+		if s.groups[g.key] == g {
+			delete(s.groups, g.key)
+		}
+		// Host failure cascade: the members' window state is gone, so they
+		// are orphaned (their single shared error surfaces via the host).
+		for _, m := range g.clearMembers() {
+			for i, x := range s.members {
+				if x == m {
+					s.members = append(s.members[:i], s.members[i+1:]...)
+					break
+				}
+			}
+			if m.failed.Load() {
+				s.failedMembers.Add(-1)
+			}
+		}
+	}
 	for i, p := range s.pipes {
 		if p == pipe {
 			s.pipes = append(s.pipes[:i], s.pipes[i+1:]...)
-			if pipe.tasks != nil {
+			if pipe.mbox != nil {
 				s.workers--
 			}
 			break
@@ -359,7 +499,7 @@ func (s *source) sweepFailedLocked() error {
 	var errs []error
 	for i := 0; i < len(s.pipes); {
 		p := s.pipes[i]
-		if p.tasks != nil && p.failed.Load() {
+		if p.mbox != nil && p.failed.Load() {
 			s.detachLocked(p)
 			p.stop() // failed workers only drain, so this returns promptly
 			if err := p.takeErr(); err != nil {
@@ -368,6 +508,22 @@ func (s *source) sweepFailedLocked() error {
 			continue
 		}
 		i++
+	}
+	// Plan-group members fail asynchronously inside fanout (their post
+	// stage or sink); the counter keeps this scan off the common path.
+	if s.failedMembers.Load() > 0 {
+		for i := 0; i < len(s.members); {
+			m := s.members[i]
+			if m.failed.Load() {
+				s.detachLocked(m)
+				m.stop()
+				if err := m.takeErr(); err != nil {
+					errs = append(errs, err)
+				}
+				continue
+			}
+			i++
+		}
 	}
 	return errors.Join(errs...)
 }
@@ -485,7 +641,7 @@ func (s *source) soleIdleWorker() (*Pipeline, bool) {
 		return nil, false
 	}
 	p := s.pipes[0]
-	if p.tasks == nil || p.failed.Load() || len(p.tasks) != 0 {
+	if p.mbox == nil || p.failed.Load() || p.mbox.depth() != 0 {
 		return nil, false
 	}
 	if p.enqueued.Load() != p.applied.Load() {
@@ -558,7 +714,7 @@ func (s *source) deliver(r *Runtime, tc trace.Ctx, rows []types.Row, explicitTS 
 			return s.failInlineLocked(pipe, err)
 		}
 	} else {
-		s.fanOutWorkers(r, tc, task{kind: taskBatch, batch: batch, block: block})
+		s.fanOutWorkers(r, tc, task{kind: taskBatch, batch: batch, block: block}, true)
 	}
 	// Base-stream taps archive the raw feed; one call per batch turns
 	// the channel's transaction (and WAL append + fsync) per ROW into
@@ -603,7 +759,7 @@ func (s *source) deliver(r *Runtime, tc trace.Ctx, rows []types.Row, explicitTS 
 	// Synchronous non-shared pipelines: the whole batch, one pipeline at a
 	// time.
 	for _, pipe := range s.pipes {
-		if pipe.tasks != nil || pipe.shared != nil {
+		if pipe.mbox != nil || pipe.shared != nil {
 			continue
 		}
 		if tc.ID != 0 {
@@ -622,23 +778,25 @@ func (s *source) deliver(r *Runtime, tc trace.Ctx, rows []types.Row, explicitTS 
 // fanOutWorkers enqueues one task on every worker pipeline, recording an
 // enqueue span (duration = backpressure wait) for sampled batches. Each
 // enqueue takes one reference on the task's batch block; the worker
-// releases it after applying (or dropping) the task.
-func (s *source) fanOutWorkers(r *Runtime, tc trace.Ctx, t task) {
+// releases it after applying (or dropping) the task. bounded applies the
+// mailbox backpressure bound — true only on the external producer path,
+// never for work originating inside the worker pool (see worker.go).
+func (s *source) fanOutWorkers(r *Runtime, tc trace.Ctx, t task, bounded bool) {
 	t.tc = tc
 	for _, pipe := range s.pipes {
-		if pipe.tasks == nil {
+		if pipe.mbox == nil {
 			continue
 		}
 		if t.block != nil {
 			t.block.retain()
 		}
 		if tc.ID == 0 {
-			pipe.enqueue(t)
+			pipe.enqueue(t, bounded)
 			continue
 		}
 		start := time.Now()
 		t.enqNS = start.UnixNano()
-		pipe.enqueue(t)
+		pipe.enqueue(t, bounded)
 		r.tracer.Record(trace.Span{Trace: tc.ID, Stage: trace.StageEnqueue,
 			Stream: s.name, Pipe: pipe.id, Start: start.UnixMicro(),
 			Dur: time.Since(start).Nanoseconds(), Rows: len(t.batch)})
@@ -700,14 +858,14 @@ func (s *source) advanceLocked(r *Runtime, ts int64) error {
 		r.OnAdvance(s.name, ts)
 	}
 	for _, pipe := range s.pipes {
-		if pipe.tasks != nil {
+		if pipe.mbox != nil {
 			if inline, ok := s.soleIdleWorker(); ok && inline == pipe {
 				if err := pipe.advanceTo(ts); err != nil {
 					return s.failInlineLocked(pipe, err)
 				}
 				continue
 			}
-			pipe.enqueue(task{kind: taskAdvance, ts: ts})
+			pipe.enqueue(task{kind: taskAdvance, ts: ts}, true)
 			continue
 		}
 		if err := pipe.advanceTo(ts); err != nil {
@@ -790,11 +948,13 @@ func (r *Runtime) emitDerived(tc trace.Ctx, stream string, closeTS int64, rows [
 			return src.failInlineLocked(pipe, err)
 		}
 	} else {
+		// Unbounded: emissions may originate on a pool worker, which must
+		// never block on another pipeline's mailbox bound (deadlock).
 		src.fanOutWorkers(r, tc, task{kind: taskEmission, batch: batch, block: block,
-			ts: closeTS, emRows: len(rows)})
+			ts: closeTS, emRows: len(rows)}, false)
 	}
 	for _, pipe := range src.pipes {
-		if pipe.tasks == nil && pipe.shared != nil {
+		if pipe.mbox == nil && pipe.shared != nil {
 			pipe.noteBatch(tc)
 		}
 	}
@@ -804,7 +964,7 @@ func (r *Runtime) emitDerived(tc trace.Ctx, stream string, closeTS int64, rows [
 		}
 	}
 	for _, pipe := range src.pipes {
-		if pipe.tasks != nil || pipe.shared != nil {
+		if pipe.mbox != nil || pipe.shared != nil {
 			continue
 		}
 		if err := pipe.processBatch(batch, tc); err != nil {
@@ -812,7 +972,7 @@ func (r *Runtime) emitDerived(tc trace.Ctx, stream string, closeTS int64, rows [
 		}
 	}
 	for _, pipe := range src.pipes {
-		if pipe.tasks != nil {
+		if pipe.mbox != nil {
 			continue
 		}
 		if err := pipe.endEmission(closeTS, len(rows)); err != nil {
@@ -847,7 +1007,12 @@ func (r *Runtime) Quiesce() error {
 		if err := src.sweepFailedLocked(); err != nil {
 			errs = append(errs, err)
 		}
+		retired := src.retired
+		src.retired = nil
 		src.mu.Unlock()
+		for _, h := range retired {
+			h.stop()
+		}
 	}
 	return errors.Join(errs...)
 }
@@ -859,7 +1024,7 @@ func (r *Runtime) tasksEnqueued() int64 {
 	for _, src := range r.snapshotSources() {
 		src.mu.Lock()
 		for _, p := range src.pipes {
-			if p.tasks != nil {
+			if p.mbox != nil {
 				n += p.enqueued.Load()
 			}
 		}
@@ -875,11 +1040,13 @@ func (r *Runtime) flushWorkers() {
 		var dones []chan struct{}
 		src.mu.Lock()
 		for _, p := range src.pipes {
-			if p.tasks == nil {
+			if p.mbox == nil {
 				continue
 			}
 			done := make(chan struct{})
-			p.enqueue(task{kind: taskFlush, done: done})
+			// Unbounded: the flush barrier must not add backpressure (and
+			// Quiesce may run concurrently with a blocked producer).
+			p.enqueue(task{kind: taskFlush, done: done}, false)
 			dones = append(dones, done)
 		}
 		src.mu.Unlock()
@@ -917,7 +1084,11 @@ func (r *Runtime) Close() error {
 	for _, src := range r.snapshotSources() {
 		src.mu.Lock()
 		pipes = append(pipes, src.pipes...)
+		pipes = append(pipes, src.members...)
+		pipes = append(pipes, src.retired...)
 		src.pipes, src.workers = nil, 0
+		src.members, src.retired = nil, nil
+		src.groups = make(map[string]*planGroup)
 		src.mu.Unlock()
 	}
 	for _, pipe := range pipes {
@@ -926,7 +1097,47 @@ func (r *Runtime) Close() error {
 			errs = append(errs, err)
 		}
 	}
+	r.schedMu.Lock()
+	sched := r.sched
+	r.schedMu.Unlock()
+	if sched != nil {
+		sched.close()
+	}
 	return errors.Join(errs...)
+}
+
+// SharingInfo reports the live sharing state the given plan would join if
+// subscribed now: the plan-group key with its current subscriber count
+// and the slice-sharing key with its member count. Empty keys mean the
+// corresponding layer does not apply (shape ineligible or disabled);
+// EXPLAIN renders this without subscribing anything.
+func (r *Runtime) SharingInfo(p *plan.Plan) (groupKey string, subscribers int, sliceKey string, sliceMembers int) {
+	if p.Stream == nil || p.StreamAgg == nil {
+		return "", 0, "", 0
+	}
+	w := p.Stream.Window
+	if w.Kind != sql.WindowTime || w.Advance <= 0 || w.Visible%w.Advance != 0 {
+		return "", 0, "", 0
+	}
+	src, err := r.lookup(p.Stream.Name)
+	if err != nil {
+		return "", 0, "", 0
+	}
+	src.mu.Lock()
+	defer src.mu.Unlock()
+	if r.sharing {
+		sliceKey = fmt.Sprintf("%s@%d", p.StreamAgg.Fingerprint, w.Advance)
+		if agg := src.shared[sliceKey]; agg != nil {
+			sliceMembers = len(agg.members)
+		}
+		if r.planShare {
+			groupKey = planGroupKey(p.StreamAgg.Fingerprint, w.Advance, w.Visible)
+			if g := src.groups[groupKey]; g != nil {
+				subscribers = int(g.n.Load())
+			}
+		}
+	}
+	return groupKey, subscribers, sliceKey, sliceMembers
 }
 
 // snapshotCtx builds the per-window execution context: a fresh snapshot at
@@ -942,10 +1153,16 @@ func (r *Runtime) snapshotCtx(closeTS int64) *exec.Ctx {
 
 // Stats reports runtime counters for tests and the REPL.
 type Stats struct {
-	Sources       int
+	Sources int
+	// Pipelines counts user-facing continuous queries: plan-group members
+	// and standalone pipelines. Internal group hosts are excluded.
 	Pipelines     int
 	SharedAggs    int
 	SharedMembers int
+	// PlanGroups counts plan-sharing groups (one shared host pipeline
+	// each); PlanSubscribers counts the CQs subscribed to them.
+	PlanGroups      int
+	PlanSubscribers int
 	// IncrementalPipes counts pipelines firing from materialized IVM state.
 	IncrementalPipes int
 	WindowsFired     int64
@@ -973,6 +1190,9 @@ type PipelineStats struct {
 	Shared     bool
 	// Incremental marks pipelines firing from materialized IVM state.
 	Incremental bool
+	// PlanShared marks plan-group members: Shared/Incremental then name
+	// the host's strategy and RowsSeen mirrors the host's intake.
+	PlanShared bool
 }
 
 // statsSnapshot reads this pipeline's counters as one consistent pass.
@@ -980,6 +1200,22 @@ type PipelineStats struct {
 // those rows prove, so loading windowsFired first guarantees the returned
 // pair never shows more fires than its rows justify.
 func (p *Pipeline) statsSnapshot() PipelineStats {
+	if g := p.pg; g != nil {
+		// Member snapshot: its own fires, the host's row intake (rows the
+		// shared pipeline consumed on this CQ's behalf). Member fires
+		// trail host fires, which trail the host's row count, so the load
+		// order preserves the invariant above.
+		ps := PipelineStats{
+			Stream:      p.src.name,
+			ID:          p.id,
+			Shared:      g.host.shared != nil,
+			Incremental: g.host.ivm != nil,
+			PlanShared:  true,
+		}
+		ps.WindowsFired = p.windowsFired.Value()
+		ps.RowsSeen = g.host.rowsSeen.Value()
+		return ps
+	}
 	ps := PipelineStats{
 		Stream:      p.src.name,
 		ID:          p.id,
@@ -988,8 +1224,8 @@ func (p *Pipeline) statsSnapshot() PipelineStats {
 	}
 	ps.WindowsFired = p.windowsFired.Value()
 	ps.RowsSeen = p.rowsSeen.Value()
-	if p.tasks != nil {
-		ps.QueueDepth = len(p.tasks)
+	if p.mbox != nil {
+		ps.QueueDepth = p.mbox.depth()
 	}
 	return ps
 }
@@ -1004,14 +1240,22 @@ func (r *Runtime) Stats() Stats {
 	s.Sources = len(sources)
 	for _, src := range sources {
 		src.mu.Lock()
-		s.Pipelines += len(src.pipes)
+		s.Pipelines += len(src.pipes) - len(src.groups) + len(src.members)
 		s.SharedAggs += len(src.shared)
 		for _, agg := range src.shared {
 			s.SharedMembers += len(agg.members)
 		}
+		s.PlanGroups += len(src.groups)
+		s.PlanSubscribers += len(src.members)
 		pipes := append([]*Pipeline(nil), src.pipes...)
+		pipes = append(pipes, src.members...)
 		src.mu.Unlock()
 		for _, pipe := range pipes {
+			if pipe.hosting != nil {
+				// Internal group hosts are an implementation detail; their
+				// work is attributed to their members.
+				continue
+			}
 			ps := pipe.statsSnapshot()
 			s.WindowsFired += ps.WindowsFired
 			s.RowsProcessed += ps.RowsSeen

@@ -1,0 +1,229 @@
+package stream
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"streamrel/internal/metrics"
+)
+
+// Work-stealing scheduler for parallel continuous-query mode.
+//
+// Pipelines are scheduled as actors: the unit of work handed to the pool
+// is a *Pipeline whose mailbox has input, never an individual task. A
+// pipeline is claimed by at most one worker at a time and its mailbox is
+// drained in FIFO order, so rows and window closes are applied exactly in
+// producer order — per-CQ results stay byte-identical to the synchronous
+// engine while N runnable pipelines use up to `workers` cores. This
+// replaces the one-goroutine-per-pipeline model: 10k registered CQs cost
+// 10k idle mailboxes, not 10k parked goroutine stacks, and wake-up work
+// is bounded by the worker pool.
+//
+// Topology: one bounded deque per worker. A producer submits a runnable
+// pipeline to a deque chosen round-robin; the owning worker pops from the
+// front (FIFO fairness), and an idle worker steals the back half of the
+// first non-empty victim deque it finds (steal-half amortizes the steal
+// lock against future polls). Idle workers park on a single condition
+// variable; a submit bumps a generation counter and signals, and a parked
+// worker re-scans before sleeping so no submit is lost.
+type scheduler struct {
+	deques []schedDeque
+
+	mu     sync.Mutex // guards gen, parked, closed
+	cond   *sync.Cond
+	gen    uint64 // bumped per submit; parked workers re-scan on change
+	parked int
+	closed bool
+
+	rr       atomic.Uint64 // round-robin submit cursor
+	runnable atomic.Int64  // pipelines sitting in deques (queue depth)
+	wg       sync.WaitGroup
+
+	// steals counts victim deques robbed; parks counts worker sleeps.
+	// Both are cheap single-writer-ish counters; nil-safe via zero values.
+	steals *metrics.Counter
+	parks  *metrics.Counter
+	unreg  []func()
+}
+
+// schedDeque is one worker's run queue of claimable pipelines. head
+// indexes the next front pop; stealers take the back half.
+type schedDeque struct {
+	mu   sync.Mutex
+	q    []*Pipeline
+	head int
+}
+
+// schedQuantum is the number of mailbox tasks a worker applies before
+// requeueing the pipeline, so one hot CQ cannot monopolize a worker while
+// runnable peers wait (round-robin fairness at task granularity).
+const schedQuantum = 32
+
+func newScheduler(workers int, reg *metrics.Registry) *scheduler {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &scheduler{
+		deques: make([]schedDeque, workers),
+		steals: &metrics.Counter{},
+		parks:  &metrics.Counter{},
+	}
+	s.cond = sync.NewCond(&s.mu)
+	if reg != nil {
+		s.steals = reg.Counter("streamrel_sched_steals_total",
+			"pipeline batches stolen from another worker's deque")
+		s.parks = reg.Counter("streamrel_sched_parks_total",
+			"times a scheduler worker parked with no runnable pipelines")
+		s.unreg = append(s.unreg,
+			reg.GaugeFunc("streamrel_sched_workers",
+				"scheduler worker pool size",
+				func() float64 { return float64(workers) }),
+			reg.GaugeFunc("streamrel_sched_runnable",
+				"pipelines queued in scheduler deques awaiting a worker",
+				func() float64 { return float64(s.runnable.Load()) }))
+	}
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker(i)
+	}
+	return s
+}
+
+// submit makes a pipeline claimable. Called exactly once per mailbox
+// idle→queued transition (the mailbox state machine is the claim token),
+// so a pipeline is never in two deques.
+func (s *scheduler) submit(p *Pipeline) {
+	d := &s.deques[int(s.rr.Add(1))%len(s.deques)]
+	d.mu.Lock()
+	d.q = append(d.q, p)
+	d.mu.Unlock()
+	s.runnable.Add(1)
+	s.mu.Lock()
+	s.gen++
+	if s.parked > 0 {
+		s.cond.Signal()
+	}
+	s.mu.Unlock()
+}
+
+// poll returns the next pipeline for worker i: front of its own deque, or
+// the back half of the first non-empty victim (the first stolen pipeline
+// runs now, the rest land in i's deque).
+func (s *scheduler) poll(i int) *Pipeline {
+	if p := s.deques[i].pop(); p != nil {
+		s.runnable.Add(-1)
+		return p
+	}
+	n := len(s.deques)
+	for off := 1; off < n; off++ {
+		v := &s.deques[(i+off)%n]
+		stolen := v.stealHalf()
+		if len(stolen) == 0 {
+			continue
+		}
+		s.steals.Inc()
+		s.runnable.Add(-1)
+		if len(stolen) > 1 {
+			d := &s.deques[i]
+			d.mu.Lock()
+			d.q = append(d.q, stolen[1:]...)
+			d.mu.Unlock()
+		}
+		return stolen[0]
+	}
+	return nil
+}
+
+func (d *schedDeque) pop() *Pipeline {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.head >= len(d.q) {
+		return nil
+	}
+	p := d.q[d.head]
+	d.q[d.head] = nil
+	d.head++
+	if d.head == len(d.q) {
+		d.q, d.head = d.q[:0], 0
+	}
+	return p
+}
+
+// stealHalf removes and returns the back half (rounded up) of the deque.
+func (d *schedDeque) stealHalf() []*Pipeline {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.q) - d.head
+	if n == 0 {
+		return nil
+	}
+	take := (n + 1) / 2
+	cut := len(d.q) - take
+	stolen := append([]*Pipeline(nil), d.q[cut:]...)
+	for i := cut; i < len(d.q); i++ {
+		d.q[i] = nil
+	}
+	d.q = d.q[:cut]
+	if d.head == len(d.q) {
+		d.q, d.head = d.q[:0], 0
+	}
+	return stolen
+}
+
+// worker claims runnable pipelines and drains their mailboxes until the
+// scheduler closes. The gen-check before parking closes the race between
+// a fruitless scan and a concurrent submit.
+func (s *scheduler) worker(i int) {
+	defer s.wg.Done()
+	for {
+		p := s.poll(i)
+		if p == nil {
+			s.mu.Lock()
+			g := s.gen
+			s.mu.Unlock()
+			if p = s.poll(i); p == nil {
+				s.mu.Lock()
+				for s.gen == g && !s.closed {
+					s.parked++
+					s.parks.Inc()
+					s.cond.Wait()
+					s.parked--
+				}
+				closed := s.closed
+				s.mu.Unlock()
+				if closed {
+					// Final sweep: claim leftovers so stopped mailboxes
+					// settle to idle before the pool exits.
+					for {
+						q := s.poll(i)
+						if q == nil {
+							return
+						}
+						q.runMailbox()
+					}
+				}
+				continue
+			}
+		}
+		p.runMailbox()
+	}
+}
+
+// close stops the pool after runtime teardown has stopped every pipeline.
+// Workers claim whatever is still queued (stopped mailboxes drain to
+// idle), then exit.
+func (s *scheduler) close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+	for _, u := range s.unreg {
+		u()
+	}
+}

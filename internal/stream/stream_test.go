@@ -275,8 +275,16 @@ func TestSharingDeduplicatesWork(t *testing.T) {
 		_, out := e.subscribe(t, `SELECT url, count(*) FROM url_stream <VISIBLE '5 minutes' ADVANCE '1 minute'> GROUP BY url`)
 		outs = append(outs, out)
 	}
+	// Plan-level sharing folds the k identical CQs into ONE group host;
+	// that host is the sole member of the slice aggregation.
 	st := e.rt.Stats()
-	if st.SharedAggs != 1 || st.SharedMembers != k {
+	if st.PlanGroups != 1 || st.PlanSubscribers != k {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.SharedAggs != 1 || st.SharedMembers != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.Pipelines != k {
 		t.Fatalf("stats: %+v", st)
 	}
 	e.hit(t, "/a", 10*minute, "x")
@@ -286,9 +294,12 @@ func TestSharingDeduplicatesWork(t *testing.T) {
 			t.Fatalf("subscriber %d: %+v", i, *out)
 		}
 	}
-	// Different window extents still share when ADVANCE matches.
+	// Different window extents still share slices when ADVANCE matches:
+	// the new extent gets its own plan group whose host joins the SAME
+	// slice aggregation — the two sharing layers compose.
 	_, _ = e.subscribe(t, `SELECT url, count(*) FROM url_stream <VISIBLE '2 minutes' ADVANCE '1 minute'> GROUP BY url`)
-	if st := e.rt.Stats(); st.SharedAggs != 1 || st.SharedMembers != k+1 {
+	if st := e.rt.Stats(); st.SharedAggs != 1 || st.SharedMembers != 2 ||
+		st.PlanGroups != 2 || st.PlanSubscribers != k+1 {
 		t.Fatalf("stats after mixed-visible subscribe: %+v", st)
 	}
 }

@@ -81,11 +81,19 @@ func TestMetricNamingConventions(t *testing.T) {
 		}
 	}
 
-	// Spot-check the series this PR introduces.
+	// Spot-check recently introduced series: tracing, the work-stealing
+	// scheduler (created lazily by the first worker-mode subscribe) and
+	// plan-level sharing.
 	for _, name := range []string{
 		"streamrel_traces_sampled_total",
 		"streamrel_slow_fires_total",
 		"streamrel_trace_ring_spans",
+		"streamrel_sched_steals_total",
+		"streamrel_sched_parks_total",
+		"streamrel_sched_workers",
+		"streamrel_sched_runnable",
+		"streamrel_plan_groups",
+		"streamrel_plan_subscribers",
 	} {
 		if byName[name] == nil {
 			t.Errorf("expected series %s not registered", name)

@@ -1,0 +1,166 @@
+package streamrel
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// transcript renders a CQ's queued batches deterministically so fire
+// sequences can be compared byte-for-byte.
+func transcript(cq *CQ) string {
+	var b strings.Builder
+	for {
+		batch, ok := cq.TryNext()
+		if !ok {
+			return b.String()
+		}
+		fmt.Fprintf(&b, "close=%s\n", batch.Close.UTC().Format(time.RFC3339Nano))
+		for _, r := range batch.Rows {
+			b.WriteString(r.String())
+			b.WriteByte('\n')
+		}
+	}
+}
+
+// feedPlanShare pushes a deterministic workload: minutes of traffic over a
+// few URL keys, then a heartbeat that closes the trailing windows.
+func feedPlanShare(t *testing.T, e *Engine, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	base := MustTimestamp("2009-01-04 00:00:00")
+	urls := []string{"/a", "/b", "/c", "/d"}
+	for i := 0; i < 400; i++ {
+		at := base.Add(time.Duration(i) * 3 * time.Second)
+		row := Row{String(urls[rng.Intn(len(urls))]), Timestamp(at), Int(int64(rng.Intn(50)))}
+		if err := e.Append("s", row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.AdvanceTime("s", base.Add(25*time.Minute))
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlanSharingTranscriptsIdentical: k identical CQs collapse into ONE
+// plan-sharing group over ONE incrementally maintained state, and every
+// subscriber's fire transcript is byte-identical — in the synchronous
+// engine and under the work-stealing scheduler (run with -race). Closing
+// one subscriber mid-stream must not disturb the others.
+func TestPlanSharingTranscriptsIdentical(t *testing.T) {
+	const k = 8
+	const q = `SELECT url, count(*) AS n, sum(v) AS sv
+		FROM s <VISIBLE '3 minutes' ADVANCE '1 minute'> GROUP BY url`
+
+	var perMode []string // one reference transcript per mode
+	for _, parallel := range []int{0, 4} {
+		e, err := Open(Config{ParallelCQ: parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustExec(t, e, `CREATE STREAM s (url varchar, at timestamp CQTIME USER, v bigint)`)
+		cqs := make([]*CQ, k)
+		for i := range cqs {
+			if cqs[i], err = e.Subscribe(q); err != nil {
+				t.Fatal(err)
+			}
+			if !cqs[i].Incremental {
+				t.Fatalf("parallel=%d cq %d: expected incremental (IVM) host", parallel, i)
+			}
+		}
+		st := e.Stats()
+		if st.PlanGroups != 1 || st.PlanSubscribers != k {
+			t.Fatalf("parallel=%d: stats %+v", parallel, st)
+		}
+
+		feedPlanShare(t, e, 42)
+
+		// One subscriber leaves; the survivors keep firing undisturbed.
+		cqs[k-1].Close()
+		closedAt := transcript(cqs[k-1])
+		base := MustTimestamp("2009-01-04 00:00:00")
+		e.AdvanceTime("s", base.Add(30*time.Minute))
+		if err := e.Flush(); err != nil {
+			t.Fatal(err)
+		}
+
+		ref := transcript(cqs[0])
+		if ref == "" {
+			t.Fatalf("parallel=%d: no fires recorded", parallel)
+		}
+		for i := 1; i < k-1; i++ {
+			if got := transcript(cqs[i]); got != ref {
+				t.Fatalf("parallel=%d: subscriber %d transcript differs from subscriber 0", parallel, i)
+			}
+		}
+		if !strings.HasPrefix(ref, closedAt) || closedAt == ref {
+			t.Fatalf("parallel=%d: closed subscriber should hold a strict prefix of the survivors' transcript", parallel)
+		}
+		if st := e.Stats(); st.PlanSubscribers != k-1 {
+			t.Fatalf("parallel=%d: stats after close %+v", parallel, st)
+		}
+		perMode = append(perMode, ref)
+		e.Close()
+	}
+	if perMode[0] != perMode[1] {
+		t.Fatal("serial and work-stealing transcripts differ")
+	}
+}
+
+// TestPlanSharingSubsumption: CQs that differ only in a residual WHERE
+// over the group key (and in projection/ORDER BY) are subsumed into the
+// same group — one shared state, one post stage per distinct shape — and
+// each still answers exactly as if it ran alone.
+func TestPlanSharingSubsumption(t *testing.T) {
+	run := func(cfg Config) (full, filtered, ordered string, st RuntimeStats) {
+		e, err := Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		mustExec(t, e, `CREATE STREAM s (url varchar, at timestamp CQTIME USER, v bigint)`)
+		base := `SELECT url, count(*) AS n FROM s <VISIBLE '2 minutes' ADVANCE '1 minute'> GROUP BY url`
+		cqFull, err := e.Subscribe(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cqFiltered, err := e.Subscribe(`SELECT url, count(*) AS n FROM s <VISIBLE '2 minutes' ADVANCE '1 minute'>
+			WHERE url = '/a' GROUP BY url`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cqOrdered, err := e.Subscribe(base + ` ORDER BY n DESC, url`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feedPlanShare(t, e, 7)
+		st = e.Stats()
+		return transcript(cqFull), transcript(cqFiltered), transcript(cqOrdered), st
+	}
+
+	full, filtered, ordered, st := run(Config{})
+	// The residual filter and the mirrored ORDER BY hoist into post
+	// stages, so all three subscribe to one group.
+	if st.PlanGroups != 1 || st.PlanSubscribers != 3 {
+		t.Fatalf("stats with sharing: %+v", st)
+	}
+	soloFull, soloFiltered, soloOrdered, soloSt := run(Config{DisablePlanSharing: true})
+	if soloSt.PlanGroups != 0 || soloSt.PlanSubscribers != 0 {
+		t.Fatalf("stats without plan sharing: %+v", soloSt)
+	}
+	if full != soloFull {
+		t.Error("shared full-group transcript differs from unshared run")
+	}
+	if filtered != soloFiltered {
+		t.Error("subsumed (residual WHERE) transcript differs from unshared run")
+	}
+	if ordered != soloOrdered {
+		t.Error("subsumed (ORDER BY) transcript differs from unshared run")
+	}
+	if filtered == full {
+		t.Error("residual filter had no effect")
+	}
+}

@@ -116,17 +116,27 @@ type Config struct {
 	// continuous queries then fall back to shared slices or re-execution.
 	// Experiment E14 measures the incremental path's benefit.
 	DisableIVM bool
+	// DisablePlanSharing turns off plan-level sharing: continuous queries
+	// with identical (or subsumed) canonical plans then each build their
+	// own window state instead of subscribing to one shared host pipeline.
+	// Slice sharing (DisableSharing) is unaffected. Experiment E15
+	// measures the benefit at high CQ counts.
+	DisablePlanSharing bool
 	// LateRows chooses what happens to out-of-order stream input:
 	// reject (default), drop, or clamp to the high-water mark.
 	LateRows LateRowPolicy
-	// ParallelCQ > 0 runs each non-shared continuous query on its own
-	// worker goroutine fed by a bounded queue of that many micro-batches
-	// (blocking backpressure), so fan-out to N CQs scales across cores.
+	// ParallelCQ > 0 gives each non-shared continuous query a bounded
+	// mailbox of that many micro-batches (blocking backpressure on
+	// producers) drained by a work-stealing scheduler pool (SchedWorkers),
+	// so fan-out to N CQs scales across cores without N goroutines.
 	// Per-CQ results are identical to the default synchronous mode; see
-	// DESIGN.md "Execution model & parallelism" for the cross-CQ ordering
-	// relaxations this implies. 0 (default) keeps the fully synchronous,
-	// deterministic engine.
+	// DESIGN.md §12 for the cross-CQ ordering relaxations this implies.
+	// 0 (default) keeps the fully synchronous, deterministic engine.
 	ParallelCQ int
+	// SchedWorkers sizes the work-stealing pool that executes parallel
+	// continuous queries; 0 (default) uses GOMAXPROCS. Only meaningful
+	// with ParallelCQ > 0.
+	SchedWorkers int
 	// Replicate enables the replication hub: every committed WAL batch
 	// and stream event gets a monotonic LSN and is retained in a bounded
 	// in-memory ring for replicas (see internal/repl and DESIGN.md
@@ -222,9 +232,11 @@ func Open(cfg Config) (*Engine, error) {
 	}
 	e.rt = stream.NewRuntime(e.mgr, !cfg.DisableSharing)
 	e.rt.SetIVM(!cfg.DisableIVM)
+	e.rt.SetPlanSharing(!cfg.DisableSharing && !cfg.DisablePlanSharing)
 	e.rt.SetMetrics(e.reg)
 	e.rt.Late = stream.LatePolicy(cfg.LateRows)
 	e.rt.SetParallel(cfg.ParallelCQ)
+	e.rt.SetSchedWorkers(cfg.SchedWorkers)
 	if cfg.TraceSampleEvery >= 0 {
 		e.tracer = trace.New(trace.Options{
 			SampleEvery: cfg.TraceSampleEvery,
