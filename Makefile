@@ -43,9 +43,11 @@ check: build fmt vet staticcheck test race
 # BENCH_trace.json, the ingest hot-path ladder (E12) into
 # BENCH_ingest.json, the shard scale-out ladder (E13) into
 # BENCH_shard.json, the incremental-maintenance ladder (E14) into
-# BENCH_ivm.json, and the scheduler + plan-sharing ladder (E15) into
-# BENCH_sched.json — stamped with timestamp+git sha and gated on the
-# checked-in allocs budget — so the trajectories are tracked across PRs.
+# BENCH_ivm.json, the scheduler + plan-sharing ladder (E15) into
+# BENCH_sched.json, and the sysmon self-observability overhead (E16)
+# into BENCH_sysmon.json — stamped with timestamp+git sha and gated on
+# the checked-in allocs budget — so the trajectories are tracked across
+# PRs.
 # Dirty-tree stamps land in bench-stamps/ (gitignored). Use `go test
 # -bench .` for the full microbenchmark suite; `go test -bench
 # BenchmarkIngest -benchmem` is the ladder's testing.B counterpart.
@@ -56,6 +58,7 @@ bench:
 	$(GO) run ./cmd/srbench -scale 0.5 -only E13 -json BENCH_shard.json -stamp
 	$(GO) run ./cmd/srbench -scale 0.5 -only E14 -json BENCH_ivm.json -stamp -budget BENCH_budget.json
 	$(GO) run ./cmd/srbench -scale 1 -only E15 -json BENCH_sched.json -stamp -budget BENCH_budget.json
+	$(GO) run ./cmd/srbench -scale 1 -only E16 -json BENCH_sysmon.json -stamp -budget BENCH_budget.json
 
 # fuzz exercises the binary decoders (WAL batches, replication frames)
 # that parse untrusted bytes off disk and off the wire, the shard

@@ -54,17 +54,25 @@ type Subscription struct {
 	c      *Client
 	handle int64
 	ch     chan Batch
+	sendMu sync.Mutex // serializes readLoop's batch sends with close(ch)
+	closed bool       // guarded by sendMu
 }
 
 // Close stops the continuous query.
 func (s *Subscription) Close() error {
 	_, err := s.c.roundTrip(&server.Request{Op: "unsubscribe", CQ: s.handle})
 	s.c.mu.Lock()
-	if _, ok := s.c.subs[s.handle]; ok {
-		delete(s.c.subs, s.handle)
-		close(s.ch)
-	}
+	_, ok := s.c.subs[s.handle]
+	delete(s.c.subs, s.handle)
 	s.c.mu.Unlock()
+	if ok {
+		// Removed from subs first, so readLoop starts no new sends for
+		// this handle; sendMu waits out any send already in flight.
+		s.sendMu.Lock()
+		s.closed = true
+		close(s.ch)
+		s.sendMu.Unlock()
+	}
 	return err
 }
 
@@ -177,7 +185,11 @@ func (c *Client) readLoop() {
 					rows[i] = r
 				}
 				if ok {
-					sub.ch <- Batch{Close: time.UnixMicro(resp.Close).UTC(), Rows: rows, Partial: resp.Partial}
+					sub.sendMu.Lock()
+					if !sub.closed {
+						sub.ch <- Batch{Close: time.UnixMicro(resp.Close).UTC(), Rows: rows, Partial: resp.Partial}
+					}
+					sub.sendMu.Unlock()
 				}
 			}
 			continue

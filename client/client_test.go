@@ -13,8 +13,12 @@ import (
 // startServer boots an in-memory engine behind a TCP server on a random
 // port and returns a connected client.
 func startServer(t *testing.T) *client.Client {
+	return startServerCfg(t, streamrel.Config{})
+}
+
+func startServerCfg(t *testing.T, cfg streamrel.Config) *client.Client {
 	t.Helper()
-	eng, err := streamrel.Open(streamrel.Config{})
+	eng, err := streamrel.Open(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +238,9 @@ func TestClientQueryArgs(t *testing.T) {
 // the STATS op reflects it: non-zero stream row counters and server
 // command-latency histogram series flattened to (metric, value) rows.
 func TestClientStats(t *testing.T) {
-	c := startServer(t)
+	// Parallel mode so the work-stealing scheduler's gauges register; the
+	// subscribe below creates the pool.
+	c := startServerCfg(t, streamrel.Config{ParallelCQ: 4})
 	if _, err := c.Exec(`CREATE STREAM s (v bigint, at timestamp CQTIME USER)`); err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +277,9 @@ func TestClientStats(t *testing.T) {
 		`streamrel_server_command_seconds{op="append"}_count`:   10,
 		`streamrel_server_command_seconds{op="append"}_p50`:     0,
 		`streamrel_pipeline_windows_total{pipe="1",stream="s"}`: 1,
-		`streamrel_sources`:                                     1,
+		`streamrel_stream_sources`:                              1,
+		`streamrel_sched_workers`:                               0,
+		`streamrel_plan_groups`:                                 0,
 	} {
 		got, ok := vals[metric]
 		if !ok {

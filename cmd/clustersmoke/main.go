@@ -14,6 +14,8 @@ package main
 import (
 	"bufio"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -22,25 +24,72 @@ import (
 	"time"
 
 	"streamrel/client"
+	"streamrel/internal/metrics"
 	"streamrel/internal/types"
 )
+
+// httpGet fetches a probe/scrape URL, returning status, body and headers
+// (status 0 on transport error).
+func httpGet(url string) (int, string, http.Header) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, err.Error(), http.Header{}
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body), resp.Header
+}
+
+// scrapeValues fetches one /metrics endpoint and returns series-ID → value,
+// failing the smoke on any HTTP or exposition-syntax error.
+func scrapeValues(url string) map[string]float64 {
+	status, body, _ := httpGet(url)
+	if status != 200 {
+		fatalf("GET %s: status %d (%s)", url, status, body)
+	}
+	parsed, err := metrics.ParseExposition(strings.NewReader(body))
+	if err != nil {
+		fatalf("GET %s: invalid exposition: %v", url, err)
+	}
+	out := make(map[string]float64, len(parsed))
+	for i := range parsed {
+		out[parsed[i].ID()] = parsed[i].Value
+	}
+	return out
+}
 
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "clustersmoke: "+format+"\n", args...)
 	os.Exit(1)
 }
 
-// startDaemon launches a streamreld process and returns its bound address
-// (parsed from the "streamreld listening on" banner) plus a stop func.
-func startDaemon(bin string, args ...string) (string, func(), error) {
+// daemon is one launched streamreld process: its protocol address, its
+// debug/metrics base URL (when started with -metrics-addr), and a stop
+// func.
+type daemon struct {
+	addr       string
+	metricsURL string // "http://host:port", empty without -metrics-addr
+	stop       func()
+}
+
+// startDaemon launches a streamreld process and returns its bound
+// addresses, parsed from the "streamreld listening on" and "metrics on"
+// banners (the latter only awaited when -metrics-addr is among args).
+func startDaemon(bin string, args ...string) (*daemon, error) {
+	wantMetrics := false
+	for _, a := range args {
+		if a == "-metrics-addr" {
+			wantMetrics = true
+		}
+	}
 	cmd := exec.Command(bin, args...)
 	cmd.Stderr = os.Stderr
 	out, err := cmd.StdoutPipe()
 	if err != nil {
-		return "", nil, err
+		return nil, err
 	}
 	if err := cmd.Start(); err != nil {
-		return "", nil, err
+		return nil, err
 	}
 	stop := func() {
 		cmd.Process.Kill()
@@ -48,6 +97,7 @@ func startDaemon(bin string, args ...string) (string, func(), error) {
 	}
 	sc := bufio.NewScanner(out)
 	addrCh := make(chan string, 1)
+	metricsCh := make(chan string, 1)
 	go func() {
 		for sc.Scan() {
 			line := sc.Text()
@@ -59,15 +109,32 @@ func startDaemon(bin string, args ...string) (string, func(), error) {
 				default:
 				}
 			}
+			if strings.HasPrefix(line, "metrics on http://") {
+				u := strings.TrimSuffix(strings.Fields(line)[2], "/metrics")
+				select {
+				case metricsCh <- u:
+				default:
+				}
+			}
 		}
 	}()
+	d := &daemon{stop: stop}
+	deadline := time.After(15 * time.Second)
 	select {
-	case addr := <-addrCh:
-		return addr, stop, nil
-	case <-time.After(15 * time.Second):
+	case d.addr = <-addrCh:
+	case <-deadline:
 		stop()
-		return "", nil, fmt.Errorf("daemon did not announce its address")
+		return nil, fmt.Errorf("daemon did not announce its address")
 	}
+	if wantMetrics {
+		select {
+		case d.metricsURL = <-metricsCh:
+		case <-deadline:
+			stop()
+			return nil, fmt.Errorf("daemon did not announce its metrics address")
+		}
+	}
+	return d, nil
 }
 
 // canon renders rows in canonical order as one comparable string — the
@@ -124,41 +191,47 @@ func main() {
 	}
 
 	// Two shards, a replica following shard 0, the router over both
-	// shards, and an unsharded reference node.
-	shard0, stop0, err := startDaemon(bin, "-addr", "127.0.0.1:0", "-dir", filepath.Join(tmp, "s0"))
+	// shards, and an unsharded reference node. Shards and router also
+	// expose the observability plane (localhost-only — it has no auth).
+	s0d, err := startDaemon(bin, "-addr", "127.0.0.1:0", "-dir", filepath.Join(tmp, "s0"),
+		"-metrics-addr", "127.0.0.1:0")
 	if err != nil {
 		fatalf("start shard 0: %v", err)
 	}
-	defer stop0()
-	shard1, stop1, err := startDaemon(bin, "-addr", "127.0.0.1:0", "-dir", filepath.Join(tmp, "s1"))
+	defer s0d.stop()
+	shard0 := s0d.addr
+	s1d, err := startDaemon(bin, "-addr", "127.0.0.1:0", "-dir", filepath.Join(tmp, "s1"),
+		"-metrics-addr", "127.0.0.1:0")
 	if err != nil {
 		fatalf("start shard 1: %v", err)
 	}
-	defer stop1()
-	repAddr, stopRep, err := startDaemon(bin, "-addr", "127.0.0.1:0",
+	defer s1d.stop()
+	shard1, stop1 := s1d.addr, s1d.stop
+	repd, err := startDaemon(bin, "-addr", "127.0.0.1:0",
 		"-dir", filepath.Join(tmp, "rep"), "-replica-of", shard0)
 	if err != nil {
 		fatalf("start replica: %v", err)
 	}
-	defer stopRep()
-	routerAddr, stopRouter, err := startDaemon(bin, "-addr", "127.0.0.1:0",
-		"-shards", shard0+","+shard1)
+	defer repd.stop()
+	repAddr := repd.addr
+	routerd, err := startDaemon(bin, "-addr", "127.0.0.1:0",
+		"-shards", shard0+","+shard1, "-metrics-addr", "127.0.0.1:0")
 	if err != nil {
 		fatalf("start router: %v", err)
 	}
-	defer stopRouter()
-	refAddr, stopRef, err := startDaemon(bin, "-addr", "127.0.0.1:0", "-dir", filepath.Join(tmp, "ref"))
+	defer routerd.stop()
+	refd, err := startDaemon(bin, "-addr", "127.0.0.1:0", "-dir", filepath.Join(tmp, "ref"))
 	if err != nil {
 		fatalf("start reference node: %v", err)
 	}
-	defer stopRef()
+	defer refd.stop()
 
-	router, err := client.Dial(routerAddr)
+	router, err := client.Dial(routerd.addr)
 	if err != nil {
 		fatalf("dial router: %v", err)
 	}
 	defer router.Close()
-	ref, err := client.Dial(refAddr)
+	ref, err := client.Dial(refd.addr)
 	if err != nil {
 		fatalf("dial reference: %v", err)
 	}
@@ -290,6 +363,67 @@ func main() {
 		time.Sleep(50 * time.Millisecond)
 	}
 
+	// Observability plane: probes answer on shards and router, and the
+	// router's federated /metrics is exactly the union of the shards'
+	// registries with shard-labeled series (plus the router's own).
+	for _, probe := range []struct{ who, url string }{
+		{"shard 0 healthz", s0d.metricsURL + "/healthz"},
+		{"shard 0 readyz", s0d.metricsURL + "/readyz"},
+		{"router healthz", routerd.metricsURL + "/healthz"},
+		{"router readyz", routerd.metricsURL + "/readyz"},
+	} {
+		status, _, _ := httpGet(probe.url)
+		if status != 200 {
+			fatalf("%s returned %d, want 200", probe.who, status)
+		}
+	}
+	s0m := scrapeValues(s0d.metricsURL + "/metrics")
+	s1m := scrapeValues(s1d.metricsURL + "/metrics")
+	status, fedBody, fedHdr := httpGet(routerd.metricsURL + "/metrics")
+	if status != 200 {
+		fatalf("federated /metrics returned %d", status)
+	}
+	if fedHdr.Get("X-Streamrel-Partial") == "true" {
+		fatalf("federated /metrics flagged partial with every shard up")
+	}
+	fed, err := metrics.ParseExposition(strings.NewReader(fedBody))
+	if err != nil {
+		fatalf("federated /metrics is not valid exposition: %v", err)
+	}
+	fedByID := map[string]float64{}
+	sawRouterSeries := false
+	for i := range fed {
+		sh := fed[i].Labels["shard"]
+		if sh == "" {
+			fatalf("federated series %s has no shard label", fed[i].ID())
+		}
+		if sh == "router" {
+			sawRouterSeries = true
+		}
+		fedByID[fed[i].ID()] = fed[i].Value
+	}
+	if !sawRouterSeries {
+		fatalf(`federated /metrics has no shard="router" series`)
+	}
+	// The federated value of a stable per-shard counter must equal the
+	// value that shard's own /metrics reports, and the shard-labeled
+	// slices must add up to the whole workload.
+	const rowsSeries = `streamrel_stream_rows_total{stream="s"}`
+	for i, local := range []map[string]float64{s0m, s1m} {
+		want, ok := local[rowsSeries]
+		if !ok {
+			fatalf("shard %d /metrics missing %s", i, rowsSeries)
+		}
+		fedID := fmt.Sprintf(`streamrel_stream_rows_total{shard="%d",stream="s"}`, i)
+		if got, ok := fedByID[fedID]; !ok || got != want {
+			fatalf("federated %s = %v (ok=%v), shard's own scrape says %v", fedID, got, ok, want)
+		}
+	}
+	if total := fedByID[`streamrel_stream_rows_total{shard="0",stream="s"}`] +
+		fedByID[`streamrel_stream_rows_total{shard="1",stream="s"}`]; total != 120 {
+		fatalf("federated shard slices of %s sum to %v, want 120", rowsSeries, total)
+	}
+
 	// Kill shard 1: scatter queries must degrade to flagged partial
 	// results, not errors.
 	stop1()
@@ -304,6 +438,25 @@ func main() {
 		}
 		if time.Now().After(deadline) {
 			fatalf("router never flagged a partial result after shard loss (err=%v)", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// …and the observability plane must agree: router /readyz degrades to
+	// 503 naming the dead shard, federated /metrics flags partial.
+	deadline = time.Now().Add(20 * time.Second)
+	for {
+		readyStatus, readyBody, _ := httpGet(routerd.metricsURL + "/readyz")
+		fedStatus, _, hdr := httpGet(routerd.metricsURL + "/metrics")
+		if readyStatus == 503 && fedStatus == 200 && hdr.Get("X-Streamrel-Partial") == "true" {
+			if !strings.Contains(readyBody, "degraded") {
+				fatalf("router /readyz 503 body %q does not say degraded", readyBody)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			fatalf("router probes never degraded after shard loss (readyz=%d, partial=%q)",
+				readyStatus, hdr.Get("X-Streamrel-Partial"))
 		}
 		time.Sleep(50 * time.Millisecond)
 	}

@@ -44,6 +44,7 @@ var index = []struct{ id, what string }{
 	{"E13", "shard scale-out ladder: keyed ingest rows/s + window fire latency, direct vs router over 1/2/4 shards"},
 	{"E14", "incremental maintenance: fire latency vs window width, re-exec vs delta-maintained (internal/ivm)"},
 	{"E15", "work-stealing scheduler + plan sharing: 100/1k/10k CQs, registration + ingest + fire latency, serial-equivalence gated"},
+	{"E16", "self-observability overhead: ingest throughput with sysmon off / 1s default / 10ms aggressive, allocs/snapshot"},
 }
 
 // jsonReport is the machine-readable output format for -json: enough
@@ -276,7 +277,7 @@ func main() {
 		"E6": experiments.E6, "E7": experiments.E7, "E8": experiments.E8,
 		"E9": experiments.E9, "E10": experiments.E10, "E11": experiments.E11,
 		"E12": experiments.E12, "E13": experiments.E13, "E14": experiments.E14,
-		"E15": experiments.E15,
+		"E15": experiments.E15, "E16": experiments.E16,
 	}
 
 	fmt.Printf("streamrel experiment suite (scale %.2g)\n", *scale)

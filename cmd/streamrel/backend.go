@@ -102,8 +102,11 @@ func (b *localBackend) watch(sqlText string) (*watcher, error) {
 
 func (b *localBackend) stats() string {
 	s := b.eng.Stats()
-	return fmt.Sprintf("sources=%d pipelines=%d sharedAggs=%d windowsFired=%d rowsProcessed=%d lateDropped=%d",
-		s.Sources, s.Pipelines, s.SharedAggs, s.WindowsFired, s.RowsProcessed, s.LateDropped)
+	return fmt.Sprintf("sources=%d pipelines=%d sharedAggs=%d planGroups=%d planSubscribers=%d windowsFired=%d rowsProcessed=%d lateDropped=%d\n"+
+		"sched: workers=%d runnable=%d steals=%d parks=%d",
+		s.Sources, s.Pipelines, s.SharedAggs, s.PlanGroups, s.PlanSubscribers,
+		s.WindowsFired, s.RowsProcessed, s.LateDropped,
+		s.SchedWorkers, s.SchedRunnable, s.SchedSteals, s.SchedParks)
 }
 
 func (b *localBackend) traces() string {

@@ -6,8 +6,10 @@
 //	\q                  quit
 //	\watch <select>     start a continuous query printing batches as they close
 //	\unwatch            stop all continuous queries
-//	\stats              runtime counters
+//	\stats              runtime counters (pipelines, plan sharing, scheduler)
 //	\trace              completed trace spans (sampled end-to-end event traces)
+//	\sys                list the engine's sys.* telemetry streams
+//	\sys <stream>       watch a sys.* stream (5-second tumbling window)
 //	\help               this text
 //
 // Usage:
@@ -22,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"streamrel"
 	"streamrel/client"
@@ -43,7 +46,8 @@ func main() {
 		}
 		be = &remoteBackend{c: c}
 	} else {
-		eng, err := streamrel.Open(streamrel.Config{Dir: *dir})
+		// The embedded shell runs sysmon so \sys works out of the box.
+		eng, err := streamrel.Open(streamrel.Config{Dir: *dir, SysMonInterval: time.Second})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -113,7 +117,7 @@ func (sh *shell) meta(cmd string) bool {
 	case cmd == "\\q" || cmd == "\\quit":
 		return false
 	case cmd == "\\help":
-		fmt.Fprintln(sh.out, `\q quit · \watch <select> start CQ · \unwatch stop CQs · \stats counters · \trace spans`)
+		fmt.Fprintln(sh.out, `\q quit · \watch <select> start CQ · \unwatch stop CQs · \stats counters · \trace spans · \sys [stream] telemetry`)
 	case cmd == "\\stats":
 		fmt.Fprintln(sh.out, sh.be.stats())
 	case cmd == "\\trace":
@@ -125,31 +129,49 @@ func (sh *shell) meta(cmd string) bool {
 		fmt.Fprintf(sh.out, "stopped %d continuous queries\n", len(sh.watches))
 		sh.watches = nil
 	case strings.HasPrefix(cmd, "\\watch "):
-		sqlText := strings.TrimPrefix(cmd, "\\watch ")
-		w, err := sh.be.watch(sqlText)
-		if err != nil {
-			fmt.Fprintln(sh.out, "error:", err)
-			break
+		sh.startWatch(strings.TrimPrefix(cmd, "\\watch "))
+	case cmd == "\\sys":
+		fmt.Fprintln(sh.out, `sys.* telemetry streams (engine-created, ephemeral, CQTIME SYSTEM):
+  sys.metrics     every registry series per snapshot (ts, name, labels, kind, value)
+  sys.pipelines   per-pipeline counters (source, windows_fired, rows_seen, queue_depth, mode)
+  sys.slow_fires  slow window fires from the trace ring
+  sys.repl        replication role, LSN and lag
+\sys <stream> tails one; a CQ over them is an alerting rule, e.g.
+  \watch SELECT name, max(value) FROM sys.metrics <ADVANCE '5 seconds'> GROUP BY name`)
+	case strings.HasPrefix(cmd, "\\sys "):
+		name := strings.TrimSpace(strings.TrimPrefix(cmd, "\\sys "))
+		if !strings.HasPrefix(name, "sys.") {
+			name = "sys." + name
 		}
-		sh.watches = append(sh.watches, w)
-		go func() {
-			for {
-				close, rows, ok := w.next()
-				if !ok {
-					return
-				}
-				fmt.Fprintf(sh.out, "\n-- window closed %s (%d rows)\n%s\n",
-					close.Format("2006-01-02 15:04:05"), len(rows), w.header)
-				for _, r := range rows {
-					fmt.Fprintln(sh.out, r)
-				}
-			}
-		}()
-		fmt.Fprintln(sh.out, "watching; results print as windows close")
+		sh.startWatch(fmt.Sprintf("SELECT * FROM %s <ADVANCE '5 seconds'>", name))
 	default:
 		fmt.Fprintln(sh.out, "unknown meta-command; \\help for help")
 	}
 	return true
+}
+
+// startWatch starts a continuous query and prints batches as they close.
+func (sh *shell) startWatch(sqlText string) {
+	w, err := sh.be.watch(sqlText)
+	if err != nil {
+		fmt.Fprintln(sh.out, "error:", err)
+		return
+	}
+	sh.watches = append(sh.watches, w)
+	go func() {
+		for {
+			close, rows, ok := w.next()
+			if !ok {
+				return
+			}
+			fmt.Fprintf(sh.out, "\n-- window closed %s (%d rows)\n%s\n",
+				close.Format("2006-01-02 15:04:05"), len(rows), w.header)
+			for _, r := range rows {
+				fmt.Fprintln(sh.out, r)
+			}
+		}
+	}()
+	fmt.Fprintln(sh.out, "watching; results print as windows close")
 }
 
 func (sh *shell) execute(sqlText string) {

@@ -22,10 +22,20 @@
 // router so every shard holds the same schema.
 //
 // The -metrics-addr listener serves Prometheus text at /metrics, the
-// trace ring as JSON at /debug/traces, and Go profiling handlers under
-// /debug/pprof/. None of these endpoints have authentication: bind the
-// metrics address to localhost or a private interface, never a public
-// one.
+// trace ring as JSON at /debug/traces, liveness and readiness probes at
+// /healthz and /readyz (a replica reports unready while its apply lag
+// exceeds -ready-max-lag), and Go profiling handlers under
+// /debug/pprof/. On the router the same paths federate the whole
+// cluster: /metrics merges every shard's registry with shard-labeled
+// series and /debug/traces stitches distributed spans by trace ID. None
+// of these endpoints have authentication: bind the metrics address to
+// localhost or a private interface, never a public one.
+//
+// Engine nodes also snapshot their own telemetry into the reserved
+// sys.* streams every -sysmon interval (default 1s), so the engine's
+// continuous queries can watch the engine itself — `SELECT name,
+// max(value) FROM sys.metrics <ADVANCE '5 seconds'> GROUP BY name` is a
+// live alerting rule.
 //
 // Diagnostics go to stderr as structured JSON lines (log/slog); the
 // startup banner stays on stdout.
@@ -63,6 +73,8 @@ func main() {
 	slowFire := flag.Duration("slow-fire", 0, "force-record and log window fires slower than this push-to-fire latency (0 = off)")
 	parallelCQ := flag.Int("parallel-cq", 0, "run continuous queries on the work-stealing pool with this mailbox backpressure bound in micro-batches (0 = synchronous engine)")
 	schedWorkers := flag.Int("sched-workers", 0, "work-stealing pool size for -parallel-cq (0 = GOMAXPROCS)")
+	sysmonEvery := flag.Duration("sysmon", time.Second, "snapshot engine telemetry into the sys.* streams this often (0 = off)")
+	readyMaxLag := flag.Duration("ready-max-lag", 5*time.Second, "replica readiness threshold: /readyz fails while apply lag exceeds this")
 	flag.Parse()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
@@ -92,6 +104,7 @@ func main() {
 		SlowFireThreshold:   *slowFire,
 		ParallelCQ:          *parallelCQ,
 		SchedWorkers:        *schedWorkers,
+		SysMonInterval:      *sysmonEvery,
 		Logger:              logger,
 	})
 	if err != nil {
@@ -153,6 +166,8 @@ func main() {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", metrics.Handler(eng.Metrics()))
 		mux.Handle("/debug/traces", trace.Handler(eng.Tracer()))
+		mux.Handle("/healthz", healthzHandler())
+		mux.Handle("/readyz", readyzHandler(rep, *readyMaxLag))
 		// Profiling handlers registered on this explicit mux (not
 		// http.DefaultServeMux) so they exist only on the metrics
 		// listener. The metrics address must not be publicly reachable.
@@ -163,7 +178,7 @@ func main() {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		fmt.Printf("metrics on http://%s/metrics\n", mlis.Addr())
 		logger.Info("debug endpoints enabled", "addr", mlis.Addr().String(),
-			"paths", "/metrics /debug/traces /debug/pprof/")
+			"paths", "/metrics /debug/traces /healthz /readyz /debug/pprof/")
 		go func() {
 			if err := http.Serve(mlis, mux); err != nil {
 				logger.Warn("metrics server stopped", "error", err.Error())
@@ -182,4 +197,35 @@ func main() {
 	if err := srv.Serve(); err != nil {
 		fatal("serve failed", err)
 	}
+}
+
+// healthzHandler is the liveness probe: 200 while the process serves.
+func healthzHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+}
+
+// readyzHandler is the readiness probe. A primary is ready once it
+// serves (recovery ran before Listen). A replica is additionally
+// required to be applying within maxLag of the primary, so a load
+// balancer drains replicas that fall too far behind to serve fresh
+// reads.
+func readyzHandler(rep *replica.Replica, maxLag time.Duration) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if rep == nil {
+			fmt.Fprintln(w, `{"status":"ok"}`)
+			return
+		}
+		lag := rep.LagSeconds()
+		if lag > maxLag.Seconds() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, `{"status":"lagging","lag_seconds":%g,"threshold_seconds":%g}`+"\n",
+				lag, maxLag.Seconds())
+			return
+		}
+		fmt.Fprintf(w, `{"status":"ok","lag_seconds":%g}`+"\n", lag)
+	})
 }

@@ -13,10 +13,8 @@ import (
 	"time"
 
 	"streamrel/client"
-	"streamrel/internal/metrics"
 	"streamrel/internal/shard"
 	"streamrel/internal/sql"
-	"streamrel/internal/trace"
 )
 
 // runRouter is streamreld's -shards mode: no engine, just the shard
@@ -59,8 +57,13 @@ func runRouter(addr, shardList, initScript, metricsAddr string, traceSample int,
 			fatal("metrics listen failed", err)
 		}
 		mux := http.NewServeMux()
-		mux.Handle("/metrics", metrics.Handler(r.Metrics()))
-		mux.Handle("/debug/traces", trace.Handler(r.Tracer()))
+		// Federated views: /metrics merges every shard's registry with the
+		// router's own (shard-labeled series); /debug/traces stitches
+		// distributed spans back together by trace ID.
+		mux.Handle("/metrics", r.MetricsHandler())
+		mux.Handle("/debug/traces", r.TracesHandler())
+		mux.Handle("/healthz", r.HealthzHandler())
+		mux.Handle("/readyz", r.ReadyzHandler())
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -136,7 +136,7 @@ func fmtX(x float64) string {
 // All runs every experiment at the given scale.
 func All(s Scale) ([]*Table, error) {
 	runs := []func(Scale) (*Table, error){
-		F1, E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E12, E13, E14, E15,
+		F1, E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E12, E13, E14, E15, E16,
 	}
 	out := make([]*Table, 0, len(runs))
 	for _, run := range runs {

@@ -11,8 +11,8 @@ func TestAllExperimentsSmall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 16 {
-		t.Fatalf("expected 16 experiments, got %d", len(tables))
+	if len(tables) != 17 {
+		t.Fatalf("expected 17 experiments, got %d", len(tables))
 	}
 	seen := map[string]bool{}
 	for _, tab := range tables {
@@ -27,7 +27,7 @@ func TestAllExperimentsSmall(t *testing.T) {
 			t.Fatal("empty rendering")
 		}
 	}
-	for _, id := range []string{"F1", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"} {
+	for _, id := range []string{"F1", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16"} {
 		if !seen[id] {
 			t.Fatalf("missing experiment %s", id)
 		}

@@ -81,9 +81,13 @@ func (r *Registry) Gather() []*Sample {
 		return nil
 	}
 	r.mu.Lock()
-	all := make([]*series, 0, len(r.byID))
+	// Copy each series by value: handle fields (counter/gauge/gaugeFn/hist)
+	// are written under r.mu by lookup's init callbacks, so they must be
+	// read under it too. The atomics behind the copied pointers are then
+	// loaded lock-free below.
+	all := make([]series, 0, len(r.byID))
 	for _, s := range r.byID {
-		all = append(all, s)
+		all = append(all, *s)
 	}
 	help := make(map[string]string, len(r.help))
 	for k, v := range r.help {
@@ -175,6 +179,48 @@ func writeSample(w io.Writer, s *Sample) error {
 		_, err := fmt.Fprintf(w, "%s %s\n", s.ID(), formatFloat(s.Value))
 		return err
 	}
+}
+
+// WithLabel returns a copy of the sample with one extra label (re-sorted
+// into identity order). Federating routers use it to tag per-shard scrapes
+// with shard="N" before merging.
+func (s *Sample) WithLabel(key, value string) *Sample {
+	out := *s
+	out.Labels = withLabel(s.Labels, key, value)
+	return &out
+}
+
+// WriteSamples renders an arbitrary sample list in the Prometheus text
+// exposition format: samples are sorted by family then series identity,
+// HELP/TYPE emitted once per family. It is WritePrometheus for samples
+// that did not come from one local registry — the router's federation
+// endpoint merges per-shard Gathers and renders them here.
+func WriteSamples(w io.Writer, samples []*Sample) error {
+	sorted := append([]*Sample(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Name != sorted[j].Name {
+			return sorted[i].Name < sorted[j].Name
+		}
+		return sorted[i].ID() < sorted[j].ID()
+	})
+	lastFamily := ""
+	for _, s := range sorted {
+		if s.Name != lastFamily {
+			lastFamily = s.Name
+			if s.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, s.Help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
+				return err
+			}
+		}
+		if err := writeSample(w, s); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // withLabel returns labels plus one extra, re-sorted.

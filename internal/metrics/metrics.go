@@ -220,11 +220,14 @@ func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
 	if r == nil {
 		return nil
 	}
-	s := r.lookup(name, help, KindCounter, labels)
-	if s.counter == nil {
-		s.counter = &Counter{}
-	}
-	return s.counter
+	var c *Counter
+	r.lookup(name, help, KindCounter, labels, func(s *series) {
+		if s.counter == nil {
+			s.counter = &Counter{}
+		}
+		c = s.counter
+	})
+	return c
 }
 
 // Gauge returns the gauge for name+labels, creating it if needed.
@@ -233,11 +236,14 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 	if r == nil {
 		return nil
 	}
-	s := r.lookup(name, help, KindGauge, labels)
-	if s.gauge == nil && s.gaugeFn == nil {
-		s.gauge = &Gauge{}
-	}
-	return s.gauge
+	var g *Gauge
+	r.lookup(name, help, KindGauge, labels, func(s *series) {
+		if s.gauge == nil && s.gaugeFn == nil {
+			s.gauge = &Gauge{}
+		}
+		g = s.gauge
+	})
+	return g
 }
 
 // GaugeFunc registers a callback gauge evaluated at Gather time (e.g. a
@@ -248,9 +254,11 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Lab
 	if r == nil {
 		return func() {}
 	}
-	s := r.lookup(name, help, KindGauge, labels)
-	s.gauge, s.gaugeFn = nil, fn
-	id := seriesID(name, s.labels)
+	var id string
+	r.lookup(name, help, KindGauge, labels, func(s *series) {
+		s.gauge, s.gaugeFn = nil, fn
+		id = seriesID(name, s.labels)
+	})
 	return func() { r.unregister(id) }
 }
 
@@ -261,20 +269,25 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Lab
 	if r == nil {
 		return nil
 	}
-	s := r.lookup(name, help, KindHistogram, labels)
-	if s.hist == nil {
-		if buckets == nil {
-			buckets = DefLatencyBuckets
+	var h *Histogram
+	r.lookup(name, help, KindHistogram, labels, func(s *series) {
+		if s.hist == nil {
+			if buckets == nil {
+				buckets = DefLatencyBuckets
+			}
+			bounds := append([]float64(nil), buckets...)
+			sort.Float64s(bounds)
+			s.hist = &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
 		}
-		bounds := append([]float64(nil), buckets...)
-		sort.Float64s(bounds)
-		s.hist = &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
-	}
-	return s.hist
+		h = s.hist
+	})
+	return h
 }
 
 // lookup finds or creates the series, enforcing one kind per family name.
-func (r *Registry) lookup(name, help string, kind Kind, labels []Label) *series {
+// init runs with the registry lock held: series handle fields may only be
+// read or written inside it (Gather snapshots them under the same lock).
+func (r *Registry) lookup(name, help string, kind Kind, labels []Label, init func(*series)) {
 	sorted := append([]Label(nil), labels...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
 	id := seriesID(name, sorted)
@@ -292,7 +305,7 @@ func (r *Registry) lookup(name, help string, kind Kind, labels []Label) *series 
 		s = &series{name: name, labels: sorted, kind: kind}
 		r.byID[id] = s
 	}
-	return s
+	init(s)
 }
 
 // unregister removes one series (help/kind for the family remain).

@@ -1,0 +1,77 @@
+package server
+
+import (
+	"math"
+	"sort"
+
+	"streamrel/internal/metrics"
+)
+
+// EncodeSamples converts gathered registry samples to their wire shape.
+// Non-finite counter/gauge values are dropped (JSON cannot carry them);
+// the implicit +Inf histogram bucket is elided (its count equals Count).
+func EncodeSamples(samples []*metrics.Sample) []WireSample {
+	out := make([]WireSample, 0, len(samples))
+	for _, s := range samples {
+		w := WireSample{Name: s.Name, Kind: s.Kind.String(), Help: s.Help}
+		if len(s.Labels) > 0 {
+			w.Labels = make(map[string]string, len(s.Labels))
+			for _, l := range s.Labels {
+				w.Labels[l.Key] = l.Value
+			}
+		}
+		if s.Kind == metrics.KindHistogram {
+			w.Count, w.Sum = s.Count, s.Sum
+			if math.IsNaN(w.Sum) || math.IsInf(w.Sum, 0) {
+				w.Sum = 0
+			}
+			for _, b := range s.Buckets {
+				if math.IsInf(b.UpperBound, 1) {
+					continue
+				}
+				w.Buckets = append(w.Buckets, WireBucket{LE: b.UpperBound, N: b.Count})
+			}
+		} else {
+			if math.IsNaN(s.Value) || math.IsInf(s.Value, 0) {
+				continue
+			}
+			w.Value = s.Value
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// DecodeSamples reverses EncodeSamples, restoring the +Inf bucket.
+func DecodeSamples(wire []WireSample) []*metrics.Sample {
+	out := make([]*metrics.Sample, 0, len(wire))
+	for _, w := range wire {
+		s := &metrics.Sample{Name: w.Name, Kind: parseKind(w.Kind), Help: w.Help}
+		for k, v := range w.Labels {
+			s.Labels = append(s.Labels, metrics.Label{Key: k, Value: v})
+		}
+		sort.Slice(s.Labels, func(i, j int) bool { return s.Labels[i].Key < s.Labels[j].Key })
+		if s.Kind == metrics.KindHistogram {
+			s.Count, s.Sum = w.Count, w.Sum
+			for _, b := range w.Buckets {
+				s.Buckets = append(s.Buckets, metrics.Bucket{UpperBound: b.LE, Count: b.N})
+			}
+			s.Buckets = append(s.Buckets, metrics.Bucket{UpperBound: math.Inf(1), Count: w.Count})
+		} else {
+			s.Value = w.Value
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func parseKind(k string) metrics.Kind {
+	switch k {
+	case "counter":
+		return metrics.KindCounter
+	case "histogram":
+		return metrics.KindHistogram
+	default:
+		return metrics.KindGauge
+	}
+}

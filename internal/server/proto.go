@@ -69,6 +69,10 @@ type Response struct {
 	// Spans answers the "trace" op: the engine's completed trace spans,
 	// oldest first.
 	Spans []WireSpan `json:"spans,omitempty"`
+	// Samples answers the "metrics" op: the node's full metrics registry
+	// as structured samples (histograms keep their buckets), the shape a
+	// federating router re-labels and merges.
+	Samples []WireSample `json:"samples,omitempty"`
 	// Partial marks a scatter-gathered result that is missing the
 	// contribution of one or more downed shards (router responses only).
 	Partial bool `json:"partial,omitempty"`
@@ -87,6 +91,29 @@ type WireSpan struct {
 	Rows    int    `json:"rows,omitempty"`
 	Slow    bool   `json:"slow,omitempty"`
 	Mode    string `json:"mode,omitempty"`
+}
+
+// WireSample is one metrics series on the wire (the "metrics" op): a
+// structured counterpart of one Prometheus exposition family member, rich
+// enough for a router to merge per-shard scrapes without text parsing.
+type WireSample struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Kind   string            `json:"kind"`
+	Help   string            `json:"help,omitempty"`
+	// Counter / gauge value.
+	Value float64 `json:"value,omitempty"`
+	// Histogram fields; buckets are cumulative. The +Inf bucket is
+	// implicit (its count equals Count) — JSON cannot carry +Inf.
+	Count   int64        `json:"count,omitempty"`
+	Sum     float64      `json:"sum,omitempty"`
+	Buckets []WireBucket `json:"buckets,omitempty"`
+}
+
+// WireBucket is one cumulative histogram bucket (finite bounds only).
+type WireBucket struct {
+	LE float64 `json:"le"`
+	N  int64   `json:"n"`
 }
 
 // WireColumn is a schema column on the wire.

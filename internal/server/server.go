@@ -20,7 +20,7 @@ import (
 
 // ops is the protocol command set; per-op latency histograms are
 // pre-created so dispatch never takes the registry lock.
-var ops = []string{"exec", "query", "append", "advance", "subscribe", "unsubscribe", "ping", "stats", "trace", "replicate", "promote"}
+var ops = []string{"exec", "query", "append", "advance", "subscribe", "unsubscribe", "ping", "stats", "metrics", "trace", "replicate", "promote"}
 
 // Server serves one engine over TCP.
 type Server struct {
@@ -327,6 +327,9 @@ func (sess *session) dispatch(req *Request) *Response {
 
 	case "stats":
 		return sess.srv.statsResponse()
+
+	case "metrics":
+		return &Response{OK: true, Samples: EncodeSamples(eng.Metrics().Gather())}
 
 	case "trace":
 		spans := eng.Traces()

@@ -1,0 +1,61 @@
+package shard
+
+import (
+	"strings"
+	"testing"
+
+	"streamrel/internal/metrics"
+)
+
+// TestRouterMetricNamingConventions audits the router's registry — a
+// separate registry from any engine's — under the repo-wide naming
+// rules (the engine-side counterpart lives in metrics_conventions_test.go
+// at the repo root), and spot-checks the streamrel_router_* namespace.
+func TestRouterMetricNamingConventions(t *testing.T) {
+	// The address never answers; series register at construction.
+	r, err := NewRouter(Options{Addrs: []string{"127.0.0.1:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	byName := map[string]*metrics.Sample{}
+	for _, s := range r.Metrics().Gather() {
+		byName[s.Name] = s
+		if !strings.HasPrefix(s.Name, "streamrel_") {
+			t.Errorf("metric %q lacks the streamrel_ prefix", s.Name)
+		}
+		switch s.Kind {
+		case metrics.KindCounter:
+			if !strings.HasSuffix(s.Name, "_total") {
+				t.Errorf("counter %q should end in _total", s.Name)
+			}
+		case metrics.KindHistogram:
+			if !strings.HasSuffix(s.Name, "_seconds") && !strings.HasSuffix(s.Name, "_batches") {
+				t.Errorf("histogram %q should end in a unit suffix (_seconds, _batches)", s.Name)
+			}
+		case metrics.KindGauge:
+			if strings.HasSuffix(s.Name, "_total") {
+				t.Errorf("gauge %q must not end in _total", s.Name)
+			}
+		}
+	}
+	for _, name := range []string{
+		"streamrel_router_append_rows_total",
+		"streamrel_router_append_seconds",
+		"streamrel_router_partial_results_total",
+		"streamrel_router_scatter_seconds",
+		"streamrel_router_routed_rows_total",
+		"streamrel_router_send_seconds",
+		"streamrel_router_coalesced_batches",
+		"streamrel_router_shard_errors_total",
+		"streamrel_router_reconnects_total",
+		"streamrel_router_shard_up",
+		"streamrel_router_queue_depth",
+		"streamrel_server_connections",
+	} {
+		if byName[name] == nil {
+			t.Errorf("expected router series %s not registered", name)
+		}
+	}
+}

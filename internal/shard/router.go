@@ -272,6 +272,8 @@ func (sess *rsession) dispatch(req *server.Request) *server.Response {
 		return &server.Response{OK: true}
 	case "stats":
 		return statsResponse(r.reg)
+	case "metrics":
+		return &server.Response{OK: true, Samples: server.EncodeSamples(r.reg.Gather())}
 	case "trace":
 		spans := r.tracer.Snapshot()
 		out := &server.Response{OK: true, Spans: make([]server.WireSpan, len(spans))}

@@ -188,6 +188,26 @@ func (p *Parser) parseIdent() (string, error) {
 	return "", p.errf("expected identifier")
 }
 
+// parseRelName accepts a relation name: a bare identifier, or a
+// dot-qualified pair like sys.metrics (folded into one "a.b" name — the
+// catalog treats the qualified form as the full name; only the reserved
+// sys namespace uses it today).
+func (p *Parser) parseRelName() (string, error) {
+	name, err := p.parseIdent()
+	if err != nil {
+		return "", err
+	}
+	if p.peek().Kind == TokSymbol && p.peek().Text == "." {
+		p.pos++
+		rest, err := p.parseIdent()
+		if err != nil {
+			return "", err
+		}
+		return name + "." + rest, nil
+	}
+	return name, nil
+}
+
 // --------------------------------------------------------------- stmts
 
 func (p *Parser) parseStatement() (Statement, error) {
@@ -211,7 +231,7 @@ func (p *Parser) parseStatement() (Statement, error) {
 	case "truncate":
 		p.pos++
 		p.acceptKeyword("table")
-		name, err := p.parseIdent()
+		name, err := p.parseRelName()
 		if err != nil {
 			return nil, err
 		}
@@ -271,7 +291,7 @@ func (p *Parser) parseCreateTable() (Statement, error) {
 	if err != nil {
 		return nil, err
 	}
-	name, err := p.parseIdent()
+	name, err := p.parseRelName()
 	if err != nil {
 		return nil, err
 	}
@@ -287,7 +307,7 @@ func (p *Parser) parseCreateStream() (Statement, error) {
 	if err != nil {
 		return nil, err
 	}
-	name, err := p.parseIdent()
+	name, err := p.parseRelName()
 	if err != nil {
 		return nil, err
 	}
@@ -424,7 +444,7 @@ func (p *Parser) parseCreateView() (Statement, error) {
 	if err != nil {
 		return nil, err
 	}
-	name, err := p.parseIdent()
+	name, err := p.parseRelName()
 	if err != nil {
 		return nil, err
 	}
@@ -443,21 +463,21 @@ func (p *Parser) parseCreateChannel() (Statement, error) {
 	if err != nil {
 		return nil, err
 	}
-	name, err := p.parseIdent()
+	name, err := p.parseRelName()
 	if err != nil {
 		return nil, err
 	}
 	if err := p.expectKeyword("from"); err != nil {
 		return nil, err
 	}
-	from, err := p.parseIdent()
+	from, err := p.parseRelName()
 	if err != nil {
 		return nil, err
 	}
 	if err := p.expectKeyword("into"); err != nil {
 		return nil, err
 	}
-	into, err := p.parseIdent()
+	into, err := p.parseRelName()
 	if err != nil {
 		return nil, err
 	}
@@ -475,14 +495,14 @@ func (p *Parser) parseCreateIndex() (Statement, error) {
 	if err != nil {
 		return nil, err
 	}
-	name, err := p.parseIdent()
+	name, err := p.parseRelName()
 	if err != nil {
 		return nil, err
 	}
 	if err := p.expectKeyword("on"); err != nil {
 		return nil, err
 	}
-	table, err := p.parseIdent()
+	table, err := p.parseRelName()
 	if err != nil {
 		return nil, err
 	}
@@ -530,7 +550,7 @@ func (p *Parser) parseDrop() (Statement, error) {
 		}
 		ifExists = true
 	}
-	name, err := p.parseIdent()
+	name, err := p.parseRelName()
 	if err != nil {
 		return nil, err
 	}
@@ -542,7 +562,7 @@ func (p *Parser) parseInsert() (Statement, error) {
 	if err := p.expectKeyword("into"); err != nil {
 		return nil, err
 	}
-	table, err := p.parseIdent()
+	table, err := p.parseRelName()
 	if err != nil {
 		return nil, err
 	}
@@ -601,7 +621,7 @@ func (p *Parser) parseInsert() (Statement, error) {
 
 func (p *Parser) parseUpdate() (Statement, error) {
 	p.pos++ // update
-	table, err := p.parseIdent()
+	table, err := p.parseRelName()
 	if err != nil {
 		return nil, err
 	}
@@ -641,7 +661,7 @@ func (p *Parser) parseDelete() (Statement, error) {
 	if err := p.expectKeyword("from"); err != nil {
 		return nil, err
 	}
-	table, err := p.parseIdent()
+	table, err := p.parseRelName()
 	if err != nil {
 		return nil, err
 	}
@@ -966,7 +986,7 @@ func (p *Parser) parseTablePrimary() (TableRef, error) {
 		}
 		return sub, nil
 	}
-	name, err := p.parseIdent()
+	name, err := p.parseRelName()
 	if err != nil {
 		return nil, err
 	}

@@ -207,12 +207,6 @@ func (r *Runtime) SetMetrics(reg *metrics.Registry) {
 			}
 			return float64(n)
 		})
-	// Deprecated aliases, kept for one release: these pre-date the
-	// streamrel_stream_* naming audit and will be removed.
-	reg.GaugeFunc("streamrel_sources",
-		"registered stream sources (deprecated alias of streamrel_stream_sources)", sources)
-	reg.GaugeFunc("streamrel_pipelines",
-		"live continuous-query pipelines (deprecated alias of streamrel_stream_pipelines)", pipelines)
 }
 
 // SetTracer binds the runtime to a tracer: ingested batches get sampled
@@ -298,24 +292,46 @@ type source struct {
 	// rows counts validated rows accepted into this stream
 	// (streamrel_stream_rows_total{stream=…}; nil without a registry).
 	rows *metrics.Counter
+
+	// internal marks engine-owned telemetry streams (the sys.* namespace):
+	// their ingest is excluded from user-facing stream counters, the
+	// tracer, and replication, so telemetry about the system never feeds
+	// back into the signals it reports (no self-amplification).
+	internal bool
 }
 
 // RegisterSource declares a stream. cqtimeCol is the index of the CQTIME
 // column, or -1 when timestamps arrive out of band (derived streams).
 func (r *Runtime) RegisterSource(name string, schema types.Schema, cqtimeCol int) error {
+	return r.registerSource(name, schema, cqtimeCol, false)
+}
+
+// RegisterInternalSource declares an engine-owned telemetry stream. Its
+// rows count under streamrel_sysmon_rows_total (not the user-facing
+// streamrel_stream_rows_total), and its batches skip trace sampling and
+// replication publish — see source.internal.
+func (r *Runtime) RegisterInternalSource(name string, schema types.Schema, cqtimeCol int) error {
+	return r.registerSource(name, schema, cqtimeCol, true)
+}
+
+func (r *Runtime) registerSource(name string, schema types.Schema, cqtimeCol int, internal bool) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.sources[name]; ok {
 		return fmt.Errorf("stream: source %q already registered", name)
 	}
+	rowsName, rowsHelp := "streamrel_stream_rows_total", "rows accepted into a stream after validation"
+	if internal {
+		rowsName, rowsHelp = "streamrel_sysmon_rows_total", "telemetry rows self-ingested into a sys.* stream"
+	}
 	r.sources[name] = &source{
 		name:      name,
 		schema:    schema,
 		cqtimeCol: cqtimeCol,
+		internal:  internal,
 		shared:    make(map[string]*sharedAgg),
 		groups:    make(map[string]*planGroup),
-		rows: r.reg.Counter("streamrel_stream_rows_total",
-			"rows accepted into a stream after validation", metrics.L("stream", name)),
+		rows:      r.reg.Counter(rowsName, rowsHelp, metrics.L("stream", name)),
 	}
 	return nil
 }
@@ -681,11 +697,11 @@ func (s *source) deliver(r *Runtime, tc trace.Ctx, rows []types.Row, explicitTS 
 	// context (replica re-injection, derived emission) rolls the dice
 	// here. Unsampled batches still get an ingest timestamp so slow-fire
 	// latency is measurable for every fire.
-	if r.tracer != nil && tc.ID == 0 && tc.Ingest == 0 {
+	if r.tracer != nil && tc.ID == 0 && tc.Ingest == 0 && !s.internal {
 		tc = r.tracer.Begin(s.name, len(batch))
 	}
 	s.rows.Add(int64(len(batch)))
-	if r.OnIngest != nil && s.cqtimeCol >= 0 {
+	if r.OnIngest != nil && s.cqtimeCol >= 0 && !s.internal {
 		// The batch entered the stream (the clock advanced) even if a
 		// subscriber sink fails below, so the event is published before
 		// fan-out. Copy the rows out of the pooled batch block: the
@@ -1169,6 +1185,14 @@ type Stats struct {
 	RowsProcessed    int64
 	SliceHitShares   int64
 	LateDropped      int64
+	// Scheduler counters (parallel mode; zero when the work-stealing pool
+	// was never created). SchedWorkers is the pool size, SchedRunnable the
+	// pipelines queued awaiting a worker, SchedSteals/SchedParks the
+	// lifetime steal and park counts — the streamrel_sched_* series.
+	SchedWorkers  int
+	SchedRunnable int64
+	SchedSteals   int64
+	SchedParks    int64
 	// PerPipeline lists one consistent counter snapshot per live
 	// pipeline; the totals above are sums over it.
 	PerPipeline []PipelineStats
@@ -1236,6 +1260,14 @@ func (p *Pipeline) statsSnapshot() PipelineStats {
 func (r *Runtime) Stats() Stats {
 	var s Stats
 	s.LateDropped = r.lateDropped.Value()
+	r.schedMu.Lock()
+	if r.sched != nil {
+		s.SchedWorkers = len(r.sched.deques)
+		s.SchedRunnable = r.sched.runnable.Load()
+		s.SchedSteals = r.sched.steals.Value()
+		s.SchedParks = r.sched.parks.Value()
+	}
+	r.schedMu.Unlock()
 	sources := r.snapshotSources()
 	s.Sources = len(sources)
 	for _, src := range sources {

@@ -1,0 +1,114 @@
+package sysmon
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+
+	"streamrel/internal/metrics"
+	"streamrel/internal/types"
+)
+
+// Alert is the JSON payload a webhook sink POSTs for one window close of
+// an alerting CQ: the rule's SQL, the window boundary, and the firing rows
+// rendered with the rule's column names.
+type Alert struct {
+	Rule    string    `json:"rule"`
+	CloseTS time.Time `json:"close_ts"`
+	Columns []string  `json:"columns"`
+	Rows    [][]any   `json:"rows"`
+	Node    string    `json:"node,omitempty"`
+}
+
+// WebhookSink delivers alerting-CQ batches to an HTTP endpoint as JSON.
+// Failures are counted, not retried — an alert channel is a lossy
+// best-effort feed, and the CQ keeps running regardless.
+type WebhookSink struct {
+	URL    string
+	Client *http.Client
+	// Node tags the payload with the emitting node's identity (optional).
+	Node string
+
+	sent   *metrics.Counter
+	failed *metrics.Counter
+}
+
+// NewWebhookSink builds a sink; nil client uses a 5-second-timeout
+// default. reg (optional) registers streamrel_sysmon_alerts_total and
+// streamrel_sysmon_alert_errors_total.
+func NewWebhookSink(url string, client *http.Client, reg *metrics.Registry) *WebhookSink {
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	s := &WebhookSink{URL: url, Client: client,
+		sent: &metrics.Counter{}, failed: &metrics.Counter{}}
+	if reg != nil {
+		s.sent = reg.Counter("streamrel_sysmon_alerts_total",
+			"alert webhook deliveries attempted")
+		s.failed = reg.Counter("streamrel_sysmon_alert_errors_total",
+			"alert webhook deliveries that failed")
+	}
+	return s
+}
+
+// Deliver POSTs one window's rows. Columns come from the CQ schema; rows
+// are rendered to JSON-friendly values.
+func (s *WebhookSink) Deliver(rule string, closeTS time.Time, schema types.Schema, rows []types.Row) error {
+	cols := make([]string, len(schema))
+	for i, c := range schema {
+		cols[i] = c.Name
+	}
+	out := make([][]any, len(rows))
+	for i, r := range rows {
+		vals := make([]any, len(r))
+		for j, v := range r {
+			vals[j] = jsonValue(v)
+		}
+		out[i] = vals
+	}
+	body, err := json.Marshal(Alert{Rule: rule, CloseTS: closeTS, Columns: cols, Rows: out, Node: s.Node})
+	if err != nil {
+		return err
+	}
+	s.sent.Inc()
+	resp, err := s.Client.Post(s.URL, "application/json", bytes.NewReader(body))
+	if err != nil {
+		s.failed.Inc()
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		s.failed.Inc()
+		return fmt.Errorf("sysmon: webhook %s returned %s", s.URL, resp.Status)
+	}
+	return nil
+}
+
+// jsonValue converts a datum to a JSON-encodable Go value.
+func jsonValue(v types.Datum) any {
+	if v.IsNull() {
+		return nil
+	}
+	switch v.Type() {
+	case types.TypeInt:
+		return v.Int()
+	case types.TypeFloat:
+		// JSON has no NaN/Inf; telemetry legitimately produces them
+		// (quantiles of empty histograms). Null keeps the payload valid.
+		if f := v.Float(); !math.IsNaN(f) && !math.IsInf(f, 0) {
+			return f
+		}
+		return nil
+	case types.TypeBool:
+		return v.Bool()
+	case types.TypeTimestamp:
+		return v.Time().UTC().Format(time.RFC3339Nano)
+	case types.TypeString:
+		return v.Str()
+	default:
+		return v.String()
+	}
+}

@@ -8,39 +8,11 @@ import (
 	"streamrel/internal/metrics"
 )
 
-// TestMetricNamingConventions audits every metric a fully wired engine
-// registers: streamrel_ prefix, _total suffix on counters, _seconds suffix
-// on (duration) histograms, and the deprecated gauge aliases kept for
-// dashboard compatibility.
-func TestMetricNamingConventions(t *testing.T) {
-	e := openTrace(t, Config{
-		Dir:               t.TempDir(),
-		SyncWAL:           true,
-		Replicate:         true,
-		ParallelCQ:        2,
-		TraceSampleEvery:  1,
-		SlowFireThreshold: time.Hour,
-	})
-	defer e.Close()
-	// Exercise stream, CQ, channel and WAL paths so lazily registered
-	// series exist before the audit.
-	mustExec(t, e, `CREATE STREAM s (v bigint, at timestamp CQTIME USER)`)
-	mustExec(t, e, `CREATE STREAM s_now AS
-		SELECT count(*) AS n, cq_close(*) FROM s <ADVANCE '1 minute'>`)
-	mustExec(t, e, `CREATE TABLE s_archive (n bigint, stime timestamp)`)
-	mustExec(t, e, `CREATE CHANNEL s_ch FROM s_now INTO s_archive APPEND`)
-	base := MustTimestamp("2009-01-04 00:00:00")
-	for i := 0; i < 5; i++ {
-		if err := e.Append("s", Row{Int(int64(i)), Timestamp(base.Add(time.Duration(i) * time.Second))}); err != nil {
-			t.Fatal(err)
-		}
-	}
-	e.AdvanceTime("s", base.Add(2*time.Minute))
-
-	samples := e.Metrics().Gather()
-	if len(samples) == 0 {
-		t.Fatal("engine registered no metrics")
-	}
+// auditNames applies the repo-wide naming rules to one registry's gather:
+// streamrel_ prefix, _total suffix on counters, a unit suffix on
+// histograms, and no _total on gauges.
+func auditNames(t *testing.T, samples []*metrics.Sample) map[string]*metrics.Sample {
+	t.Helper()
 	byName := make(map[string]*metrics.Sample)
 	for _, s := range samples {
 		byName[s.Name] = s
@@ -62,28 +34,66 @@ func TestMetricNamingConventions(t *testing.T) {
 			}
 		}
 	}
+	return byName
+}
 
-	// The renamed gauges and their deprecated aliases must both exist and
-	// agree, so existing dashboards keep working through the rename.
+// TestMetricNamingConventions audits every metric a fully wired engine
+// registers: streamrel_ prefix, _total suffix on counters, _seconds suffix
+// on (duration) histograms — across the stream runtime, WAL, replication
+// hub, scheduler, tracer and the sysmon self-observability series.
+func TestMetricNamingConventions(t *testing.T) {
+	e := openTrace(t, Config{
+		Dir:               t.TempDir(),
+		SyncWAL:           true,
+		Replicate:         true,
+		ParallelCQ:        2,
+		TraceSampleEvery:  1,
+		SlowFireThreshold: time.Hour,
+		SysMonInterval:    -1, // sys.* streams + sysmon series, no ticker
+	})
+	defer e.Close()
+	// Exercise stream, CQ, channel and WAL paths so lazily registered
+	// series exist before the audit.
+	mustExec(t, e, `CREATE STREAM s (v bigint, at timestamp CQTIME USER)`)
+	mustExec(t, e, `CREATE STREAM s_now AS
+		SELECT count(*) AS n, cq_close(*) FROM s <ADVANCE '1 minute'>`)
+	mustExec(t, e, `CREATE TABLE s_archive (n bigint, stime timestamp)`)
+	mustExec(t, e, `CREATE CHANNEL s_ch FROM s_now INTO s_archive APPEND`)
+	base := MustTimestamp("2009-01-04 00:00:00")
+	for i := 0; i < 5; i++ {
+		if err := e.Append("s", Row{Int(int64(i)), Timestamp(base.Add(time.Duration(i) * time.Second))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.AdvanceTime("s", base.Add(2*time.Minute))
+	if err := e.SysSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+
+	samples := e.Metrics().Gather()
+	if len(samples) == 0 {
+		t.Fatal("engine registered no metrics")
+	}
+	byName := auditNames(t, samples)
+
+	// The pre-rename gauge aliases are gone: only the canonical
+	// streamrel_stream_* names remain.
 	for alias, canonical := range map[string]string{
 		"streamrel_sources":   "streamrel_stream_sources",
 		"streamrel_pipelines": "streamrel_stream_pipelines",
 	} {
-		a, c := byName[alias], byName[canonical]
-		if a == nil || c == nil {
-			t.Fatalf("missing %s (alias) or %s (canonical): alias=%v canonical=%v", alias, canonical, a, c)
+		if byName[alias] != nil {
+			t.Errorf("deprecated alias %s is still registered; it was dropped in favor of %s", alias, canonical)
 		}
-		if a.Value != c.Value {
-			t.Errorf("%s=%v disagrees with %s=%v", alias, a.Value, canonical, c.Value)
-		}
-		if !strings.Contains(a.Help, "deprecated") {
-			t.Errorf("alias %s help %q should say it is deprecated", alias, a.Help)
+		if byName[canonical] == nil {
+			t.Errorf("canonical series %s not registered", canonical)
 		}
 	}
 
-	// Spot-check recently introduced series: tracing, the work-stealing
-	// scheduler (created lazily by the first worker-mode subscribe) and
-	// plan-level sharing.
+	// Spot-check each namespace: tracing, the work-stealing scheduler,
+	// plan-level sharing, the replication hub, and the sysmon
+	// self-observability series (including the internal-source row counter
+	// that keeps sys.* ingest out of streamrel_stream_rows_total).
 	for _, name := range []string{
 		"streamrel_traces_sampled_total",
 		"streamrel_slow_fires_total",
@@ -94,6 +104,14 @@ func TestMetricNamingConventions(t *testing.T) {
 		"streamrel_sched_runnable",
 		"streamrel_plan_groups",
 		"streamrel_plan_subscribers",
+		"streamrel_repl_lsn",
+		"streamrel_repl_connected_replicas",
+		"streamrel_repl_events_total",
+		"streamrel_sysmon_snapshots_total",
+		"streamrel_sysmon_errors_total",
+		"streamrel_sysmon_snapshot_seconds",
+		"streamrel_sysmon_interval_seconds",
+		"streamrel_sysmon_rows_total",
 	} {
 		if byName[name] == nil {
 			t.Errorf("expected series %s not registered", name)

@@ -59,8 +59,8 @@ func TestEngineMetricsEndToEnd(t *testing.T) {
 		`streamrel_wal_fsync_seconds`:               true,
 		`streamrel_checkpoint_seconds`:              true,
 		`streamrel_window_fire_seconds{stream="s"}`: true,
-		`streamrel_sources`:                         false,
-		`streamrel_pipelines`:                       false,
+		`streamrel_stream_sources`:                  false,
+		`streamrel_stream_pipelines`:                false,
 	} {
 		s, ok := m[id]
 		if !ok {

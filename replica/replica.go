@@ -195,6 +195,11 @@ func (r *Replica) LagLSN() uint64 {
 	return p - a
 }
 
+// LagSeconds returns the wall-clock apply lag of the most recent
+// replicated event — how far behind the primary this replica ran when it
+// last applied something. Readiness probes compare it to a threshold.
+func (r *Replica) LagSeconds() float64 { return float64(r.lastWallLag.Load()) / 1e6 }
+
 // WaitFor blocks until the replica has applied at least lsn. Use this
 // with the primary hub's LSN() when ground truth is at hand; unlike
 // WaitCaughtUp it cannot be satisfied by a stale view of the primary.

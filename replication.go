@@ -223,6 +223,12 @@ func (e *Engine) ReplicaReset() error {
 		}
 	}
 	for _, name := range e.cat.Names("streams") {
+		if isSysName(name) {
+			// Engine-owned telemetry streams are never part of the
+			// primary's snapshot; they survive the reset so the local
+			// monitor keeps reporting through the resync.
+			continue
+		}
 		if _, err := e.execDrop(&sql.Drop{Kind: sql.ObjStream, Name: name}); err != nil {
 			return err
 		}

@@ -40,6 +40,7 @@ import (
 	"streamrel/internal/repl"
 	"streamrel/internal/sql"
 	"streamrel/internal/stream"
+	"streamrel/internal/sysmon"
 	"streamrel/internal/trace"
 	"streamrel/internal/txn"
 	"streamrel/internal/types"
@@ -163,6 +164,17 @@ type Config struct {
 	// TraceRingSpans caps the completed-span ring; 0 uses the default
 	// (4096 spans).
 	TraceRingSpans int
+	// SysMonInterval enables self-observability: the engine creates the
+	// reserved sys.* telemetry streams (sys.metrics, sys.pipelines,
+	// sys.slow_fires, sys.repl) and snapshots its metrics registry,
+	// pipeline counters, slow-fire events and replication position into
+	// them every interval — so a CQ over sys.metrics is a live alerting
+	// rule. The streams are ephemeral (no WAL, no replication) and their
+	// ingest is excluded from user-facing counters, tracing, and the
+	// replication hub, so telemetry never feeds back into itself. 0
+	// (default) disables sysmon entirely; a negative interval creates the
+	// streams but snapshots only on explicit SysSnapshot calls (tests).
+	SysMonInterval time.Duration
 	// Logger receives structured engine logs (the slow-fire log). Nil
 	// uses slog.Default().
 	Logger *slog.Logger
@@ -206,6 +218,10 @@ type Engine struct {
 	derivedPipes map[string]*stream.Pipeline
 	// channelTaps maps channel name → detach function.
 	channelTaps map[string]func()
+
+	// sysmon snapshots telemetry into the sys.* streams; nil unless
+	// Config.SysMonInterval is non-zero.
+	sysmon *sysmon.Monitor
 
 	// sysClock tracks the last arrival timestamp stamped per CQTIME
 	// SYSTEM stream, guaranteeing monotonicity.
@@ -269,6 +285,11 @@ func Open(cfg Config) (*Engine, error) {
 		}
 		e.log = log
 	}
+	if cfg.SysMonInterval != 0 {
+		if err := e.initSysMon(); err != nil {
+			return nil, err
+		}
+	}
 	return e, nil
 }
 
@@ -314,6 +335,11 @@ func (e *Engine) checkpointPath() string { return filepath.Join(e.cfg.Dir, "chec
 // continuous queries stop receiving batches. Close returns any
 // asynchronous CQ failure that had not yet surfaced.
 func (e *Engine) Close() error {
+	// Stop the telemetry ticker before taking the engine lock: its ticks
+	// push into the stream runtime under the read lock.
+	if e.sysmon != nil {
+		e.sysmon.Stop()
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
@@ -387,10 +413,16 @@ func (e *Engine) execStmt(stmt sql.Statement, sqlText string) (*Result, error) {
 		if err := e.writeGate(); err != nil {
 			return nil, err
 		}
+		if n := sysDDLTarget(stmt); n != "" {
+			return nil, errSysReserved(n)
+		}
 		return e.execDDL(stmt, sqlText)
 	case *sql.Insert:
 		if err := e.writeGate(); err != nil {
 			return nil, err
+		}
+		if isSysName(s.Table) {
+			return nil, errSysReserved(s.Table)
 		}
 		return e.execInsert(s)
 	case *sql.Update:
@@ -492,6 +524,11 @@ func (e *Engine) AdvanceTime(streamName string, ts time.Time) error {
 	if err := e.writeGate(); err != nil {
 		return err
 	}
+	if isSysName(streamName) {
+		// sys.* clocks advance only with the monitor's own stamped rows;
+		// an external heartbeat could strand them past real arrival time.
+		return errSysReserved(streamName)
+	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.rt.Advance(streamName, ts.UnixMicro())
@@ -512,6 +549,9 @@ func (e *Engine) Append(streamName string, rows ...Row) error {
 func (e *Engine) AppendTraced(traceID uint64, streamName string, rows ...Row) error {
 	if err := e.writeGate(); err != nil {
 		return err
+	}
+	if isSysName(streamName) {
+		return errSysReserved(streamName)
 	}
 	if st, ok := e.cat.Stream(streamName); ok && st.SystemTime {
 		e.stampSystemTime(st, rows)
